@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Full (slow) experiment profiles — the numbers in EXPERIMENTS.md.
+experiments:
+	dune exec bin/main.exe -- experiment
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/exhibition_hall.exe
+	dune exec examples/smart_office.exe
+	dune exec examples/hospital.exe
+	dune exec examples/habitat.exe
+	dune exec examples/banking.exe
+	dune exec examples/smart_pen.exe
+	dune exec examples/execution_model.exe
+	dune exec examples/middleware_tour.exe
+
+clean:
+	dune clean
