@@ -1,0 +1,304 @@
+(* psn-sim: command-line driver for the pervasive sensornet library.
+
+   Subcommands:
+     list                     available experiments
+     experiment [IDS...]      run claim-reproduction experiments (all by default)
+     hall | office | hospital | habitat   run one scenario and print its report
+*)
+
+module Sim_time = Psn_sim.Sim_time
+module Clock_kind = Psn_clocks.Clock_kind
+open Cmdliner
+
+(* Shared options. *)
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps and horizons.")
+
+let seed =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let horizon_s =
+  Arg.(
+    value & opt int 3600
+    & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated duration.")
+
+let delta_ms =
+  Arg.(
+    value & opt int 100
+    & info [ "delta" ] ~docv:"MS"
+        ~doc:"Message delay bound Delta in milliseconds (0 = synchronous).")
+
+let clock_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "strobe-vector" | "sv" -> Ok Clock_kind.Strobe_vector
+    | "strobe-scalar" | "ss" -> Ok Clock_kind.Strobe_scalar
+    | "lamport" | "logical-scalar" -> Ok Clock_kind.Logical_scalar
+    | "vector" | "logical-vector" -> Ok Clock_kind.Logical_vector
+    | "physical" | "synced-physical" ->
+        Ok (Clock_kind.Synced_physical { eps = Sim_time.of_ms 1 })
+    | "perfect" -> Ok Clock_kind.Perfect_physical
+    | "raw-physical" | "physical-vector" -> Ok Clock_kind.Physical_vector
+    | other -> Error (`Msg (Printf.sprintf "unknown clock %S" other))
+  in
+  let print ppf c = Fmt.string ppf (Clock_kind.to_string c) in
+  Arg.conv (parse, print)
+
+let clock =
+  Arg.(
+    value
+    & opt clock_conv Clock_kind.Strobe_vector
+    & info [ "clock" ] ~docv:"CLOCK"
+        ~doc:
+          "Clock kind: strobe-vector, strobe-scalar, logical-scalar, \
+           logical-vector, physical, perfect, raw-physical.")
+
+let config_of ~seed ~horizon_s ~delta_ms ~clock ~n =
+  let delay =
+    if delta_ms = 0 then Psn_sim.Delay_model.synchronous
+    else
+      Psn_sim.Delay_model.bounded_uniform
+        ~min:(Sim_time.of_ms (max 1 (delta_ms / 10)))
+        ~max:(Sim_time.of_ms delta_ms)
+  in
+  {
+    Psn.Config.default with
+    n;
+    clock;
+    delay;
+    horizon = Sim_time.of_sec horizon_s;
+    seed;
+  }
+
+let print_report report =
+  Fmt.pr "%a@." Psn.Report.pp report;
+  Fmt.pr "truth intervals: %d, occurrences: %d@."
+    (List.length (Psn.Report.truth report))
+    (List.length (Psn.Report.occurrences report))
+
+(* list *)
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () =
+    List.iter
+      (fun (e : Psn_experiments.Experiments.entry) ->
+        Fmt.pr "%-4s %s@." e.id e.title)
+      Psn_experiments.Experiments.all;
+    Fmt.pr "%-4s %s@." "e10" "clock microbenchmarks (dune exec bench/main.exe)"
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* experiment *)
+
+let experiment_cmd =
+  let doc = "Run claim-reproduction experiments (all when no ids given)." in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  let run quick ids =
+    match ids with
+    | [] ->
+        Psn_experiments.Experiments.print_all ~quick ();
+        `Ok ()
+    | ids ->
+        let missing =
+          List.filter
+            (fun id -> Option.is_none (Psn_experiments.Experiments.find id))
+            ids
+        in
+        if missing <> [] then
+          `Error
+            (false,
+             Printf.sprintf "unknown experiment(s): %s"
+               (String.concat ", " missing))
+        else begin
+          List.iter
+            (fun id ->
+              match Psn_experiments.Experiments.find id with
+              | Some e ->
+                  Psn_experiments.Exp_common.print (e.run ~quick ());
+                  print_newline ()
+              | None -> ())
+            ids;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(ret (const run $ quick $ ids))
+
+(* scenarios *)
+
+let hall_cmd =
+  let doc = "Exhibition hall occupancy scenario (paper S5)." in
+  let doors =
+    Arg.(value & opt int 4 & info [ "doors" ] ~docv:"D" ~doc:"Door count.")
+  in
+  let capacity =
+    Arg.(value & opt int 15 & info [ "capacity" ] ~docv:"C" ~doc:"Room capacity.")
+  in
+  let visitors =
+    Arg.(value & opt int 32 & info [ "visitors" ] ~docv:"V" ~doc:"Visitors.")
+  in
+  let run seed horizon_s delta_ms clock doors capacity visitors =
+    let cfg =
+      { Psn_scenarios.Exhibition_hall.default with doors; capacity; visitors }
+    in
+    let config = config_of ~seed ~horizon_s ~delta_ms ~clock ~n:doors in
+    Fmt.pr "predicate: %a@."
+      Psn_predicates.Expr.pp
+      (Psn_scenarios.Exhibition_hall.predicate cfg);
+    print_report (Psn_scenarios.Exhibition_hall.run ~cfg config)
+  in
+  Cmd.v (Cmd.info "hall" ~doc)
+    Term.(
+      const run $ seed $ horizon_s $ delta_ms $ clock $ doors $ capacity
+      $ visitors)
+
+let office_cmd =
+  let doc = "Smart office scenario: temp > 30 AND motion." in
+  let thermostat =
+    Arg.(value & flag & info [ "thermostat" ] ~doc:"Actuate on detection.")
+  in
+  let definitely =
+    Arg.(value & flag & info [ "definitely" ] ~doc:"Use the Definitely modality.")
+  in
+  let run seed horizon_s delta_ms clock thermostat definitely =
+    let cfg = { Psn_scenarios.Smart_office.default with thermostat } in
+    let config =
+      config_of ~seed ~horizon_s ~delta_ms ~clock
+        ~n:(Psn_scenarios.Smart_office.n_processes cfg)
+    in
+    let modality =
+      if definitely then Psn_predicates.Modality.Definitely
+      else Psn_predicates.Modality.Instantaneous
+    in
+    print_report (Psn_scenarios.Smart_office.run ~cfg ~modality config)
+  in
+  Cmd.v (Cmd.info "office" ~doc)
+    Term.(const run $ seed $ horizon_s $ delta_ms $ clock $ thermostat $ definitely)
+
+let hospital_cmd =
+  let doc = "Hospital ward proximity scenario." in
+  let patients =
+    Arg.(value & opt int 2 & info [ "patients" ] ~docv:"P" ~doc:"Patients.")
+  in
+  let visitors =
+    Arg.(value & opt int 5 & info [ "visitors" ] ~docv:"V" ~doc:"Visitors.")
+  in
+  let run seed horizon_s delta_ms clock patients visitors =
+    let cfg = { Psn_scenarios.Hospital.default with patients; visitors } in
+    let config = config_of ~seed ~horizon_s ~delta_ms ~clock ~n:patients in
+    print_report (Psn_scenarios.Hospital.run ~cfg config)
+  in
+  Cmd.v (Cmd.info "hospital" ~doc)
+    Term.(const run $ seed $ horizon_s $ delta_ms $ clock $ patients $ visitors)
+
+let habitat_cmd =
+  let doc = "Habitat duty-cycle coordination scenario." in
+  let nodes = Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc:"Nodes.") in
+  let duration_ms =
+    Arg.(
+      value & opt int 1500
+      & info [ "duration" ] ~docv:"MS" ~doc:"Phenomenon duration (ms).")
+  in
+  let run seed horizon_s duration_ms nodes =
+    let cfg =
+      {
+        Psn_scenarios.Habitat.default with
+        nodes;
+        seed;
+        horizon = Sim_time.of_sec horizon_s;
+        event_duration = Sim_time.of_ms duration_ms;
+      }
+    in
+    let r = Psn_scenarios.Habitat.run cfg in
+    Fmt.pr
+      "events=%d mean_coverage=%.1f%% full=%d msgs=%d awake=%a@."
+      r.Psn_scenarios.Habitat.events
+      (100.0 *. r.Psn_scenarios.Habitat.mean_coverage)
+      r.Psn_scenarios.Habitat.full_coverage r.Psn_scenarios.Habitat.messages
+      Sim_time.pp r.Psn_scenarios.Habitat.wake_time
+  in
+  Cmd.v (Cmd.info "habitat" ~doc)
+    Term.(const run $ seed $ horizon_s $ duration_ms $ nodes)
+
+let banking_cmd =
+  let doc = "Secure banking: biometric-after-password timing relation." in
+  let eps_ms =
+    Arg.(
+      value & opt int 100
+      & info [ "eps" ] ~docv:"MS" ~doc:"Clock synchronization skew (ms).")
+  in
+  let run seed horizon_s eps_ms =
+    let cfg =
+      {
+        Psn_scenarios.Banking.default with
+        seed;
+        horizon = Sim_time.of_sec horizon_s;
+        eps = Sim_time.of_ms eps_ms;
+      }
+    in
+    Fmt.pr "spec: %a@." Psn_predicates.Timed.pp (Psn_scenarios.Banking.spec cfg);
+    let r = Psn_scenarios.Banking.run cfg in
+    Fmt.pr
+      "logins=%d attacks=%d oracle_alarms=%d alarms=%d tp=%d fp=%d fn=%d msgs=%d@."
+      r.Psn_scenarios.Banking.logins r.Psn_scenarios.Banking.attacks
+      r.Psn_scenarios.Banking.oracle_alarms r.Psn_scenarios.Banking.alarms
+      r.Psn_scenarios.Banking.alarm_tp r.Psn_scenarios.Banking.alarm_fp
+      r.Psn_scenarios.Banking.alarm_fn r.Psn_scenarios.Banking.messages
+  in
+  Cmd.v (Cmd.info "banking" ~doc) Term.(const run $ seed $ horizon_s $ eps_ms)
+
+let lattice_cmd =
+  let doc =
+    "Visualize the slim lattice postulate: run a strobe execution and \
+     print the consistent-state lattice (counts, or Graphviz with --dot)."
+  in
+  let nodes =
+    Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Processes.")
+  in
+  let events =
+    Arg.(
+      value & opt int 4 & info [ "events" ] ~docv:"K" ~doc:"Events per process.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of counts.") in
+  let no_strobes =
+    Arg.(value & flag & info [ "no-strobes" ] ~doc:"Disable strobing entirely.")
+  in
+  let run seed delta_ms nodes events dot no_strobes =
+    let delta =
+      if no_strobes then None
+      else if delta_ms = 0 then Some Sim_time.zero
+      else Some (Sim_time.of_ms delta_ms)
+    in
+    let stamps =
+      Psn_experiments.E03_slim_lattice.strobe_run ~seed ~n:nodes
+        ~events_per_proc:events ~rate:0.5 ~delta ()
+    in
+    if dot then print_string (Psn_lattice.Lattice.to_dot stamps)
+    else begin
+      let consistent = Psn_lattice.Lattice.count_consistent stamps in
+      Fmt.pr "consistent cuts : %a@." Psn_lattice.Lattice.pp_verdict consistent;
+      Fmt.pr "all cuts        : %d@." (Psn_lattice.Lattice.total_cuts stamps);
+      Fmt.pr "chain (linear)  : %b@." (Psn_lattice.Lattice.is_chain stamps)
+    end
+  in
+  Cmd.v (Cmd.info "lattice" ~doc)
+    Term.(const run $ seed $ delta_ms $ nodes $ events $ dot $ no_strobes)
+
+let main =
+  let doc =
+    "Execution and time models for pervasive sensor networks: simulator, \
+     strobe clocks, predicate detection, and claim-reproduction experiments."
+  in
+  Cmd.group
+    (Cmd.info "psn-sim" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; experiment_cmd; hall_cmd; office_cmd; hospital_cmd; habitat_cmd;
+      banking_cmd; lattice_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

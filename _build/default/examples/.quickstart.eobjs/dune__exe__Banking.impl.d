@@ -1,0 +1,1 @@
+examples/banking.ml: Fmt List Printf Psn_predicates Psn_scenarios Psn_sim Psn_util

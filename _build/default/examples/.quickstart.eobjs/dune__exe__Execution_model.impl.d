@@ -1,0 +1,1 @@
+examples/execution_model.ml: Array Fmt List Psn_clocks Psn_intervals Psn_network Psn_sim Psn_world

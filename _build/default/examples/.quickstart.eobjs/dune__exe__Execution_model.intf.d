@@ -1,0 +1,1 @@
+examples/execution_model.mli:

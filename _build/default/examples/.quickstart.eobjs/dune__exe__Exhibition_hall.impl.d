@@ -1,0 +1,1 @@
+examples/exhibition_hall.ml: Fmt List Psn Psn_clocks Psn_detection Psn_predicates Psn_scenarios Psn_sim Psn_util

@@ -1,0 +1,1 @@
+examples/exhibition_hall.mli:

@@ -1,0 +1,1 @@
+examples/habitat.ml: Fmt List Printf Psn_scenarios Psn_sim Psn_util

@@ -1,0 +1,1 @@
+examples/habitat.mli:

@@ -1,0 +1,1 @@
+examples/hospital.ml: Fmt Psn Psn_clocks Psn_predicates Psn_scenarios Psn_sim

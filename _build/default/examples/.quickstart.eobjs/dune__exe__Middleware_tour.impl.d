@@ -1,0 +1,1 @@
+examples/middleware_tour.ml: Array Fmt List Psn_middleware Psn_sim Psn_util

@@ -1,0 +1,1 @@
+examples/middleware_tour.mli:

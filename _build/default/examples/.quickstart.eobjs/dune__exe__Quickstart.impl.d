@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Printf Psn Psn_clocks Psn_detection Psn_network Psn_predicates Psn_sim Psn_util Psn_world

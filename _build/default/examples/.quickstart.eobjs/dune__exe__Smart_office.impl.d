@@ -1,0 +1,1 @@
+examples/smart_office.ml: Fmt List Psn Psn_clocks Psn_predicates Psn_scenarios Psn_sim

@@ -1,0 +1,162 @@
+(* Tour of the Appendix A middleware: the classic distributed-systems
+   services that logical and vector time buy you, running on the same
+   simulated sensornet substrate as the detectors.
+
+     dune exec examples/middleware_tour.exe
+*)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Rng = Psn_util.Rng
+
+let ms = Sim_time.of_ms
+let delay = Psn_sim.Delay_model.bounded_uniform ~min:(ms 5) ~max:(ms 50)
+
+(* 1. Chandy–Lamport snapshot of a money-transfer system. *)
+let snapshot_demo () =
+  Fmt.pr "-- Chandy-Lamport snapshot (FIFO channels) --@.";
+  let engine = Engine.create ~seed:3L () in
+  let rng = Rng.create ~seed:3L () in
+  let n = 4 in
+  let balances = Array.make n 1000 in
+  let sys =
+    Psn_middleware.Snapshot.create engine ~n ~delay
+      ~local_state:(fun i -> balances.(i))
+      ~apply:(fun ~dst ~src:_ a -> balances.(dst) <- balances.(dst) + a)
+      ()
+  in
+  Psn_middleware.Snapshot.on_complete sys (fun snap ->
+      let states = Array.fold_left ( + ) 0 snap.Psn_middleware.Snapshot.states in
+      let channels =
+        Array.fold_left
+          (fun acc row ->
+            Array.fold_left
+              (fun acc l -> acc + List.fold_left ( + ) 0 l)
+              acc row)
+          0 snap.Psn_middleware.Snapshot.channels
+      in
+      Fmt.pr
+        "  snapshot at %a: states sum %d + in-flight %d = %d (initial %d)@."
+        Sim_time.pp (Engine.now engine) states channels (states + channels)
+        (n * 1000));
+  for k = 1 to 150 do
+    ignore
+      (Engine.schedule_at engine (ms (10 * k)) (fun () ->
+           let src = Rng.int rng n in
+           let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+           let amount = 1 + Rng.int rng 40 in
+           if balances.(src) >= amount then begin
+             balances.(src) <- balances.(src) - amount;
+             Psn_middleware.Snapshot.send_app sys ~src ~dst amount
+           end))
+  done;
+  ignore
+    (Engine.schedule_at engine (ms 700) (fun () ->
+         Psn_middleware.Snapshot.initiate sys ~by:0));
+  Engine.run engine
+
+(* 2. Causal broadcast: replies never overtake the posts they answer. *)
+let causal_demo () =
+  Fmt.pr "@.-- Causal broadcast (BSS) --@.";
+  let engine = Engine.create ~seed:5L () in
+  let sys = ref None in
+  let deliver ~dst ~src message =
+    if dst = 2 then Fmt.pr "  node2 delivers %S (from %d)@." message src;
+    match !sys with
+    | Some cb when message = "where shall we meet?" && dst = 1 ->
+        Psn_middleware.Causal_broadcast.broadcast cb ~src:1 "at the lab"
+    | _ -> ()
+  in
+  let cb =
+    Psn_middleware.Causal_broadcast.create engine ~n:3
+      ~delay:(Psn_sim.Delay_model.bounded_uniform ~min:(ms 1) ~max:(ms 400))
+      ~deliver ()
+  in
+  sys := Some cb;
+  Psn_middleware.Causal_broadcast.broadcast cb ~src:0 "where shall we meet?";
+  Engine.run engine
+
+(* 3. Ricart–Agrawala mutual exclusion over Lamport clocks. *)
+let mutex_demo () =
+  Fmt.pr "@.-- Ricart-Agrawala mutual exclusion --@.";
+  let engine = Engine.create ~seed:7L () in
+  let n = 4 in
+  let mutex = Psn_middleware.Mutex.create engine ~n ~delay in
+  for who = 0 to n - 1 do
+    ignore
+      (Engine.schedule_at engine
+         (ms (10 + who))
+         (fun () ->
+           Psn_middleware.Mutex.request mutex ~who ~grant:(fun () ->
+               Fmt.pr "  node%d enters the critical section at %a@." who
+                 Sim_time.pp (Engine.now engine);
+               ignore
+                 (Engine.schedule_after engine (ms 80) (fun () ->
+                      Psn_middleware.Mutex.release mutex ~who)))))
+  done;
+  Engine.run engine
+
+(* 4. Safra termination detection of a diffusing computation. *)
+let termination_demo () =
+  Fmt.pr "@.-- Safra termination detection --@.";
+  let engine = Engine.create ~seed:11L () in
+  let rng = Rng.create ~seed:11L () in
+  let n = 5 in
+  let work_done = ref 0 in
+  let term_ref = ref None in
+  let term =
+    Psn_middleware.Termination.create engine ~n ~delay
+      ~on_terminate:(fun () ->
+        Fmt.pr "  terminated after %d work units, detected at %a@." !work_done
+          Sim_time.pp (Engine.now engine))
+  in
+  term_ref := Some term;
+  let budget = ref 40 in
+  for i = 0 to n - 1 do
+    Psn_middleware.Termination.set_worker term i (fun me ->
+        incr work_done;
+        for _ = 1 to Rng.int rng 3 do
+          if !budget > 0 then begin
+            decr budget;
+            Psn_middleware.Termination.send_work term ~src:me
+              ~dst:((me + 1 + Rng.int rng (n - 1)) mod n)
+          end
+        done)
+  done;
+  Psn_middleware.Termination.start term ~initial:[ 0 ];
+  Engine.run engine
+
+(* 5. Matrix-clock stable log: prune once everyone provably has a copy. *)
+let stable_log_demo () =
+  Fmt.pr "@.-- Matrix-clock stable log (GC) --@.";
+  let engine = Engine.create ~seed:13L () in
+  let n = 3 in
+  let log = Psn_middleware.Stable_log.create engine ~n ~delay () in
+  for src = 0 to n - 1 do
+    ignore
+      (Engine.schedule_at engine (ms (20 * (src + 1))) (fun () ->
+           Psn_middleware.Stable_log.publish log ~src src))
+  done;
+  ignore
+    (Engine.schedule_at engine (ms 300) (fun () ->
+         Fmt.pr "  before gossip: node0 buffers %d entries@."
+           (Psn_middleware.Stable_log.buffered_at log 0);
+         for src = 0 to n - 1 do
+           Psn_middleware.Stable_log.gossip log ~src
+         done));
+  ignore
+    (Engine.schedule_at engine (ms 600) (fun () ->
+         for src = 0 to n - 1 do
+           Psn_middleware.Stable_log.gossip log ~src
+         done));
+  Engine.run engine;
+  Fmt.pr "  after gossip: node0 buffers %d entries (%d pruned)@."
+    (Psn_middleware.Stable_log.buffered_at log 0)
+    (Psn_middleware.Stable_log.pruned_at log 0)
+
+let () =
+  snapshot_demo ();
+  causal_demo ();
+  mutex_demo ();
+  termination_demo ();
+  stable_log_demo ()

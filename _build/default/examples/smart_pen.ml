@@ -1,0 +1,32 @@
+(* Bob gives a pen to Tom (paper §4.1).
+
+   A dumb pen moves through hidden channels: the badge readers see it
+   appear but cannot order its trajectory causally. A smart pen is a
+   dual-role entity — object AND process — whose handoffs are network
+   events, so the whole causal chain is mirrored.
+
+     dune exec examples/smart_pen.exe
+*)
+
+module Smart_pen = Psn_scenarios.Smart_pen
+
+let show label (r : Smart_pen.result) =
+  Fmt.pr "%-9s trajectory: %a@." label
+    Fmt.(list ~sep:(any " -> ") int)
+    r.Smart_pen.trajectory;
+  Fmt.pr "%-9s causal pairs certified: %d/%d (%.0f%%)@.@." label
+    r.Smart_pen.certified r.Smart_pen.pairs
+    (100.0 *. r.Smart_pen.fraction)
+
+let () =
+  Fmt.pr
+    "The pen wanders between rooms; badge readers stamp each sighting with@.\
+     Mattern/Fidge vector clocks. Can the network plane order the sightings?@.@.";
+  show "dumb pen" (Smart_pen.run ~mode:Smart_pen.Dumb Smart_pen.default);
+  show "smart pen" (Smart_pen.run ~mode:Smart_pen.Smart Smart_pen.default);
+  Fmt.pr
+    "The dumb pen's handoffs are covert channels - the paper's argument@.\
+     that the partial order model cannot specify world-plane predicates.@.\
+     The smart pen is part of the network plane too, and the chain is@.\
+     fully recovered - the confined settings (robotic warehouse) where@.\
+     the partial order model becomes a natural specification tool.@."

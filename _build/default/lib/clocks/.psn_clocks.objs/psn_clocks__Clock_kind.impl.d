@@ -1,0 +1,1 @@
+lib/clocks/clock_kind.ml: Fmt Psn_sim

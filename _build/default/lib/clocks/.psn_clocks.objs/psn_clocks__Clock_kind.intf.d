@@ -1,0 +1,1 @@
+lib/clocks/clock_kind.mli: Format Psn_sim

@@ -1,0 +1,1 @@
+lib/clocks/hlc.ml: Float Fmt Physical_clock Psn_sim Stdlib

@@ -1,0 +1,1 @@
+lib/clocks/hlc.mli: Format Physical_clock Psn_sim

@@ -1,0 +1,1 @@
+lib/clocks/lamport.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/clocks/physical_clock.ml: Float Fmt Psn_sim Psn_util

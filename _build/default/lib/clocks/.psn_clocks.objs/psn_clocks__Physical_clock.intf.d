@@ -1,0 +1,1 @@
+lib/clocks/physical_clock.mli: Format Psn_sim Psn_util

@@ -1,0 +1,1 @@
+lib/clocks/physical_vector.ml: Array Fmt Physical_clock Psn_sim

@@ -1,0 +1,1 @@
+lib/clocks/physical_vector.mli: Format Physical_clock Psn_sim

@@ -1,0 +1,1 @@
+lib/clocks/strobe_scalar.mli: Format

@@ -1,0 +1,1 @@
+lib/clocks/strobe_vector.ml: Array Fmt Vector_clock

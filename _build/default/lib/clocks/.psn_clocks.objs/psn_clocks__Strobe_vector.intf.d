@@ -1,0 +1,1 @@
+lib/clocks/strobe_vector.mli: Format

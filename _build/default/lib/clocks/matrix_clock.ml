@@ -1,0 +1,68 @@
+(* Matrix clock — an extension beyond the paper's protocols.
+
+   M[i][j] at process k is k's knowledge of what process i knows about
+   process j's local clock.  The row for [me] is the process's own vector
+   clock; the min over column j of the diagonal knowledge gives a bound on
+   information every process is guaranteed to have, which observers can
+   use to garbage-collect buffered world-plane observations (Appendix A
+   lists garbage collection among the classic vector-time uses). *)
+
+type t = {
+  me : int;
+  m : int array array;
+}
+
+type stamp = int array array
+
+let create ~n ~me =
+  if n <= 0 then invalid_arg "Matrix_clock.create: n must be positive";
+  if me < 0 || me >= n then invalid_arg "Matrix_clock.create: me out of range";
+  { me; m = Array.init n (fun _ -> Array.make n 0) }
+
+let me t = t.me
+let size t = Array.length t.m
+
+let copy_matrix m = Array.map Array.copy m
+
+let read t = copy_matrix t.m
+
+(* Own vector clock view: row [me]. *)
+let vector t = Array.copy t.m.(t.me)
+
+let tick t =
+  t.m.(t.me).(t.me) <- t.m.(t.me).(t.me) + 1;
+  copy_matrix t.m
+
+let send t = tick t
+
+let receive t ~from stamp =
+  let n = Array.length t.m in
+  if Array.length stamp <> n then invalid_arg "Matrix_clock.receive: dimension";
+  (* Merge the sender's whole knowledge matrix. *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if stamp.(i).(j) > t.m.(i).(j) then t.m.(i).(j) <- stamp.(i).(j)
+    done
+  done;
+  (* Our row additionally absorbs the sender's row (we now know what the
+     sender knew), and we record having seen the sender's latest event. *)
+  for j = 0 to n - 1 do
+    if stamp.(from).(j) > t.m.(t.me).(j) then t.m.(t.me).(j) <- stamp.(from).(j)
+  done;
+  t.m.(t.me).(t.me) <- t.m.(t.me).(t.me) + 1
+
+(* Every process is known to have seen at least [min_known t j] events of
+   process j; observations older than that can be discarded. *)
+let min_known t j =
+  let n = Array.length t.m in
+  if j < 0 || j >= n then invalid_arg "Matrix_clock.min_known: out of range";
+  let acc = ref max_int in
+  for i = 0 to n - 1 do
+    if t.m.(i).(j) < !acc then acc := t.m.(i).(j)
+  done;
+  !acc
+
+let pp ppf t =
+  Fmt.pf ppf "M%d@[%a]" t.me
+    Fmt.(array ~sep:(any "|") (array ~sep:(any ";") int))
+    t.m

@@ -1,0 +1,23 @@
+(** Matrix clock (extension): tracks knowledge-about-knowledge, enabling
+    garbage collection of buffered observations. *)
+
+type t
+type stamp = int array array
+
+val create : n:int -> me:int -> t
+val me : t -> int
+val size : t -> int
+val read : t -> stamp
+
+val vector : t -> int array
+(** The process's own vector-clock view (its row). *)
+
+val tick : t -> stamp
+val send : t -> stamp
+val receive : t -> from:int -> stamp -> unit
+
+val min_known : t -> int -> int
+(** [min_known t j]: every process is known to have observed at least this
+    many events of process [j]; older buffered observations are dead. *)
+
+val pp : Format.formatter -> t -> unit

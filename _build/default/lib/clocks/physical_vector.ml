@@ -1,0 +1,56 @@
+(* Physical (asynchronous) vector clock (paper §3.2.1.b.ii).
+
+   Vector components are the monotonic local *physical* clock readings of
+   the latest known event at each process.  The paper notes these are an
+   overkill for causality but useful when the application predicate relates
+   locally observed wall times at different locations (e.g. the physical
+   time of the latest update to each replica of a file). *)
+
+module Sim_time = Psn_sim.Sim_time
+
+type t = {
+  me : int;
+  hw : Physical_clock.t;
+  v : Sim_time.t array;
+}
+
+type stamp = Sim_time.t array
+
+let create ~n ~me hw =
+  if n <= 0 then invalid_arg "Physical_vector.create: n must be positive";
+  if me < 0 || me >= n then invalid_arg "Physical_vector.create: me out of range";
+  { me; hw; v = Array.make n Sim_time.zero }
+
+let me t = t.me
+let size t = Array.length t.v
+let read t = Array.copy t.v
+
+(* Local event: record the local physical reading in own component. *)
+let tick t ~now =
+  let reading = Physical_clock.read t.hw ~now in
+  (* Monotonicity guard: a corrected clock could in principle step back. *)
+  t.v.(t.me) <- Sim_time.max t.v.(t.me) reading;
+  Array.copy t.v
+
+let send t ~now = tick t ~now
+
+let receive t ~now stamp =
+  if Array.length stamp <> Array.length t.v then
+    invalid_arg "Physical_vector.receive: dimension mismatch";
+  Array.iteri (fun k x -> if Sim_time.( > ) x t.v.(k) then t.v.(k) <- x) stamp;
+  ignore (tick t ~now)
+
+let leq a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Physical_vector.leq: dimension mismatch";
+  let rec go i = i >= n || (Sim_time.( <= ) a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Sim_time.equal a b
+
+let happened_before a b = leq a b && not (equal a b)
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let pp ppf t =
+  Fmt.pf ppf "PV%d@[%a]" t.me Fmt.(array ~sep:(any ";") Sim_time.pp) t.v

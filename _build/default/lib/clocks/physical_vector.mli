@@ -1,0 +1,22 @@
+(** Physical (asynchronous) vector clock: components are local physical
+    clock readings of the latest known events (paper §3.2.1.b.ii). *)
+
+type t
+type stamp = Psn_sim.Sim_time.t array
+
+val create : n:int -> me:int -> Physical_clock.t -> t
+val me : t -> int
+val size : t -> int
+val read : t -> stamp
+
+val tick : t -> now:Psn_sim.Sim_time.t -> stamp
+(** Record the local physical reading for a local event. *)
+
+val send : t -> now:Psn_sim.Sim_time.t -> stamp
+val receive : t -> now:Psn_sim.Sim_time.t -> stamp -> unit
+
+val leq : stamp -> stamp -> bool
+val equal : stamp -> stamp -> bool
+val happened_before : stamp -> stamp -> bool
+val concurrent : stamp -> stamp -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(* Strobe vector clock (paper §4.2.1, rules SVC1–SVC2).
+
+   SVC1: when process i executes (senses) a relevant event:
+           C[i] := C[i] + 1; System-wide broadcast(C).
+   SVC2: when process i receives a strobe T:
+           C[k] := max(C[k], T[k]) for all k.
+
+   Differences from Mattern/Fidge (paper §4.2.3): no tick on receive, all
+   strobes are control messages, the broadcast happens at (no more often
+   than) each relevant event, and the induced partial order is an artifact
+   of run-time strobe arrivals, not of program semantics. *)
+
+type t = {
+  me : int;
+  v : int array;
+}
+
+type stamp = int array
+
+let create ~n ~me =
+  if n <= 0 then invalid_arg "Strobe_vector.create: n must be positive";
+  if me < 0 || me >= n then invalid_arg "Strobe_vector.create: me out of range";
+  { me; v = Array.make n 0 }
+
+let me t = t.me
+let size t = Array.length t.v
+let read t = Array.copy t.v
+
+(* SVC1: tick own component; the returned snapshot must be broadcast. *)
+let tick_and_strobe t =
+  t.v.(t.me) <- t.v.(t.me) + 1;
+  Array.copy t.v
+
+(* SVC2: componentwise max; no local tick. *)
+let receive_strobe t stamp =
+  if Array.length stamp <> Array.length t.v then
+    invalid_arg "Strobe_vector.receive_strobe: dimension mismatch";
+  Array.iteri (fun k x -> if x > t.v.(k) then t.v.(k) <- x) stamp
+
+(* Stamp comparisons are shared with causality vectors: the strobe order is
+   still a vector partial order, it is just induced by control messages. *)
+let leq = Vector_clock.leq
+let equal = Vector_clock.equal
+let happened_before = Vector_clock.happened_before
+let concurrent = Vector_clock.concurrent
+let merge = Vector_clock.merge
+
+let stamp_size_words n = n
+
+let pp ppf t = Fmt.pf ppf "SV%d@%a" t.me Vector_clock.pp_stamp t.v

@@ -1,0 +1,30 @@
+(** Strobe vector clock (rules SVC1–SVC2).
+
+    A vector clock whose partial order is induced by system-wide control
+    broadcasts at relevant (sensed) events rather than by program
+    messages. Receivers merge but never tick. *)
+
+type t
+type stamp = int array
+
+val create : n:int -> me:int -> t
+val me : t -> int
+val size : t -> int
+val read : t -> stamp
+
+val tick_and_strobe : t -> stamp
+(** SVC1: tick own component; broadcast the returned snapshot. *)
+
+val receive_strobe : t -> stamp -> unit
+(** SVC2: componentwise max, no tick. *)
+
+val leq : stamp -> stamp -> bool
+val equal : stamp -> stamp -> bool
+val happened_before : stamp -> stamp -> bool
+val concurrent : stamp -> stamp -> bool
+val merge : stamp -> stamp -> stamp
+
+val stamp_size_words : int -> int
+(** O(n) wire size, vs the scalar strobe's O(1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+(* Mattern/Fidge causality-based vector clock (paper §4.2.1, rules VC1–VC3).
+
+   VC1: on a relevant internal/sense event, C[i] := C[i] + 1.
+   VC2: on a send event, C[i] := C[i] + 1 and the message carries C.
+   VC3: on receive of vector T, C[k] := max(C[k], T[k]) for all k, then
+        C[i] := C[i] + 1.
+
+   Stamps are immutable snapshots (fresh arrays), so they can be stored in
+   event logs and compared later without aliasing the live clock. *)
+
+type t = {
+  me : int;
+  v : int array;
+}
+
+type stamp = int array
+
+let create ~n ~me =
+  if n <= 0 then invalid_arg "Vector_clock.create: n must be positive";
+  if me < 0 || me >= n then invalid_arg "Vector_clock.create: me out of range";
+  { me; v = Array.make n 0 }
+
+let me t = t.me
+let size t = Array.length t.v
+let read t = Array.copy t.v
+
+(* VC1 *)
+let tick t =
+  t.v.(t.me) <- t.v.(t.me) + 1;
+  Array.copy t.v
+
+(* VC2 *)
+let send t = tick t
+
+(* VC3 *)
+let receive t stamp =
+  if Array.length stamp <> Array.length t.v then
+    invalid_arg "Vector_clock.receive: dimension mismatch";
+  Array.iteri (fun k x -> if x > t.v.(k) then t.v.(k) <- x) stamp;
+  t.v.(t.me) <- t.v.(t.me) + 1;
+  Array.copy t.v
+
+(* Stamp-level operations. *)
+
+let leq a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Vector_clock.leq: dimension mismatch";
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b = a = b
+
+let happened_before a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.merge: dimension mismatch";
+  Array.mapi (fun i x -> max x b.(i)) a
+
+let compare_partial a b =
+  if equal a b then Some 0
+  else if leq a b then Some (-1)
+  else if leq b a then Some 1
+  else None
+
+(* Sum of components: a scalar view used as a tie-breaking heuristic when a
+   detector must linearize concurrent stamps. *)
+let total a = Array.fold_left ( + ) 0 a
+
+let pp_stamp ppf s =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) s
+
+let pp ppf t = Fmt.pf ppf "V%d@%a" t.me pp_stamp t.v

@@ -1,0 +1,39 @@
+(** Mattern/Fidge causality-based vector clock (rules VC1–VC3).
+
+    Stamps are immutable snapshots safe to store in event logs. *)
+
+type t
+type stamp = int array
+
+val create : n:int -> me:int -> t
+val me : t -> int
+val size : t -> int
+val read : t -> stamp
+
+val tick : t -> stamp
+(** VC1: relevant local event; returns the new stamp. *)
+
+val send : t -> stamp
+(** VC2: tick and return the stamp to piggyback. *)
+
+val receive : t -> stamp -> stamp
+(** VC3: componentwise max then local tick. *)
+
+val leq : stamp -> stamp -> bool
+val equal : stamp -> stamp -> bool
+
+val happened_before : stamp -> stamp -> bool
+(** Strict causal precedence: the vector-clock order is isomorphic to
+    Lamport's happened-before on the events that produced the stamps. *)
+
+val concurrent : stamp -> stamp -> bool
+val merge : stamp -> stamp -> stamp
+
+val compare_partial : stamp -> stamp -> int option
+(** [Some] of a comparison when ordered, [None] when concurrent. *)
+
+val total : stamp -> int
+(** Component sum; a scalar heuristic for linearizing concurrent stamps. *)
+
+val pp_stamp : Format.formatter -> stamp -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/config.ml: Fmt Psn_clocks Psn_sim Psn_util

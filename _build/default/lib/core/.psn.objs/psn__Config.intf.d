@@ -1,0 +1,1 @@
+lib/core/config.mli: Format Psn_clocks Psn_sim Psn_util

@@ -1,0 +1,1 @@
+lib/core/report.ml: Fmt Psn_detection Psn_sim

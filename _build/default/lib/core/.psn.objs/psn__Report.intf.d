@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Psn_detection Psn_sim

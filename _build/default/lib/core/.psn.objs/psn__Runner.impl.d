@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Config Fmt List Psn_clocks Psn_detection Psn_predicates Psn_sim Psn_util Report

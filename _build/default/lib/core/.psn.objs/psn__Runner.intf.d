@@ -1,0 +1,1 @@
+lib/core/runner.mli: Config Psn_detection Psn_predicates Psn_sim Psn_world Report

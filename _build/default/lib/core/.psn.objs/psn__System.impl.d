@@ -1,0 +1,1 @@
+lib/core/system.ml: Psn_sim Psn_world

@@ -1,0 +1,1 @@
+lib/core/system.mli: Psn_sim Psn_util Psn_world

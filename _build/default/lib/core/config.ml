@@ -1,0 +1,58 @@
+(* A point in the paper's implementation design space (§3.2): clock choice
+   × message delay model × loss, plus run bookkeeping.
+
+   The specification side (predicate + modality) travels separately as a
+   [Psn_predicates.Spec.t]; [Runner.detector_for] marries the two and
+   rejects combinations the design space does not support. *)
+
+module Sim_time = Psn_sim.Sim_time
+
+type t = {
+  n : int;                          (* sensor/actuator processes; P0 checks *)
+  clock : Psn_clocks.Clock_kind.t;
+  delay : Psn_sim.Delay_model.t;
+  loss : Psn_sim.Loss_model.t;
+  hold : Sim_time.t option;         (* checker hold-back; None = derive *)
+  horizon : Sim_time.t;
+  seed : int64;
+  once : bool;                      (* hang-after-first baseline *)
+  tolerance : Sim_time.t;           (* scoring tolerance *)
+  topology : Psn_util.Graph.t option;
+      (* multi-hop overlay L; None = complete graph (single-hop).  With a
+         topology, strobes travel by flooding and the per-link delay
+         compounds per hop — size [hold] to the diameter × Δ. *)
+}
+
+let default =
+  {
+    n = 4;
+    clock = Psn_clocks.Clock_kind.Strobe_vector;
+    delay =
+      Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 10)
+        ~max:(Sim_time.of_ms 100);
+    loss = Psn_sim.Loss_model.no_loss;
+    hold = None;
+    horizon = Sim_time.of_sec 3600;
+    seed = 42L;
+    once = false;
+    tolerance = Sim_time.zero;
+    topology = None;
+  }
+
+(* Hold-back: the Δ bound when the delay model has one, else twice the
+   mean delay (a pragmatic hedge for unbounded models). *)
+let effective_hold t =
+  match t.hold with
+  | Some h -> h
+  | None -> (
+      match Psn_sim.Delay_model.delta t.delay with
+      | Some d -> d
+      | None ->
+          let m = Psn_sim.Delay_model.mean_delay t.delay in
+          Sim_time.add m m)
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d clock=%a delay=%a loss=%a hold=%a horizon=%a seed=%Ld" t.n
+    Psn_clocks.Clock_kind.pp t.clock Psn_sim.Delay_model.pp t.delay
+    Psn_sim.Loss_model.pp t.loss Sim_time.pp (effective_hold t) Sim_time.pp
+    t.horizon t.seed

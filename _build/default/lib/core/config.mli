@@ -1,0 +1,24 @@
+(** Implementation-space configuration: clock × delay × loss + run
+    bookkeeping. *)
+
+type t = {
+  n : int;
+  clock : Psn_clocks.Clock_kind.t;
+  delay : Psn_sim.Delay_model.t;
+  loss : Psn_sim.Loss_model.t;
+  hold : Psn_sim.Sim_time.t option;
+  horizon : Psn_sim.Sim_time.t;
+  seed : int64;
+  once : bool;
+  tolerance : Psn_sim.Sim_time.t;
+  topology : Psn_util.Graph.t option;
+      (** Multi-hop overlay; [None] = complete graph. With a topology,
+          strobes flood and per-link delay compounds per hop. *)
+}
+
+val default : t
+
+val effective_hold : t -> Psn_sim.Sim_time.t
+(** The explicit hold, else the delay model's Δ, else 2× its mean. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(* Outcome of one detection run: accuracy vs the oracle, plus costs. *)
+
+module Sim_time = Psn_sim.Sim_time
+
+type t = {
+  summary : Psn_detection.Metrics.summary;
+  truth : Psn_detection.Ground_truth.interval list;
+  occurrences : Psn_detection.Occurrence.t list;
+  updates : int;           (* sense-event updates emitted *)
+  messages : int;          (* network transmissions *)
+  words : int;             (* payload words transmitted *)
+  dropped : int;
+  sim_events : int;        (* engine events processed *)
+  horizon : Sim_time.t;
+}
+
+let summary t = t.summary
+let truth t = t.truth
+let occurrences t = t.occurrences
+
+(* Words per update: the per-event timestamping overhead E5 tabulates. *)
+let words_per_update t =
+  if t.updates = 0 then 0.0 else float_of_int t.words /. float_of_int t.updates
+
+let pp ppf t =
+  Fmt.pf ppf "%a | updates=%d msgs=%d words=%d dropped=%d"
+    Psn_detection.Metrics.pp t.summary t.updates t.messages t.words t.dropped

@@ -1,0 +1,19 @@
+(** Outcome of one detection run. *)
+
+type t = {
+  summary : Psn_detection.Metrics.summary;
+  truth : Psn_detection.Ground_truth.interval list;
+  occurrences : Psn_detection.Occurrence.t list;
+  updates : int;
+  messages : int;
+  words : int;
+  dropped : int;
+  sim_events : int;
+  horizon : Psn_sim.Sim_time.t;
+}
+
+val summary : t -> Psn_detection.Metrics.summary
+val truth : t -> Psn_detection.Ground_truth.interval list
+val occurrences : t -> Psn_detection.Occurrence.t list
+val words_per_update : t -> float
+val pp : Format.formatter -> t -> unit

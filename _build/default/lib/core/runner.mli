@@ -1,0 +1,20 @@
+(** Marrying specification (predicate + modality) to implementation
+    (clock + delay + loss): detector dispatch, execution, scoring. *)
+
+exception Unsupported of string
+
+val detector_for :
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list -> Config.t ->
+  Psn_sim.Engine.t -> spec:Psn_predicates.Spec.t -> Psn_detection.Detector.t
+(** Raises {!Unsupported} for clock/modality pairings outside the paper's
+    compatibility matrix, and [Invalid_argument] for a relational
+    predicate under Definitely. *)
+
+val run :
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list ->
+  ?policy:Psn_detection.Metrics.borderline_policy -> Config.t ->
+  spec:Psn_predicates.Spec.t ->
+  setup:(Psn_sim.Engine.t -> Psn_detection.Detector.t -> unit) -> unit ->
+  Report.t
+(** Build engine + detector, let [setup] wire the scenario, run to the
+    horizon, score against the oracle. *)

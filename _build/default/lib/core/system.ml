@@ -1,0 +1,27 @@
+(* The quadruple ⟨P, L, O, C⟩ of the paper's system model (§2.1), bundled.
+
+   P and L materialize inside each detector (processes + overlay with its
+   delay/loss models); O and C are the world and its covert channel
+   registry.  [System.t] carries the shared engine and the world half;
+   scenarios add objects, mobility and sensors, then hand sense events to
+   a detector built by [Runner]. *)
+
+module Engine = Psn_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  world : Psn_world.World.t;
+  covert : Psn_world.Covert.t;
+}
+
+let create ?(seed = 42L) () =
+  let engine = Engine.create ~seed () in
+  let world = Psn_world.World.create engine in
+  let covert = Psn_world.Covert.create engine world in
+  { engine; world; covert }
+
+let engine t = t.engine
+let world t = t.world
+let covert t = t.covert
+let rng t = Engine.rng t.engine
+let now t = Engine.now t.engine

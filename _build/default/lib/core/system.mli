@@ -1,0 +1,11 @@
+(** The paper's ⟨P, L, O, C⟩ quadruple: shared engine plus the world plane;
+    the network plane materializes inside detectors. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val engine : t -> Psn_sim.Engine.t
+val world : t -> Psn_world.World.t
+val covert : t -> Psn_world.Covert.t
+val rng : t -> Psn_util.Rng.t
+val now : t -> Psn_sim.Sim_time.t

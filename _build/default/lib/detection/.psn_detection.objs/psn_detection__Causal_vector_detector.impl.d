@@ -1,0 +1,1 @@
+lib/detection/causal_vector_detector.ml: Array Linearizer Psn_clocks Stdlib

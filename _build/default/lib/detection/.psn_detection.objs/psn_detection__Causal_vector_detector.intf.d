@@ -1,0 +1,1 @@
+lib/detection/causal_vector_detector.mli: Detector Psn_predicates Psn_sim Psn_world

@@ -1,0 +1,1 @@
+lib/detection/checker_state.ml: Hashtbl List Observation Psn_predicates Psn_world

@@ -1,0 +1,1 @@
+lib/detection/checker_state.mli: Observation Psn_predicates Psn_world

@@ -1,0 +1,1 @@
+lib/detection/definitely_detector.ml: Interval_detector

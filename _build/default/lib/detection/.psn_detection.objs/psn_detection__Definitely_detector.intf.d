@@ -1,0 +1,1 @@
+lib/detection/definitely_detector.mli: Detector Psn_predicates Psn_sim Psn_world

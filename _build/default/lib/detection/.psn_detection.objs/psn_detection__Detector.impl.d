@@ -1,0 +1,1 @@
+lib/detection/detector.ml: Observation Occurrence Psn_world

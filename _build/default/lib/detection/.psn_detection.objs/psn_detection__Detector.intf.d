@@ -1,0 +1,1 @@
+lib/detection/detector.mli: Observation Occurrence Psn_world

@@ -1,0 +1,1 @@
+lib/detection/ground_truth.ml: Fmt Hashtbl List Observation Psn_predicates Psn_sim Psn_world Stdlib

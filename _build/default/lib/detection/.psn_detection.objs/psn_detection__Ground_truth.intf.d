@@ -1,0 +1,1 @@
+lib/detection/ground_truth.mli: Format Observation Psn_predicates Psn_sim Psn_world

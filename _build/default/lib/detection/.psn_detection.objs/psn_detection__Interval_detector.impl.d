@@ -1,0 +1,1 @@
+lib/detection/interval_detector.ml: Array Detector Hashtbl List Observation Occurrence Psn_clocks Psn_network Psn_predicates Psn_sim Psn_util Psn_world Stdlib

@@ -1,0 +1,1 @@
+lib/detection/lamport_detector.ml: Array Linearizer Psn_clocks Stdlib

@@ -1,0 +1,1 @@
+lib/detection/linearizer.ml: Array Checker_state Detector List Observation Occurrence Psn_network Psn_sim Psn_util Psn_world Stdlib

@@ -1,0 +1,1 @@
+lib/detection/linearizer.mli: Detector Psn_predicates Psn_sim Psn_util Psn_world

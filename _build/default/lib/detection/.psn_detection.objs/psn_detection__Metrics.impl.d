@@ -1,0 +1,1 @@
+lib/detection/metrics.ml: Array Fmt Ground_truth List Occurrence Psn_sim

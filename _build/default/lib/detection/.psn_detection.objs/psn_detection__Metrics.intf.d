@@ -1,0 +1,1 @@
+lib/detection/metrics.mli: Format Ground_truth Occurrence Psn_sim

@@ -1,0 +1,1 @@
+lib/detection/observation.ml: Fmt Psn_predicates Psn_sim Psn_world

@@ -1,0 +1,1 @@
+lib/detection/observation.mli: Format Psn_predicates Psn_sim Psn_world

@@ -1,0 +1,1 @@
+lib/detection/occurrence.ml: Fmt Observation Psn_sim

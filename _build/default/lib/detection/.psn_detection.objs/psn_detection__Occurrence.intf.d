@@ -1,0 +1,1 @@
+lib/detection/occurrence.mli: Format Observation Psn_sim

@@ -1,0 +1,1 @@
+lib/detection/physical_detector.ml: Array Linearizer Psn_clocks Psn_sim Psn_util

@@ -1,0 +1,1 @@
+lib/detection/physical_detector.mli: Detector Psn_predicates Psn_sim Psn_util Psn_world

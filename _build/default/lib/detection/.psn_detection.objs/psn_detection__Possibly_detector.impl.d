@@ -1,0 +1,1 @@
+lib/detection/possibly_detector.ml: Interval_detector

@@ -1,0 +1,1 @@
+lib/detection/strobe_vector_detector.ml: Array Linearizer Psn_clocks Stdlib

@@ -1,0 +1,1 @@
+lib/detection/strobe_vector_detector.mli: Detector Psn_predicates Psn_sim Psn_util Psn_world

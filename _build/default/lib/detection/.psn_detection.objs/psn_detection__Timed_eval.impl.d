@@ -1,0 +1,1 @@
+lib/detection/timed_eval.ml: Ground_truth List Psn_intervals Psn_predicates Psn_sim

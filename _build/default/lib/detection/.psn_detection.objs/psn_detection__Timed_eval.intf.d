@@ -1,0 +1,1 @@
+lib/detection/timed_eval.mli: Ground_truth Observation Psn_predicates Psn_sim Psn_world

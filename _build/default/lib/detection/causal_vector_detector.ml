@@ -1,0 +1,32 @@
+(* Causality-clock baseline: Mattern/Fidge vector stamps (VC1–VC3)
+   piggybacked on updates unicast to the checker.
+
+   Cross-sensor components stay zero (sensors never message each other),
+   so almost every pair of updates from different sensors is concurrent:
+   the checker sees a maximally fat partial order, races everywhere, and
+   the borderline bin swallows most rises.  This is the paper's point
+   that the Mattern/Fidge protocol "has no occasion to send an execution
+   message M" when observing world-plane events — causality clocks are
+   the wrong tool without strobes. *)
+
+module Vc = Psn_clocks.Vector_clock
+
+let discipline ~n =
+  let clocks = Array.init n (fun me -> Vc.create ~n ~me) in
+  {
+    Linearizer.name = "causal-vector-unicast";
+    stamp_of_emit = (fun ~src -> Vc.send clocks.(src));
+    on_receive = (fun ~dst stamp -> ignore (Vc.receive clocks.(dst) stamp));
+    compare =
+      (fun a b ->
+        let c = Stdlib.compare (Vc.total a) (Vc.total b) in
+        if c <> 0 then c else Stdlib.compare a b);
+    race = (fun a b -> Vc.concurrent a b);
+    arrival_tie_break = true;
+    stamp_words = n;
+  }
+
+let create ?loss ?init ?(once = false) engine ~n ~delay ~hold ~predicate =
+  let cfg = { (Linearizer.default_cfg ~hold) with once; unicast = true } in
+  Linearizer.create ?loss ?init engine ~n ~delay ~predicate
+    ~discipline:(discipline ~n) ~cfg

@@ -1,0 +1,22 @@
+(** The checker's evolving global-state view with transition reporting and
+    override evaluation for race analysis. *)
+
+type transition = Rose | Fell | Same
+type t
+
+val create :
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list ->
+  Psn_predicates.Expr.t -> t
+
+val holds : t -> bool
+val value_of : t -> Psn_predicates.Expr.var -> Psn_world.Value.t option
+
+val apply :
+  t -> Observation.update -> transition * Psn_world.Value.t option
+(** Returns the transition and the previous value of the updated variable. *)
+
+val eval_with_override :
+  t -> var:Psn_predicates.Expr.var -> value:Psn_world.Value.t option -> bool
+(** Evaluate φ with one variable overridden, without committing. *)
+
+val snapshot : t -> (Psn_predicates.Expr.var * Psn_world.Value.t) list

@@ -1,0 +1,8 @@
+(* Definitely(φ) detection for conjunctive φ: every consistent observation
+   of the execution sees all conjuncts true at once.  Never asserts an
+   overlap the causal order does not guarantee — precision 1 by
+   construction, at the cost of missing races (E4, E7). *)
+
+let create ?loss ?init ?once engine ~n ~delay ~horizon ~predicate =
+  Interval_detector.create ?loss ?init ?once engine
+    ~mode:Interval_detector.Definitely ~n ~delay ~horizon ~predicate

@@ -1,0 +1,11 @@
+(** Definitely(φ) detection for conjunctive predicates over strobe vector
+    clocks (Garg–Waldecker queues, repeated detection). *)
+
+val create :
+  ?loss:Psn_sim.Loss_model.t ->
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list -> ?once:bool ->
+  Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
+  horizon:Psn_sim.Sim_time.t -> predicate:Psn_predicates.Expr.t -> Detector.t
+(** Raises [Invalid_argument] when the predicate is not conjunctive.
+    Open conjunct intervals are closed at [horizon]. [once] reproduces the
+    hang-after-first baseline of the prior literature (E7). *)

@@ -1,0 +1,28 @@
+(* Uniform detector interface.
+
+   A detector exposes one entry point to the scenario — [emit], called at
+   each sense event with the new value of the local variable — and
+   accessors for its output and message costs.  The list of emitted
+   updates doubles as the ground-truth stream the run is scored against. *)
+
+type t = {
+  emit : src:int -> var:string -> Psn_world.Value.t -> unit;
+  occurrences : unit -> Occurrence.t list;
+  updates : unit -> Observation.update list;
+  messages_sent : unit -> int;
+  words_sent : unit -> int;
+  messages_dropped : unit -> int;
+  mutable on_occurrence : Occurrence.t -> unit;
+      (* scenario hook fired at each detection: the respond half of the
+         paper's sense-evaluate-respond loop (actuations go here) *)
+}
+
+let emit t = t.emit
+let occurrences t = t.occurrences ()
+let updates t = t.updates ()
+let messages_sent t = t.messages_sent ()
+let words_sent t = t.words_sent ()
+let messages_dropped t = t.messages_dropped ()
+
+let set_on_occurrence t f = t.on_occurrence <- f
+let notify t occ = t.on_occurrence occ

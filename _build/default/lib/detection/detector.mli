@@ -1,0 +1,25 @@
+(** Uniform detector interface: scenarios call [emit] at each sense event;
+    the run is scored from [occurrences] against [updates]. *)
+
+type t = {
+  emit : src:int -> var:string -> Psn_world.Value.t -> unit;
+  occurrences : unit -> Occurrence.t list;
+  updates : unit -> Observation.update list;
+  messages_sent : unit -> int;
+  words_sent : unit -> int;
+  messages_dropped : unit -> int;
+  mutable on_occurrence : Occurrence.t -> unit;
+}
+
+val emit : t -> src:int -> var:string -> Psn_world.Value.t -> unit
+val occurrences : t -> Occurrence.t list
+val updates : t -> Observation.update list
+val messages_sent : t -> int
+val words_sent : t -> int
+val messages_dropped : t -> int
+
+val set_on_occurrence : t -> (Occurrence.t -> unit) -> unit
+(** Scenario hook fired synchronously at each detection (actuations). *)
+
+val notify : t -> Occurrence.t -> unit
+(** For detector implementations. *)

@@ -1,0 +1,67 @@
+(* The oracle: when did the predicate really hold?
+
+   The paper's predicates are defined "on sensed attribute values during
+   intervals" (§2.2), so ground truth is the timeline of the sensors'
+   local variables at their true sense times — before any message delay,
+   loss, or clock error distorts the checker's view.  Replaying the update
+   stream in true-time order yields the maximal intervals where φ held;
+   detectors are scored against these. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Expr = Psn_predicates.Expr
+
+type interval = {
+  t_start : Sim_time.t;
+  t_end : Sim_time.t;  (* exclusive; equals horizon when still true there *)
+}
+
+let compare_updates (a : Observation.update) (b : Observation.update) =
+  let c = Sim_time.compare a.sense_time b.sense_time in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.src b.src in
+    if c <> 0 then c else Stdlib.compare a.seq b.seq
+
+(* Evaluate φ treating unbound variables as "predicate not established". *)
+let eval_safe predicate env =
+  match Expr.eval_bool ~env predicate with
+  | b -> b
+  | exception Expr.Unbound_variable _ -> false
+
+let intervals ?(init = []) ~updates ~predicate ~horizon () =
+  let tbl : (Expr.var, Psn_world.Value.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (v, value) -> Hashtbl.replace tbl v value) init;
+  let env v = Hashtbl.find_opt tbl v in
+  let sorted = List.sort compare_updates updates in
+  let acc = ref [] in
+  let open_since = ref None in
+  let holds = ref (eval_safe predicate env) in
+  if !holds then open_since := Some Sim_time.zero;
+  List.iter
+    (fun (u : Observation.update) ->
+      if Sim_time.( <= ) u.sense_time horizon then begin
+        Hashtbl.replace tbl (Observation.located u) u.value;
+        let now_holds = eval_safe predicate env in
+        (match (!holds, now_holds) with
+        | false, true -> open_since := Some u.sense_time
+        | true, false ->
+            (match !open_since with
+            | Some t_start -> acc := { t_start; t_end = u.sense_time } :: !acc
+            | None -> ());
+            open_since := None
+        | _ -> ());
+        holds := now_holds
+      end)
+    sorted;
+  (match !open_since with
+  | Some t_start -> acc := { t_start; t_end = horizon } :: !acc
+  | None -> ());
+  List.rev !acc
+
+let total_true_time ivs =
+  List.fold_left
+    (fun acc iv -> Sim_time.add acc (Sim_time.sub iv.t_end iv.t_start))
+    Sim_time.zero ivs
+
+let pp_interval ppf iv =
+  Fmt.pf ppf "[%a,%a)" Sim_time.pp iv.t_start Sim_time.pp iv.t_end

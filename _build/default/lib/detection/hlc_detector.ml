@@ -1,0 +1,53 @@
+(* Predicate detection over hybrid logical clocks (extension).
+
+   Each sensor runs an HLC over its own *unsynchronized, drifting*
+   hardware clock; update broadcasts carry the (l, c) stamp and receivers
+   merge (the HLC receive rule), which drags every node's l-component up
+   to the fastest clock seen.  The result is a strobe-like discipline
+   whose stamps stay within the hardware offset bound of real time: a
+   middle ground between the paper's imperfect physical clocks (which
+   need a sync protocol) and its strobe clocks (which carry no physical
+   information at all).
+
+   Races are stamps whose l-components are closer than the offset bound —
+   within that window the physical hint is noise and arrival order breaks
+   the tie. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Physical_clock = Psn_clocks.Physical_clock
+module Hlc = Psn_clocks.Hlc
+
+let discipline engine ~n ~max_offset ~max_drift_ppm ~rng =
+  let clocks =
+    Array.init n (fun me ->
+        Hlc.create ~me (Physical_clock.create rng ~max_offset ~max_drift_ppm))
+  in
+  (* Pairwise offsets can reach twice the per-clock bound. *)
+  let race_window = Sim_time.add max_offset max_offset in
+  {
+    Linearizer.name = "hlc";
+    stamp_of_emit =
+      (fun ~src -> Hlc.tick clocks.(src) ~now:(Engine.now engine));
+    on_receive =
+      (fun ~dst stamp ->
+        ignore (Hlc.receive clocks.(dst) ~now:(Engine.now engine) stamp));
+    compare = Hlc.compare_stamp;
+    race =
+      (fun a b ->
+        let la = a.Hlc.l and lb = b.Hlc.l in
+        let d =
+          if Sim_time.( >= ) la lb then Sim_time.sub la lb else Sim_time.sub lb la
+        in
+        Sim_time.( < ) d race_window);
+    arrival_tie_break = true;
+    stamp_words = 2;
+  }
+
+let create ?loss ?topology ?init ?(once = false) engine ~n ~delay ~hold
+    ~max_offset ~max_drift_ppm ~predicate =
+  let rng = Psn_util.Rng.split (Engine.rng engine) in
+  let cfg = { (Linearizer.default_cfg ~hold) with once } in
+  Linearizer.create ?loss ?topology ?init engine ~n ~delay ~predicate
+    ~discipline:(discipline engine ~n ~max_offset ~max_drift_ppm ~rng)
+    ~cfg

@@ -1,0 +1,10 @@
+(** Detection over hybrid logical clocks running on unsynchronized,
+    drifting hardware clocks (extension): physical time as a hint,
+    logical merging as the guarantee. *)
+
+val create :
+  ?loss:Psn_sim.Loss_model.t -> ?topology:Psn_util.Graph.t ->
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list -> ?once:bool ->
+  Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
+  hold:Psn_sim.Sim_time.t -> max_offset:Psn_sim.Sim_time.t ->
+  max_drift_ppm:float -> predicate:Psn_predicates.Expr.t -> Detector.t

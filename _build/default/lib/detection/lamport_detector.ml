@@ -1,0 +1,28 @@
+(* Causality-clock baseline: Lamport scalar stamps piggybacked on updates
+   unicast to the checker (rules SC1–SC3), with no system-wide strobing.
+
+   The paper's §4.2.3 comparison notes that causality-based clocks only
+   piggyback on computation messages — here, the update reports — so
+   sensors never hear each other and their scalars drift apart freely.
+   The checker's linearization by (stamp, pid) is then far from real-time
+   order whenever event rates differ across sensors, which is the ablation
+   A1 story: the strobes, not the counters, buy the accuracy. *)
+
+module Lamport = Psn_clocks.Lamport
+
+let discipline ~n =
+  let clocks = Array.init n (fun me -> Lamport.create ~me) in
+  {
+    Linearizer.name = "lamport-unicast";
+    stamp_of_emit = (fun ~src -> Lamport.send clocks.(src));
+    on_receive = (fun ~dst stamp -> ignore (Lamport.receive clocks.(dst) stamp));
+    compare = Stdlib.compare;
+    race = (fun a b -> a = b);
+    arrival_tie_break = true;
+    stamp_words = 1;
+  }
+
+let create ?loss ?init ?(once = false) engine ~n ~delay ~hold ~predicate =
+  let cfg = { (Linearizer.default_cfg ~hold) with once; unicast = true } in
+  Linearizer.create ?loss ?init engine ~n ~delay ~predicate
+    ~discipline:(discipline ~n) ~cfg

@@ -1,0 +1,8 @@
+(** Causality baseline: Lamport stamps piggybacked on unicast update
+    reports; no strobing. Expect poor linearization accuracy (ablation). *)
+
+val create :
+  ?loss:Psn_sim.Loss_model.t ->
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list -> ?once:bool ->
+  Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
+  hold:Psn_sim.Sim_time.t -> predicate:Psn_predicates.Expr.t -> Detector.t

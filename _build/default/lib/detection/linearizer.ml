@@ -1,0 +1,293 @@
+(* Shared core of the single-time-axis detectors.
+
+   The strobe scalar, strobe vector, and physical-clock detectors all
+   recreate a linear order of updates at the checker (process 0) and
+   evaluate the predicate along it.  They differ only in their *stamping
+   discipline*: how an update is timestamped at the sensor, how receivers'
+   clocks react to a strobe, how stamps are linearized, and when two
+   stamps constitute a race.  The discipline is a first-class record, so
+   the three detectors are thin instantiations of one algorithm and the
+   comparisons in E1/E2/E8 measure the clocks, not incidental code
+   differences.
+
+   Checker algorithm: arrivals are held back for [hold] (the Δ-bound
+   hedge of refs [24,25]); ready updates are applied in stamp order.
+   When applying an update raises φ, a consensus race analysis runs: for
+   every racing update from another process — already applied within the
+   race window, or pending later in the same flush — φ is re-evaluated
+   with that update reverted (or force-applied).  If any such reordering
+   falsifies φ, the detection goes to the borderline bin instead of being
+   asserted (§5). *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Net = Psn_network.Net
+module Vec = Psn_util.Vec
+module Value = Psn_world.Value
+
+type 'stamp discipline = {
+  name : string;
+  stamp_of_emit : src:int -> 'stamp;
+      (* tick the sender's clock at a sense event; returns the stamp to
+         broadcast (SSC1 / SVC1 / a physical clock read) *)
+  on_receive : dst:int -> 'stamp -> unit;
+      (* receiver clock reaction (SSC2 / SVC2 / nothing) *)
+  compare : 'stamp -> 'stamp -> int;
+      (* total order used for linearization; must extend the stamp order *)
+  race : 'stamp -> 'stamp -> bool;
+      (* do these stamps race (tie / concurrent / within 2ε)? *)
+  arrival_tie_break : bool;
+      (* logical-clock middleware may break races by arrival time (the
+         best physical hint it has); timestamp-ordering algorithms à la
+         Mayo–Kearns trust the clock service instead — their defining
+         property, and the source of the 2ε race window *)
+  stamp_words : int;
+}
+
+type 'stamp message = { update : Observation.update; stamp : 'stamp }
+
+type 'stamp buffered = {
+  msg : 'stamp message;
+  recv_time : Sim_time.t;
+}
+
+type 'stamp applied = {
+  a_update : Observation.update;
+  a_stamp : 'stamp;
+  a_prev : Value.t option;
+  a_time : Sim_time.t;
+}
+
+type cfg = {
+  hold : Sim_time.t;        (* hold-back before applying (≈ Δ) *)
+  race_window : Sim_time.t; (* how far back applied updates can race *)
+  once : bool;              (* baseline mode: hang after first detection *)
+  unicast : bool;           (* send updates to the checker only (causality
+                               piggyback baseline) instead of the strobe
+                               protocols' system-wide broadcast *)
+}
+
+let default_cfg ~hold =
+  { hold; race_window = Sim_time.add hold hold; once = false; unicast = false }
+
+(* Transport abstraction: direct single-hop broadcast on a complete
+   overlay (the default), or multi-hop flooding over an explicit — and
+   possibly churning — topology graph. *)
+type 'm transport = {
+  tx_broadcast : src:int -> 'm -> unit;
+  tx_unicast0 : src:int -> 'm -> unit;
+  tx_sent : unit -> int;
+  tx_words : unit -> int;
+  tx_dropped : unit -> int;
+  tx_on_receive : (dst:int -> 'm -> unit) -> unit;
+}
+
+let net_transport ?loss ~payload_words engine ~n ~delay =
+  let net = Net.create ?loss ~payload_words engine ~n ~delay in
+  {
+    tx_broadcast = (fun ~src msg -> Net.broadcast net ~src msg);
+    tx_unicast0 = (fun ~src msg -> if src <> 0 then Net.send net ~src ~dst:0 msg);
+    tx_sent = (fun () -> Net.sent net);
+    tx_words = (fun () -> Net.words_transmitted net);
+    tx_dropped = (fun () -> Net.dropped net);
+    tx_on_receive =
+      (fun handler ->
+        for dst = 0 to n - 1 do
+          Net.set_handler net dst (fun ~src:_ msg -> handler ~dst msg)
+        done);
+  }
+
+let flood_transport ?loss ~payload_words engine ~topology ~delay =
+  let flood =
+    Psn_network.Flood.create ?loss ~payload_words engine ~topology ~delay
+  in
+  let n = Psn_util.Graph.size topology in
+  {
+    tx_broadcast = (fun ~src msg -> Psn_network.Flood.flood flood ~src msg);
+    tx_unicast0 =
+      (fun ~src:_ _ ->
+        invalid_arg "Linearizer: unicast baselines need a complete overlay");
+    tx_sent = (fun () -> Psn_network.Flood.messages_sent flood);
+    tx_words = (fun () -> Psn_network.Flood.words_transmitted flood);
+    tx_dropped = (fun () -> 0);
+    tx_on_receive =
+      (fun handler ->
+        for dst = 0 to n - 1 do
+          Psn_network.Flood.set_handler flood dst (fun ~origin:_ msg ->
+              handler ~dst msg)
+        done);
+  }
+
+let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
+  let payload_words _ = discipline.stamp_words + 2 in
+  let transport =
+    match topology with
+    | None -> net_transport ?loss ~payload_words engine ~n ~delay
+    | Some g ->
+        if Psn_util.Graph.size g <> n then
+          invalid_arg "Linearizer.create: topology size mismatch";
+        if cfg.unicast then
+          invalid_arg "Linearizer.create: unicast baselines need a complete overlay";
+        flood_transport ?loss ~payload_words engine ~topology:g ~delay
+  in
+  let state = Checker_state.create ?init predicate in
+  let seqs = Array.make n 0 in
+  let all_updates = Vec.create ~dummy:Observation.dummy () in
+  let occurrences = Vec.create
+      ~dummy:{ Occurrence.detect_time = Sim_time.zero;
+               trigger = Observation.dummy; verdict = Occurrence.Positive } () in
+  let pending : 'a buffered list ref = ref [] in
+  let applied_window : 'a applied list ref = ref [] in
+  let hung = ref false in
+  let self = ref None in
+  let fire occ =
+    Vec.push occurrences occ;
+    match !self with Some d -> Detector.notify d occ | None -> ()
+  in
+  let prune_window now =
+    let cutoff = Sim_time.sub now cfg.race_window in
+    applied_window :=
+      List.filter (fun a -> Sim_time.( >= ) a.a_time cutoff) !applied_window
+  in
+  (* Race analysis at a φ-rise caused by [u]: does any racing update from
+     another process decide the outcome? *)
+  let borderline_rise (u : Observation.update) stamp rest_of_batch =
+    let racing_applied =
+      List.exists
+        (fun a ->
+          a.a_update.Observation.src <> u.Observation.src
+          && discipline.race stamp a.a_stamp
+          && not
+               (Checker_state.eval_with_override state
+                  ~var:(Observation.located a.a_update)
+                  ~value:a.a_prev))
+        !applied_window
+    in
+    let racing_pending =
+      List.exists
+        (fun (b : 'a buffered) ->
+          b.msg.update.Observation.src <> u.Observation.src
+          && discipline.race stamp b.msg.stamp
+          && not
+               (Checker_state.eval_with_override state
+                  ~var:(Observation.located b.msg.update)
+                  ~value:(Some b.msg.update.Observation.value)))
+        rest_of_batch
+    in
+    racing_applied || racing_pending
+  in
+  let apply_one now (b : 'a buffered) rest =
+    let u = b.msg.update in
+    let transition, prev = Checker_state.apply state u in
+    applied_window :=
+      { a_update = u; a_stamp = b.msg.stamp; a_prev = prev; a_time = now }
+      :: !applied_window;
+    match transition with
+    | Checker_state.Rose when not !hung ->
+        let verdict =
+          if borderline_rise u b.msg.stamp rest then Occurrence.Borderline
+          else Occurrence.Positive
+        in
+        fire { Occurrence.detect_time = now; trigger = u; verdict };
+        if cfg.once then hung := true
+    | Checker_state.Rose | Checker_state.Fell | Checker_state.Same -> ()
+  in
+  let order a b =
+    (* Racing stamps (ties / concurrent / within skew) carry no usable
+       order; when the discipline allows it, arrival time — the best
+       physical estimate available to the checker — breaks those.
+       Non-racing stamps follow the discipline's linear extension. *)
+    let c =
+      if discipline.arrival_tie_break && discipline.race a.msg.stamp b.msg.stamp
+      then 0
+      else discipline.compare a.msg.stamp b.msg.stamp
+    in
+    if c <> 0 then c
+    else
+      let c = Sim_time.compare a.recv_time b.recv_time in
+      if c <> 0 then c
+      else
+        let c =
+          Stdlib.compare a.msg.update.Observation.src
+            b.msg.update.Observation.src
+        in
+        if c <> 0 then c
+        else
+          Stdlib.compare a.msg.update.Observation.seq
+            b.msg.update.Observation.seq
+  in
+  let flush () =
+    let now = Engine.now engine in
+    prune_window now;
+    let ready, held =
+      List.partition
+        (fun b -> Sim_time.( <= ) (Sim_time.add b.recv_time cfg.hold) now)
+        !pending
+    in
+    let ready = List.sort order ready in
+    (* A ready update must wait while any still-held update carries a
+       strictly smaller stamp: applying it now would break the stamp-order
+       linearization across flush batches.  Every held update has its own
+       flush scheduled, so deferral cannot starve. *)
+    let blocked b =
+      List.exists (fun h -> discipline.compare h.msg.stamp b.msg.stamp < 0) held
+    in
+    let rec apply_prefix = function
+      | [] -> []
+      | b :: rest ->
+          if blocked b then b :: rest
+          else begin
+            (* Race candidates include both the rest of this batch and the
+               still-held updates: a racing partner may not be ready yet. *)
+            apply_one now b (rest @ held);
+            apply_prefix rest
+          end
+    in
+    let deferred = apply_prefix ready in
+    pending := held @ deferred
+  in
+  (* Checker receives at process 0; every process updates its clock. *)
+  transport.tx_on_receive (fun ~dst (msg : 'a message) ->
+      discipline.on_receive ~dst msg.stamp;
+      if dst = 0 then begin
+        pending := { msg; recv_time = Engine.now engine } :: !pending;
+        ignore (Engine.schedule_after engine cfg.hold flush)
+      end);
+  let emit ~src ~var value =
+    if src < 0 || src >= n then invalid_arg "Detector.emit: src out of range";
+    let u =
+      {
+        Observation.src;
+        var;
+        value;
+        seq = seqs.(src);
+        sense_time = Engine.now engine;
+      }
+    in
+    seqs.(src) <- seqs.(src) + 1;
+    Vec.push all_updates u;
+    let stamp = discipline.stamp_of_emit ~src in
+    let msg = { update = u; stamp } in
+    (* System-wide strobe broadcast (SSC1/SVC1) or, in the causality
+       baseline, a unicast to the checker; the sender's own copy is
+       local. *)
+    if cfg.unicast then transport.tx_unicast0 ~src msg
+    else transport.tx_broadcast ~src msg;
+    if src = 0 then begin
+      pending := { msg; recv_time = Engine.now engine } :: !pending;
+      ignore (Engine.schedule_after engine cfg.hold flush)
+    end
+  in
+  let t =
+    {
+      Detector.emit;
+      occurrences = (fun () -> Vec.to_list occurrences);
+      updates = (fun () -> Vec.to_list all_updates);
+      messages_sent = (fun () -> transport.tx_sent ());
+      words_sent = (fun () -> transport.tx_words ());
+      messages_dropped = (fun () -> transport.tx_dropped ());
+      on_occurrence = ignore;
+    }
+  in
+  self := Some t;
+  t

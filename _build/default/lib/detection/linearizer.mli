@@ -1,0 +1,40 @@
+(** Shared core of the single-time-axis detectors: hold-back buffer,
+    stamp-order linearization, transition detection, and the consensus
+    race analysis feeding the borderline bin. Instantiated by the strobe
+    scalar, strobe vector, and physical detectors via a stamping
+    discipline. *)
+
+type 'stamp discipline = {
+  name : string;
+  stamp_of_emit : src:int -> 'stamp;
+  on_receive : dst:int -> 'stamp -> unit;
+  compare : 'stamp -> 'stamp -> int;
+  race : 'stamp -> 'stamp -> bool;
+  arrival_tie_break : bool;
+      (** Break racing stamps by arrival time (logical-clock middleware)
+          or trust the stamp order (timestamp-ordering algorithms). *)
+  stamp_words : int;
+}
+
+type cfg = {
+  hold : Psn_sim.Sim_time.t;
+  race_window : Psn_sim.Sim_time.t;
+  once : bool;
+  unicast : bool;
+      (** Causality-piggyback baseline: updates go only to the checker;
+          no system-wide strobing. *)
+}
+
+val default_cfg : hold:Psn_sim.Sim_time.t -> cfg
+(** Race window defaults to twice the hold. *)
+
+val create :
+  ?loss:Psn_sim.Loss_model.t -> ?topology:Psn_util.Graph.t ->
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list ->
+  Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
+  predicate:Psn_predicates.Expr.t -> discipline:'stamp discipline ->
+  cfg:cfg -> Detector.t
+(** Process 0 is the checker; all processes run the discipline's clock.
+    With a [topology], strobes travel by multi-hop flooding over it (the
+    per-link delay then compounds per hop); unicast baselines require the
+    default complete overlay. *)

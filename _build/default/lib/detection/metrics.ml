@@ -1,0 +1,96 @@
+(* Scoring detections against ground truth.
+
+   Matching is one-to-one and anchored on the triggering update's true
+   sense time: a detection is a true positive when its anchor falls inside
+   (a tolerance-widened copy of) a ground-truth interval that no earlier
+   detection already claimed.  Extra detections of an already-claimed
+   interval are duplicates (a repeated-detection pathology, counted
+   separately from false positives); detections matching no interval are
+   false positives; unclaimed intervals are false negatives.
+
+   The borderline policy reflects §5's application choice: treat the
+   borderline bin as positive (err safe), negative, or drop it. *)
+
+module Sim_time = Psn_sim.Sim_time
+
+type borderline_policy = As_positive | As_negative | Drop
+
+type summary = {
+  truth_count : int;
+  detections : int;        (* after the borderline policy is applied *)
+  borderline : int;        (* borderline detections before the policy *)
+  tp : int;
+  fp : int;
+  fn : int;
+  duplicates : int;
+  precision : float;       (* tp / (tp + fp); 1.0 when no detections *)
+  recall : float;          (* tp / truth_count; 1.0 when no truth *)
+}
+
+let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+let inside ~tolerance (iv : Ground_truth.interval) t =
+  Sim_time.( >= ) t (Sim_time.sub iv.t_start tolerance)
+  && Sim_time.( < ) (Sim_time.sub t tolerance) iv.t_end
+
+let score ?(tolerance = Sim_time.zero) ?(policy = As_positive) ~truth
+    ~detections () =
+  let borderline =
+    List.length (List.filter Occurrence.is_borderline detections)
+  in
+  let considered =
+    match policy with
+    | As_positive -> detections
+    | As_negative | Drop ->
+        List.filter (fun o -> not (Occurrence.is_borderline o)) detections
+  in
+  let considered =
+    List.sort
+      (fun a b -> Sim_time.compare (Occurrence.est_time a) (Occurrence.est_time b))
+      considered
+  in
+  let truth_arr = Array.of_list truth in
+  let claimed = Array.make (Array.length truth_arr) false in
+  let tp = ref 0 and fp = ref 0 and duplicates = ref 0 in
+  List.iter
+    (fun o ->
+      let t = Occurrence.est_time o in
+      let rec find i =
+        if i >= Array.length truth_arr then None
+        else if inside ~tolerance truth_arr.(i) t then Some i
+        else find (i + 1)
+      in
+      (* Prefer an unclaimed matching interval; a claimed-only match is a
+         duplicate detection of the same occurrence. *)
+      let rec find_unclaimed i =
+        if i >= Array.length truth_arr then None
+        else if (not claimed.(i)) && inside ~tolerance truth_arr.(i) t then Some i
+        else find_unclaimed (i + 1)
+      in
+      match find_unclaimed 0 with
+      | Some i ->
+          claimed.(i) <- true;
+          incr tp
+      | None -> (
+          match find 0 with
+          | Some _ -> incr duplicates
+          | None -> incr fp))
+    considered;
+  let fn = Array.length truth_arr - !tp in
+  {
+    truth_count = Array.length truth_arr;
+    detections = List.length considered;
+    borderline;
+    tp = !tp;
+    fp = !fp;
+    fn;
+    duplicates = !duplicates;
+    precision = ratio !tp (!tp + !fp);
+    recall = ratio !tp (Array.length truth_arr);
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "truth=%d det=%d border=%d tp=%d fp=%d fn=%d dup=%d prec=%.3f rec=%.3f"
+    s.truth_count s.detections s.borderline s.tp s.fp s.fn s.duplicates
+    s.precision s.recall

@@ -1,0 +1,23 @@
+(** Scoring detections against ground truth: one-to-one matching anchored
+    on true sense times, with a configurable borderline policy. *)
+
+type borderline_policy = As_positive | As_negative | Drop
+
+type summary = {
+  truth_count : int;
+  detections : int;
+  borderline : int;
+  tp : int;
+  fp : int;
+  fn : int;
+  duplicates : int;
+  precision : float;
+  recall : float;
+}
+
+val score :
+  ?tolerance:Psn_sim.Sim_time.t -> ?policy:borderline_policy ->
+  truth:Ground_truth.interval list -> detections:Occurrence.t list -> unit ->
+  summary
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,29 @@
+(* Local variable updates: the unit of observation flowing from sensors to
+   the checker.
+
+   When a sensor process senses a relevant change (a sense event n), it
+   updates the local variable tracking the object attribute and reports
+   the update.  [sense_time] is the true time of the sense event; it is
+   ground truth, recorded for scoring only — no detection algorithm may
+   read it. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Value = Psn_world.Value
+
+type update = {
+  src : int;              (* sensing process = variable location *)
+  var : string;           (* variable name; the located variable is
+                             (var, src) in the predicate language *)
+  value : Value.t;
+  seq : int;              (* per-process update sequence number *)
+  sense_time : Sim_time.t;
+}
+
+let dummy =
+  { src = -1; var = ""; value = Value.Int 0; seq = -1; sense_time = Sim_time.zero }
+
+let located u : Psn_predicates.Expr.var = { name = u.var; loc = u.src }
+
+let pp ppf u =
+  Fmt.pf ppf "%s_%d=%a#%d@%a" u.var u.src Value.pp u.value u.seq Sim_time.pp
+    u.sense_time

@@ -1,0 +1,14 @@
+(** Local variable updates flowing from sensors to the checker.
+    [sense_time] is ground truth for scoring; algorithms must not read it. *)
+
+type update = {
+  src : int;
+  var : string;
+  value : Psn_world.Value.t;
+  seq : int;
+  sense_time : Psn_sim.Sim_time.t;
+}
+
+val dummy : update
+val located : update -> Psn_predicates.Expr.var
+val pp : Format.formatter -> update -> unit

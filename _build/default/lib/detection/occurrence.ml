@@ -1,0 +1,26 @@
+(* A detected occurrence of the predicate.
+
+   [Borderline] is the paper's §5 "borderline bin": the consensus check
+   found a race — concurrent (or near-simultaneous) updates whose ordering
+   decides the predicate — so the detection is flagged rather than
+   asserted.  The application chooses the safe side (E9). *)
+
+module Sim_time = Psn_sim.Sim_time
+
+type verdict = Positive | Borderline
+
+type t = {
+  detect_time : Sim_time.t;        (* when the checker declared it *)
+  trigger : Observation.update;    (* the update whose application raised φ *)
+  verdict : verdict;
+}
+
+(* Anchor for scoring: the true time of the sense event that raised φ. *)
+let est_time t = t.trigger.Observation.sense_time
+
+let is_borderline t = match t.verdict with Borderline -> true | Positive -> false
+
+let pp ppf t =
+  Fmt.pf ppf "%s@%a (trigger %a)"
+    (match t.verdict with Positive -> "detect" | Borderline -> "borderline")
+    Sim_time.pp t.detect_time Observation.pp t.trigger

@@ -1,0 +1,15 @@
+(** A detected predicate occurrence, possibly flagged as borderline (race). *)
+
+type verdict = Positive | Borderline
+
+type t = {
+  detect_time : Psn_sim.Sim_time.t;
+  trigger : Observation.update;
+  verdict : verdict;
+}
+
+val est_time : t -> Psn_sim.Sim_time.t
+(** True sense time of the triggering update (scoring anchor). *)
+
+val is_borderline : t -> bool
+val pp : Format.formatter -> t -> unit

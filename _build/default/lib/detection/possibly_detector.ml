@@ -1,0 +1,8 @@
+(* Possibly(φ) detection for conjunctive φ: some consistent observation of
+   the execution sees all conjuncts true at once.  The weakest modality —
+   recall dominates Definitely, but it may assert overlaps no real-time
+   instant exhibited (the price of the partial order view). *)
+
+let create ?loss ?init ?once engine ~n ~delay ~horizon ~predicate =
+  Interval_detector.create ?loss ?init ?once engine
+    ~mode:Interval_detector.Possibly ~n ~delay ~horizon ~predicate

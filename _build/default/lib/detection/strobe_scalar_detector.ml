@@ -1,0 +1,28 @@
+(* Predicate detection over strobe scalar clocks (reconstruction of the
+   scalar algorithm of ref [25]).
+
+   Each sensor runs SSC1/SSC2; the update broadcast *is* the strobe.  The
+   checker linearizes by (scalar stamp, process id, sequence) — an
+   arbitrary total order wherever the scalars tie, which is exactly why
+   the paper says scalar strobes "may also result in some false
+   positives": a tie mis-ordered against real time can manufacture a
+   state that never existed.  Ties are the race signal. *)
+
+module Strobe_scalar = Psn_clocks.Strobe_scalar
+
+let discipline ~n =
+  let clocks = Array.init n (fun me -> Strobe_scalar.create ~me) in
+  {
+    Linearizer.name = "strobe-scalar";
+    stamp_of_emit = (fun ~src -> Strobe_scalar.tick_and_strobe clocks.(src));
+    on_receive = (fun ~dst stamp -> Strobe_scalar.receive_strobe clocks.(dst) stamp);
+    compare = Stdlib.compare;
+    race = (fun a b -> a = b);
+    arrival_tie_break = true;
+    stamp_words = Strobe_scalar.stamp_size_words;
+  }
+
+let create ?loss ?topology ?init ?(once = false) engine ~n ~delay ~hold ~predicate =
+  let cfg = { (Linearizer.default_cfg ~hold) with once } in
+  Linearizer.create ?loss ?topology ?init engine ~n ~delay ~predicate
+    ~discipline:(discipline ~n) ~cfg

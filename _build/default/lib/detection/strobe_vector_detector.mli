@@ -1,0 +1,8 @@
+(** Detection over strobe vector clocks (SVC1–SVC2): O(n) strobes,
+    concurrency-aware, with a consensus borderline bin. *)
+
+val create :
+  ?loss:Psn_sim.Loss_model.t -> ?topology:Psn_util.Graph.t ->
+  ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list -> ?once:bool ->
+  Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
+  hold:Psn_sim.Sim_time.t -> predicate:Psn_predicates.Expr.t -> Detector.t

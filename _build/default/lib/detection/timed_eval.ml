@@ -1,0 +1,72 @@
+(* Offline evaluation of timed relations (Psn_predicates.Timed) against
+   the ground-truth update stream.
+
+   The truth intervals of the X and Y conditions come from the same
+   oracle the detectors are scored with; relation semantics are decided
+   per interval pair with exact real-time arithmetic (via the Allen
+   classification where possible).  Pairing is per Y-interval: a match is
+   a Y-interval for which some X-interval satisfies the relation — in the
+   banking example, a biometric presentation justified by a preceding
+   password entry. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Timed = Psn_predicates.Timed
+module Allen = Psn_intervals.Allen
+
+type match_ = {
+  x_interval : Ground_truth.interval;
+  y_interval : Ground_truth.interval;
+}
+
+let relation_holds relation (x : Ground_truth.interval)
+    (y : Ground_truth.interval) =
+  let rel = Allen.classify_times x.t_start x.t_end y.t_start y.t_end in
+  match relation with
+  | Timed.Before -> (match rel with Allen.Before | Allen.Meets -> true | _ -> false)
+  | Timed.Before_by_at_least gap ->
+      Sim_time.( <= ) x.t_end y.t_start
+      && Sim_time.( >= ) (Sim_time.sub y.t_start x.t_end) gap
+  | Timed.Before_within window ->
+      Sim_time.( <= ) x.t_end y.t_start
+      && Sim_time.( <= ) (Sim_time.sub y.t_start x.t_end) window
+  | Timed.Overlaps -> Allen.implies_overlap rel
+  | Timed.Contains -> (
+      match rel with
+      | Allen.Contains | Allen.Finished_by | Allen.Started_by | Allen.Equals ->
+          true
+      | _ -> false)
+
+(* All (x, y) interval pairs satisfying the spec. *)
+let matches ?init ~updates ~horizon (spec : Timed.t) =
+  let xs =
+    Ground_truth.intervals ?init ~updates ~predicate:spec.Timed.x ~horizon ()
+  in
+  let ys =
+    Ground_truth.intervals ?init ~updates ~predicate:spec.Timed.y ~horizon ()
+  in
+  List.concat_map
+    (fun y ->
+      List.filter_map
+        (fun x ->
+          if relation_holds spec.Timed.relation x y then
+            Some { x_interval = x; y_interval = y }
+          else None)
+        xs)
+    ys
+
+(* Y-interval occurrences partitioned by whether the relation justified
+   them; [unmatched] is the alarm set in the banking scenario. *)
+let classify_y ?init ~updates ~horizon (spec : Timed.t) =
+  let ms = matches ?init ~updates ~horizon spec in
+  let ys =
+    Ground_truth.intervals ?init ~updates ~predicate:spec.Timed.y ~horizon ()
+  in
+  let matched, unmatched =
+    List.partition
+      (fun y -> List.exists (fun m -> m.y_interval = y) ms)
+      ys
+  in
+  (matched, unmatched)
+
+let holds ?init ~updates ~horizon spec =
+  matches ?init ~updates ~horizon spec <> []

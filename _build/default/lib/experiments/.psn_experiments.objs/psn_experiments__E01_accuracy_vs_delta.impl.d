@@ -1,0 +1,1 @@
+lib/experiments/e01_accuracy_vs_delta.ml: Exp_common List Printf Psn Psn_clocks Psn_scenarios Psn_sim

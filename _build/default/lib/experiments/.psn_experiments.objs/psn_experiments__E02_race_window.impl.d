@@ -1,0 +1,1 @@
+lib/experiments/e02_race_window.ml: Exp_common Int64 List Printf Psn Psn_clocks Psn_detection Psn_predicates Psn_sim Psn_world String

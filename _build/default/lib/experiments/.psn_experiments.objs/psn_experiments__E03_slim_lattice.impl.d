@@ -1,0 +1,1 @@
+lib/experiments/e03_slim_lattice.ml: Array Exp_common List Printf Psn_clocks Psn_lattice Psn_network Psn_sim Psn_util

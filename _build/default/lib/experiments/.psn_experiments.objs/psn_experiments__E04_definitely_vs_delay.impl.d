@@ -1,0 +1,1 @@
+lib/experiments/e04_definitely_vs_delay.ml: Exp_common List Printf Psn Psn_clocks Psn_predicates Psn_scenarios Psn_sim

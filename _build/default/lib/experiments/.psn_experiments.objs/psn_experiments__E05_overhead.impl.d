@@ -1,0 +1,1 @@
+lib/experiments/e05_overhead.ml: Exp_common List Psn Psn_clocks Psn_scenarios Psn_sim

@@ -1,0 +1,1 @@
+lib/experiments/e06_message_loss.ml: Exp_common Float List Psn Psn_clocks Psn_scenarios Psn_sim Psn_util

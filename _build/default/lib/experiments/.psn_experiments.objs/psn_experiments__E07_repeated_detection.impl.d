@@ -1,0 +1,1 @@
+lib/experiments/e07_repeated_detection.ml: Exp_common List Psn Psn_clocks Psn_predicates Psn_scenarios Psn_sim

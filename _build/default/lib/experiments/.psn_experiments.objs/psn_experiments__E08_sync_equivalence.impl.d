@@ -1,0 +1,1 @@
+lib/experiments/e08_sync_equivalence.ml: Array Exp_common List Printf Psn Psn_clocks Psn_detection Psn_scenarios Psn_sim Psn_util

@@ -1,0 +1,1 @@
+lib/experiments/e09_borderline_bin.ml: Exp_common List Psn Psn_clocks Psn_detection Psn_scenarios Psn_sim

@@ -1,0 +1,1 @@
+lib/experiments/e11_hidden_channels.ml: Array Exp_common Hashtbl List Printf Psn_clocks Psn_network Psn_sim Psn_util Psn_world

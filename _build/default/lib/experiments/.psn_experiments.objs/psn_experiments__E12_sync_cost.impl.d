@@ -1,0 +1,1 @@
+lib/experiments/e12_sync_cost.ml: Array Exp_common List Printf Psn_clocks Psn_sim Psn_timesync Psn_util

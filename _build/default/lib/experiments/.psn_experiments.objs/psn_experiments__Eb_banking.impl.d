@@ -1,0 +1,1 @@
+lib/experiments/eb_banking.ml: Exp_common List Printf Psn_scenarios Psn_sim

@@ -1,0 +1,1 @@
+lib/experiments/ee_energy.ml: Array Exp_common List Printf Psn_network Psn_sim Psn_util

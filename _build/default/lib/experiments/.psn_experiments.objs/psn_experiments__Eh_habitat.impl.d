@@ -1,0 +1,1 @@
+lib/experiments/eh_habitat.ml: Exp_common List Printf Psn_scenarios Psn_sim Psn_util

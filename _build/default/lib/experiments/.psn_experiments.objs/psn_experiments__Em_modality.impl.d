@@ -1,0 +1,1 @@
+lib/experiments/em_modality.ml: Exp_common List Psn Psn_clocks Psn_predicates Psn_scenarios Psn_sim

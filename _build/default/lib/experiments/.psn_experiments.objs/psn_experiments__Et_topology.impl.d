@@ -1,0 +1,1 @@
+lib/experiments/et_topology.ml: Array Exp_common List Psn Psn_clocks Psn_scenarios Psn_sim Psn_util

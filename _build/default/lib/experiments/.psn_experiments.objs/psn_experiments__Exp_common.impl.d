@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Array Buffer List Printf Psn_detection Psn_sim Psn_util

@@ -1,0 +1,85 @@
+(* E1 — Detection accuracy vs Δ (paper §3.3).
+
+   Claim: strobe-clock detection accuracy is governed by Δ relative to the
+   rate of world-plane events; logical vectors cost only false negatives
+   (plus a borderline bin) while logical scalars can also produce false
+   positives; a causality-clock baseline without strobes is worse than
+   either.  Exhibition hall, fast visitors, Δ swept over three decades. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Hall = Psn_scenarios.Exhibition_hall
+module Clock_kind = Psn_clocks.Clock_kind
+open Exp_common
+
+let deltas ~quick =
+  if quick then [ 50; 500; 5_000 ]
+  else [ 10; 50; 200; 1_000; 5_000; 20_000 ]  (* milliseconds *)
+
+let clocks =
+  [
+    Clock_kind.Strobe_vector;
+    Clock_kind.Strobe_scalar;
+    Clock_kind.Synced_physical { eps = Sim_time.of_ms 1 };
+    Clock_kind.Hybrid_logical
+      { max_offset = Sim_time.of_ms 250; max_drift_ppm = 100.0 };
+    Clock_kind.Logical_scalar;
+  ]
+
+let scenario_cfg =
+  { Hall.doors = 4; capacity = 15; visitors = 32; dwell_mean = 30.0 }
+
+let run ?(quick = false) () =
+  let horizon = Sim_time.of_sec (if quick then 1800 else 3600) in
+  let seeds = if quick then [ 11L ] else [ 11L; 23L; 47L ] in
+  let rows =
+    List.concat_map
+      (fun ms ->
+        let delta = Sim_time.of_ms ms in
+        List.map
+          (fun clock ->
+            let agg =
+              repeat ~seeds (fun seed ->
+                  let config =
+                    {
+                      Psn.Config.default with
+                      n = scenario_cfg.Hall.doors;
+                      clock;
+                      delay = delay_of_delta delta;
+                      horizon;
+                      seed;
+                    }
+                  in
+                  Psn.Report.summary (Hall.run ~cfg:scenario_cfg config))
+            in
+            [
+              Printf.sprintf "%dms" ms;
+              Clock_kind.to_string clock;
+              f1 agg.truth;
+              f1 agg.tp;
+              f1 agg.fp;
+              f1 agg.fn;
+              f1 agg.borderline;
+              f3 agg.precision;
+              f3 agg.recall;
+            ])
+          clocks)
+      (deltas ~quick)
+  in
+  {
+    id = "E1";
+    title = "detection accuracy vs delta (exhibition hall)";
+    claim =
+      "S3.3: strobe accuracy degrades as delta grows relative to the event \
+       rate; vectors err toward false negatives, scalars also admit false \
+       positives; causality clocks without strobes are worse";
+    headers =
+      [ "delta"; "clock"; "truth"; "tp"; "fp"; "fn"; "border"; "prec"; "recall" ];
+    rows;
+    notes =
+      "Expect near-perfect rows while delta << inter-event gap (~seconds \
+       here), rising fn (and for scalars fp) as delta reaches tens of \
+       seconds; the logical-scalar baseline (no strobes) trails the strobe \
+       clocks. The hybrid-logical row (HLC over unsynchronized clocks with \
+       up to 250ms offset) shows physical hints recovering much of the \
+       synced-physical accuracy without any sync protocol.";
+  }

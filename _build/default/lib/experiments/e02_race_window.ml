@@ -1,0 +1,133 @@
+(* E2 — The race window of physical-clock detection (paper §3.3 item 2,
+   after Mayo–Kearns [28]).
+
+   Claim: with clocks synchronized within skew ε, predicate-true windows
+   shorter than the skew suffer false negatives; logical strobe clocks
+   with a small Δ have no such floor.
+
+   Controlled workload: two processes, boolean conjuncts.  Per trial,
+       a holds on [t, t+W]     and     b holds on [t+W−L, t+2W−L],
+   so the true overlap has length exactly L.  The detector misses the
+   overlap exactly when the timestamp order of b↑ and a↓ inverts their
+   real order, i.e. when the clock error difference exceeds L.  Clock
+   errors are quasi-static (one draw per process per run), so the curve is
+   averaged over many seeds; with per-process errors uniform in ±ε/2 the
+   predicted false-negative probability is ((ε−L)/ε)²/2 for L ≤ ε. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Expr = Psn_predicates.Expr
+module Value = Psn_world.Value
+module Detector = Psn_detection.Detector
+open Exp_common
+
+let predicate =
+  Expr.(
+    (var ~name:"a" ~loc:0 ==? bool true) &&& (var ~name:"b" ~loc:1 ==? bool true))
+
+let spec =
+  Psn_predicates.Spec.make ~name:"race-overlap" ~predicate
+    ~modality:Psn_predicates.Modality.Instantaneous
+
+let init =
+  [
+    ({ Expr.name = "a"; loc = 0 }, Value.Bool false);
+    ({ Expr.name = "b"; loc = 1 }, Value.Bool false);
+  ]
+
+(* Schedule the trial pulses; [w] is the pulse width, [l] the overlap. *)
+let setup ~trials ~period ~w ~l engine detector =
+  for k = 0 to trials - 1 do
+    let base = Sim_time.scale period (float_of_int (k + 1)) in
+    let at dt var value =
+      ignore
+        (Psn_sim.Engine.schedule_at engine (Sim_time.add base dt) (fun () ->
+             Detector.emit detector
+               ~src:(if String.equal var "a" then 0 else 1)
+               ~var (Value.Bool value)))
+    in
+    at Sim_time.zero "a" true;
+    at (Sim_time.sub w l) "b" true;
+    at w "a" false;
+    at (Sim_time.sub (Sim_time.add w w) l) "b" false
+  done
+
+let predicted_recall ~eps_s ~l_s =
+  if l_s >= eps_s then 1.0
+  else 1.0 -. (((eps_s -. l_s) /. eps_s) ** 2.0 /. 2.0)
+
+let run ?(quick = false) () =
+  let eps = Sim_time.of_ms 100 in
+  let w = Sim_time.scale eps 6.0 in
+  let period = Sim_time.of_sec 10 in
+  let trials = if quick then 20 else 40 in
+  let horizon = Sim_time.scale period (float_of_int (trials + 2)) in
+  let ratios = [ 0.1; 0.25; 0.5; 0.75; 1.0; 2.0 ] in
+  let delay =
+    Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 1)
+      ~max:(Sim_time.of_ms 5)
+  in
+  (* Many seeds: each draws fresh quasi-static clock errors. *)
+  let seeds =
+    List.init (if quick then 8 else 24) (fun i -> Int64.of_int ((7 * i) + 11))
+  in
+  let one ~clock ~policy ~l seed =
+    let config =
+      { Psn.Config.default with n = 2; clock; delay; horizon; seed }
+    in
+    Psn.Report.summary
+      (Psn.Runner.run ~policy ~init config ~spec
+         ~setup:(setup ~trials ~period ~w ~l) ())
+  in
+  let rows =
+    List.map
+      (fun ratio ->
+        let l = Sim_time.scale eps ratio in
+        let phys_clock = Psn_clocks.Clock_kind.Synced_physical { eps } in
+        let phys =
+          repeat ~seeds
+            (one ~clock:phys_clock ~policy:Psn_detection.Metrics.As_positive ~l)
+        in
+        let phys_cons =
+          repeat ~seeds
+            (one ~clock:phys_clock ~policy:Psn_detection.Metrics.As_negative ~l)
+        in
+        let strobe =
+          repeat ~seeds
+            (one ~clock:Psn_clocks.Clock_kind.Strobe_vector
+               ~policy:Psn_detection.Metrics.As_positive ~l)
+        in
+        let predicted =
+          predicted_recall ~eps_s:(Sim_time.to_sec_float eps)
+            ~l_s:(Sim_time.to_sec_float l)
+        in
+        [
+          Printf.sprintf "%.2f*eps" ratio;
+          f3 phys.recall;
+          f3 predicted;
+          f3 phys_cons.recall;
+          f3 strobe.recall;
+        ])
+      ratios
+  in
+  {
+    id = "E2";
+    title = "race window of physical-clock detection";
+    claim =
+      "S3.3 item 2 (Mayo-Kearns): predicate-true overlaps shorter than the \
+       clock skew produce false negatives under synchronized physical \
+       clocks; strobe clocks with small delta have no such floor";
+    headers =
+      [
+        "overlap"; "phys recall"; "predicted"; "phys conservative";
+        "strobe-vec recall";
+      ];
+    rows;
+    notes =
+      "Physical recall should track the analytic prediction — about 0.5 as \
+       the overlap goes to zero, reaching 1.0 at overlap = eps (the max \
+       pairwise error; Mayo-Kearns' 2*epsilon with epsilon the per-clock \
+       bound). The conservative column refuses race-flagged detections \
+       (overlap not certifiable within the skew) and so stays low until \
+       the overlap clears ~2*eps. The strobe vector column stays at 1.000 \
+       throughout: its few-ms delta sits far below every overlap tested.";
+  }

@@ -1,0 +1,67 @@
+(* E4 — Definitely(φ) detection probability vs message delay (paper §3.3,
+   reproducing the claim it cites from Huang et al. [17]).
+
+   Claim: in a realistic smart office, the probability of correctly
+   detecting Definitely(φ) for a conjunctive φ stays high even as the
+   average message delay grows over a wide range, because human-scale
+   context changes are slow relative to the network. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Office = Psn_scenarios.Smart_office
+open Exp_common
+
+let run ?(quick = false) () =
+  let cfg = { Office.default with temp_init = 29.5 } in
+  let horizon = Sim_time.of_sec (if quick then 7200 else 14400) in
+  let seeds = if quick then [ 11L ] else [ 11L; 23L; 47L ] in
+  let delays_ms = if quick then [ 10; 500; 5_000 ] else [ 10; 50; 200; 1_000; 5_000; 20_000 ] in
+  let rows =
+    List.map
+      (fun ms ->
+        let mean = Sim_time.of_ms ms in
+        let delay =
+          Psn_sim.Delay_model.bounded_exponential ~mean
+            ~cap:(Sim_time.scale mean 5.0)
+        in
+        let agg =
+          repeat ~seeds (fun seed ->
+              let config =
+                {
+                  Psn.Config.default with
+                  n = Office.n_processes cfg;
+                  clock = Psn_clocks.Clock_kind.Strobe_vector;
+                  delay;
+                  horizon;
+                  seed;
+                }
+              in
+              Psn.Report.summary
+                (Office.run ~cfg ~modality:Psn_predicates.Modality.Definitely
+                   config))
+        in
+        [
+          Printf.sprintf "%dms" ms;
+          f1 agg.truth;
+          f1 agg.tp;
+          f1 agg.fp;
+          f1 agg.fn;
+          f3 agg.precision;
+          f3 agg.recall;
+        ])
+      delays_ms
+  in
+  {
+    id = "E4";
+    title = "Definitely(conjunctive) detection probability vs mean delay";
+    claim =
+      "S3.3 (after ref [17]): despite increasing the average message delay \
+       over a wide range, the probability of correct Definitely detection \
+       in a smart office stays high";
+    headers = [ "mean delay"; "truth"; "tp"; "fp"; "fn"; "prec"; "recall" ];
+    rows;
+    notes =
+      "Precision should stay at 1.000 throughout (Definitely never asserts \
+       an overlap the causal order does not guarantee); recall should stay \
+       high well past 1s delays and only sag as delays approach the \
+       ~90s context-change timescale.";
+  }

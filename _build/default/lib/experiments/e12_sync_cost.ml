@@ -1,0 +1,87 @@
+(* E12 — What physically synchronized clocks cost (paper §3.3, items 1–2).
+
+   Claim: clock synchronization "does not come for free to the
+   application; the lower layers pay the cost", and even then it leaves a
+   residual skew ε.  We run the RBS- and TPSN-style protocols on simulated
+   radios and tabulate achieved ε against message cost as n grows, next to
+   the unsynchronized-drift baseline they start from. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Physical_clock = Psn_clocks.Physical_clock
+open Exp_common
+
+let fresh_clocks ~seed ~n =
+  let rng = Psn_util.Rng.create ~seed () in
+  Array.init n (fun _ ->
+      Physical_clock.create rng ~max_offset:(Sim_time.of_ms 50) ~max_drift_ppm:50.0)
+
+let baseline ~seed ~n =
+  let hw = fresh_clocks ~seed ~n in
+  let now = Sim_time.of_sec 60 in
+  let nodes = List.init n (fun i -> i) in
+  Psn_timesync.Sync_result.measure ~protocol:"none (drift)" ~messages:0 ~words:0
+    ~duration:now hw nodes ~now
+
+let run ?(quick = false) () =
+  let sizes = if quick then [ 4; 16 ] else [ 4; 8; 16; 32 ] in
+  let us r = Printf.sprintf "%.1fus" (r *. 1e6) in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let none = baseline ~seed:31L ~n in
+        let rbs =
+          let engine = Engine.create ~seed:31L () in
+          (* n receivers need n+1 nodes: node 0 is the RBS reference. *)
+          let hw = fresh_clocks ~seed:31L ~n:(n + 1) in
+          Psn_timesync.Rbs.run engine hw ~cfg:Psn_timesync.Rbs.default_cfg
+        in
+        let tpsn =
+          let engine = Engine.create ~seed:31L () in
+          let hw = fresh_clocks ~seed:31L ~n in
+          Psn_timesync.Tpsn.run engine hw ~cfg:Psn_timesync.Tpsn.default_cfg
+        in
+        let ftsp =
+          let engine = Engine.create ~seed:31L () in
+          let hw = fresh_clocks ~seed:31L ~n in
+          Psn_timesync.Ftsp.run engine hw ~cfg:Psn_timesync.Ftsp.default_cfg
+        in
+        let ftsp_ring =
+          (* Multi-hop: hop count degrades the flooding protocol's skew. *)
+          let engine = Engine.create ~seed:31L () in
+          let hw = fresh_clocks ~seed:31L ~n in
+          let r =
+            Psn_timesync.Ftsp.run ~topology:(Psn_util.Graph.ring ~n) engine hw
+              ~cfg:Psn_timesync.Ftsp.default_cfg
+          in
+          { r with Psn_timesync.Sync_result.protocol = "ftsp (ring)" }
+        in
+        let row (r : Psn_timesync.Sync_result.t) =
+          [
+            string_of_int n;
+            r.protocol;
+            us r.eps_max_s;
+            us r.eps_rms_s;
+            string_of_int r.messages;
+            string_of_int r.words;
+          ]
+        in
+        [ row none; row rbs; row tpsn; row ftsp; row ftsp_ring ])
+      sizes
+  in
+  {
+    id = "E12";
+    title = "physical clock sync: achieved skew vs message cost";
+    claim =
+      "S3.3 items 1-2: synchronization is a real cost paid in messages and \
+       still leaves a residual skew eps (microseconds to milliseconds for \
+       WSN protocols)";
+    headers = [ "n"; "protocol"; "eps_max"; "eps_rms"; "msgs"; "words" ];
+    rows;
+    notes =
+      "The drift baseline sits at tens of milliseconds of skew; both \
+       protocols compress it to the sub-millisecond range at a message cost \
+       that grows with n (RBS pays broadcast receptions plus reports; TPSN \
+       pays two messages per child). The residual eps here is what bounds \
+       predicate-detection accuracy in E2.";
+  }

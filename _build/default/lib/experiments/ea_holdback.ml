@@ -1,0 +1,88 @@
+(* EA — Hold-back ablation: immediacy vs ordering accuracy.
+
+   Ref [24] is titled "Immediate detection of predicates in pervasive
+   environments"; the checker can apply updates the moment they arrive
+   (hold 0) or hold them back up to the delay bound so stamp order can be
+   enforced across arrival jitter.  This ablation sweeps the hold-back on
+   the exhibition hall and reports both accuracy and detection latency
+   (detect time − triggering sense time): the design trade-off behind the
+   Δ-hedge in our detectors. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Hall = Psn_scenarios.Exhibition_hall
+open Exp_common
+
+let scenario_cfg =
+  { Hall.doors = 4; capacity = 15; visitors = 32; dwell_mean = 20.0 }
+
+let run ?(quick = false) () =
+  let horizon = Sim_time.of_sec (if quick then 1800 else 3600) in
+  let seeds = if quick then [ 11L ] else [ 11L; 23L; 47L ] in
+  let delta = Sim_time.of_ms 500 in
+  let holds =
+    [
+      ("0 (immediate)", Sim_time.zero);
+      ("delta/4", Sim_time.scale delta 0.25);
+      ("delta", delta);
+      ("2*delta", Sim_time.scale delta 2.0);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, hold) ->
+        let latencies = Psn_util.Stats.create () in
+        let summaries =
+          List.map
+            (fun seed ->
+              let config =
+                {
+                  Psn.Config.default with
+                  n = scenario_cfg.Hall.doors;
+                  clock = Psn_clocks.Clock_kind.Strobe_vector;
+                  delay = delay_of_delta delta;
+                  hold = Some hold;
+                  horizon;
+                  seed;
+                }
+              in
+              let report = Hall.run ~cfg:scenario_cfg config in
+              List.iter
+                (fun (o : Psn_detection.Occurrence.t) ->
+                  Psn_util.Stats.add latencies
+                    (Sim_time.to_sec_float
+                       (Sim_time.sub o.detect_time
+                          (Psn_detection.Occurrence.est_time o))))
+                (Psn.Report.occurrences report);
+              Psn.Report.summary report)
+            seeds
+        in
+        let agg = aggregate summaries in
+        [
+          label;
+          f1 agg.truth;
+          f1 agg.tp;
+          f1 agg.fp;
+          f1 agg.fn;
+          f3 agg.precision;
+          f3 agg.recall;
+          Printf.sprintf "%.0fms" (Psn_util.Stats.mean latencies *. 1000.0);
+        ])
+      holds
+  in
+  {
+    id = "EA";
+    title = "ablation: checker hold-back vs accuracy and latency";
+    claim =
+      "design choice behind refs [24,25]: immediate application minimizes \
+       detection latency but surrenders stamp-order enforcement across \
+       arrival jitter; holding back ~delta buys ordering accuracy at \
+       ~delta extra latency";
+    headers =
+      [ "hold"; "truth"; "tp"; "fp"; "fn"; "prec"; "recall"; "mean latency" ];
+    rows;
+    notes =
+      "Accuracy should improve monotonically with the hold while mean \
+       latency grows by roughly the hold itself; past ~delta the accuracy \
+       gain flattens (everything in flight has landed) — the knee the \
+       detectors' default hold sits on.";
+  }

@@ -1,0 +1,44 @@
+(* Registry of the claim-reproduction experiments.
+
+   E10 (clock-operation microbenchmarks) lives in bench/main.ml as a
+   Bechamel suite; everything tabular is registered here so the CLI, the
+   bench harness, and the tests all run the same code. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> Exp_common.outcome;
+}
+
+let all : entry list =
+  [
+    { id = "e1"; title = "accuracy vs delta"; run = E01_accuracy_vs_delta.run };
+    { id = "e2"; title = "2*eps race window"; run = E02_race_window.run };
+    { id = "e3"; title = "slim lattice postulate"; run = E03_slim_lattice.run };
+    { id = "e4"; title = "Definitely vs delay"; run = E04_definitely_vs_delay.run };
+    { id = "e5"; title = "timestamp overhead"; run = E05_overhead.run };
+    { id = "e6"; title = "message loss locality"; run = E06_message_loss.run };
+    { id = "e7"; title = "repeated detection"; run = E07_repeated_detection.run };
+    { id = "e8"; title = "delta=0 equivalence"; run = E08_sync_equivalence.run };
+    { id = "e9"; title = "borderline bin"; run = E09_borderline_bin.run };
+    { id = "e11"; title = "hidden channels"; run = E11_hidden_channels.run };
+    { id = "e12"; title = "sync protocol cost"; run = E12_sync_cost.run };
+    { id = "eh"; title = "habitat duty-cycling"; run = Eh_habitat.run };
+    { id = "em"; title = "modality comparison"; run = Em_modality.run };
+    { id = "ea"; title = "hold-back ablation"; run = Ea_holdback.run };
+    { id = "eb"; title = "banking temporal predicate"; run = Eb_banking.run };
+    { id = "et"; title = "multi-hop overlays"; run = Et_topology.run };
+    { id = "ee"; title = "energy: strobes vs sync"; run = Ee_energy.run };
+  ]
+
+let find id =
+  List.find_opt (fun e -> String.equal (String.lowercase_ascii id) e.id) all
+
+let run_all ?quick () = List.map (fun e -> e.run ?quick ()) all
+
+let print_all ?quick () =
+  List.iter
+    (fun e ->
+      Exp_common.print (e.run ?quick ());
+      print_newline ())
+    all

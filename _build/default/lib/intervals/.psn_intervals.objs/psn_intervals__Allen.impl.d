@@ -1,0 +1,1 @@
+lib/intervals/allen.ml: Fmt Interval Psn_sim

@@ -1,0 +1,1 @@
+lib/intervals/allen.mli: Format Interval Psn_sim

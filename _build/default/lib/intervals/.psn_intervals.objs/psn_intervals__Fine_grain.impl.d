@@ -1,0 +1,1 @@
+lib/intervals/fine_grain.ml: Fmt Interval Psn_clocks

@@ -1,0 +1,1 @@
+lib/intervals/fine_grain.mli: Format Interval

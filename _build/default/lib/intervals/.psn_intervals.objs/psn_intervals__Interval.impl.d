@@ -1,0 +1,1 @@
+lib/intervals/interval.ml: Fmt List Psn_sim Psn_world

@@ -1,0 +1,1 @@
+lib/intervals/interval.mli: Format Psn_sim Psn_world

@@ -1,0 +1,124 @@
+(* Causality-based fine-grained interval relations (paper §3.1.1.b.i,
+   after Kshemkalyani's interval-interaction theory, refs [7,8,20,21]).
+
+   Under the partial order model, the relationship between two intervals
+   X (at process i) and Y (at process j) is characterized by which
+   causality statements hold between their endpoint events
+   {min X, max X} × {min Y, max Y}, in both directions.  The paper cites a
+   suite of 40 orthogonal relations derivable from these dependent
+   causality bits; we expose the raw 8-bit classification (from which any
+   of the named relations can be decoded) plus the two modalities the
+   literature actually uses — Possibly and Definitely (Cooper–Marzullo)
+   — and the coarse concurrent/ordered classification.
+
+   Causality between endpoint events is decided by their vector stamps:
+   e -> f  iff  V(e) <= V(f) componentwise (and V(e) <> V(f)). *)
+
+module Vc = Psn_clocks.Vector_clock
+
+type bits = {
+  xlo_ylo : bool;  (* min X -> min Y *)
+  xlo_yhi : bool;  (* min X -> max Y *)
+  xhi_ylo : bool;  (* max X -> min Y *)
+  xhi_yhi : bool;  (* max X -> max Y *)
+  ylo_xlo : bool;
+  ylo_xhi : bool;
+  yhi_xlo : bool;
+  yhi_xhi : bool;
+}
+
+let hb a b = Vc.happened_before a b
+
+let classify_stamps ~xlo ~xhi ~ylo ~yhi =
+  {
+    xlo_ylo = hb xlo ylo;
+    xlo_yhi = hb xlo yhi;
+    xhi_ylo = hb xhi ylo;
+    xhi_yhi = hb xhi yhi;
+    ylo_xlo = hb ylo xlo;
+    ylo_xhi = hb ylo xhi;
+    yhi_xlo = hb yhi xlo;
+    yhi_xhi = hb yhi xhi;
+  }
+
+let classify x y =
+  classify_stamps ~xlo:(Interval.v_lo_exn x) ~xhi:(Interval.v_hi_exn x)
+    ~ylo:(Interval.v_lo_exn y) ~yhi:(Interval.v_hi_exn y)
+
+(* Dense code 0..255; distinct codes = distinct fine-grained relations.
+   The valid codes form the paper's orthogonal relation suite. *)
+let code b =
+  let bit v k = if v then 1 lsl k else 0 in
+  bit b.xlo_ylo 0 lor bit b.xlo_yhi 1 lor bit b.xhi_ylo 2 lor bit b.xhi_yhi 3
+  lor bit b.ylo_xlo 4 lor bit b.ylo_xhi 5 lor bit b.yhi_xlo 6 lor bit b.yhi_xhi 7
+
+(* X wholly precedes Y in the causal order. *)
+let strictly_precedes b = b.xhi_ylo
+
+(* Possibly(X ∩ Y): some consistent observation sees both intervals at
+   once — neither interval's end causally precedes the other's start. *)
+let possibly_overlap b = (not b.xhi_ylo) && not b.yhi_xlo
+
+(* Definitely(X ∩ Y): every consistent observation sees them overlap —
+   each interval's start causally precedes the other's end. *)
+let definitely_overlap b = b.xlo_yhi && b.ylo_xhi
+
+(* No causality at all between the intervals' endpoints. *)
+let fully_concurrent b =
+  (not b.xlo_ylo) && (not b.xlo_yhi) && (not b.xhi_ylo) && (not b.xhi_yhi)
+  && (not b.ylo_xlo) && (not b.ylo_xhi) && (not b.yhi_xlo) && not b.yhi_xhi
+
+(* Kshemkalyani's four quantifier relations from X to Y (JCSS 1996), in
+   their endpoint reduction for closed intervals whose internal events are
+   totally ordered between lo and hi:
+
+     R1(X,Y)  =  ∀x∈X ∀y∈Y. x ≺ y   ⟺   hi_X ≺ lo_Y
+     R2(X,Y)  =  ∀x∈X ∃y∈Y. x ≺ y   ⟺   hi_X ≺ hi_Y
+     R3(X,Y)  =  ∃x∈X ∀y∈Y. x ≺ y   ⟺   lo_X ≺ lo_Y
+     R4(X,Y)  =  ∃x∈X ∃y∈Y. x ≺ y   ⟺   lo_X ≺ hi_Y
+
+   The fine-grained relation suite of the paper's refs [7,8,20,21] is the
+   set of jointly satisfiable combinations of {R1..R4} in both directions;
+   [code] above indexes them.  For genuine intervals (lo ≺ hi locally) the
+   implication lattice R1 ⇒ R2 ⇒ R4 and R1 ⇒ R3 ⇒ R4 holds — checked by
+   the property tests. *)
+
+let r1 b = b.xhi_ylo
+let r2 b = b.xhi_yhi
+let r3 b = b.xlo_ylo
+let r4 b = b.xlo_yhi
+
+(* Reverse direction (from Y to X). *)
+let r1_inv b = b.yhi_xlo
+let r2_inv b = b.yhi_xhi
+let r3_inv b = b.ylo_xlo
+let r4_inv b = b.ylo_xhi
+
+(* Coarse interaction classification derived from the quantifier bits —
+   the granularity most pervasive applications use. *)
+type coarse =
+  | Precedes        (* R1: X wholly before Y *)
+  | Preceded_by     (* R1 inverse *)
+  | Definitely_coarse  (* guaranteed common instant *)
+  | Possibly_coarse    (* common instant in some observation only *)
+  | Never           (* ends cross so that no observation overlaps them —
+                       cannot happen with only R1/R1' false, kept total *)
+
+let coarse b =
+  if r1 b then Precedes
+  else if r1_inv b then Preceded_by
+  else if definitely_overlap b then Definitely_coarse
+  else if possibly_overlap b then Possibly_coarse
+  else Never
+
+let coarse_to_string = function
+  | Precedes -> "precedes"
+  | Preceded_by -> "preceded-by"
+  | Definitely_coarse -> "definitely-overlaps"
+  | Possibly_coarse -> "possibly-overlaps"
+  | Never -> "never"
+
+let pp ppf b =
+  let s f = if f then '1' else '0' in
+  Fmt.pf ppf "bits(%c%c%c%c/%c%c%c%c)" (s b.xlo_ylo) (s b.xlo_yhi) (s b.xhi_ylo)
+    (s b.xhi_yhi) (s b.ylo_xlo) (s b.ylo_xhi) (s b.yhi_xlo) (s b.yhi_xhi)

@@ -1,0 +1,56 @@
+(** Causality-based fine-grained interval relations under the partial
+    order model: the 8 endpoint-causality bits from which the fine-grained
+    relation suite and the Possibly/Definitely modalities derive. *)
+
+type bits = {
+  xlo_ylo : bool;
+  xlo_yhi : bool;
+  xhi_ylo : bool;
+  xhi_yhi : bool;
+  ylo_xlo : bool;
+  ylo_xhi : bool;
+  yhi_xlo : bool;
+  yhi_xhi : bool;
+}
+
+val classify_stamps :
+  xlo:int array -> xhi:int array -> ylo:int array -> yhi:int array -> bits
+
+val classify : Interval.t -> Interval.t -> bits
+(** Requires vector stamps on both intervals' endpoints. *)
+
+val code : bits -> int
+(** Dense 8-bit code; distinct codes = distinct relations. *)
+
+val strictly_precedes : bits -> bool
+val possibly_overlap : bits -> bool
+(** Some consistent observation sees both intervals simultaneously. *)
+
+val definitely_overlap : bits -> bool
+(** Every consistent observation sees them overlap. *)
+
+val fully_concurrent : bits -> bool
+
+(** Kshemkalyani's quantifier relations (endpoint reduction):
+    R1 = ∀∀, R2 = ∀∃, R3 = ∃∀, R4 = ∃∃ over x ≺ y. For genuine intervals,
+    R1 ⇒ R2 ⇒ R4 and R1 ⇒ R3 ⇒ R4. *)
+
+val r1 : bits -> bool
+val r2 : bits -> bool
+val r3 : bits -> bool
+val r4 : bits -> bool
+val r1_inv : bits -> bool
+val r2_inv : bits -> bool
+val r3_inv : bits -> bool
+val r4_inv : bits -> bool
+
+type coarse =
+  | Precedes
+  | Preceded_by
+  | Definitely_coarse
+  | Possibly_coarse
+  | Never
+
+val coarse : bits -> coarse
+val coarse_to_string : coarse -> string
+val pp : Format.formatter -> bits -> unit

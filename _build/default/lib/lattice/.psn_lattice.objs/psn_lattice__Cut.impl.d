@@ -1,0 +1,1 @@
+lib/lattice/cut.ml: Array Fmt

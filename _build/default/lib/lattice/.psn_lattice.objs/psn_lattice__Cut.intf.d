@@ -1,0 +1,1 @@
+lib/lattice/cut.mli: Format

@@ -1,0 +1,1 @@
+lib/lattice/lattice.ml: Array Buffer Cut Fmt Hashtbl List Printf Queue Stdlib String

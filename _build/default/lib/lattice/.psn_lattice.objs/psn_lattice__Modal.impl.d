@@ -1,0 +1,1 @@
+lib/lattice/modal.ml: Array Cut Hashtbl Lattice List Psn_predicates Psn_world Queue String

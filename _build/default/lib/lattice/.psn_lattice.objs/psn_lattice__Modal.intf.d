@@ -1,0 +1,1 @@
+lib/lattice/modal.mli: Cut Lattice Psn_predicates Psn_world

@@ -1,0 +1,168 @@
+(* The lattice of consistent global states (paper §4.1, §4.2.4).
+
+   Input: per-process sequences of vector stamps, one per event, where the
+   own component of process i's k-th event equals k (1-based) — true for
+   Mattern/Fidge clocks ticking on every event and for strobe vectors over
+   sense events.  A cut c is consistent iff every included event's causal
+   prerequisites are included:
+
+       ∀ i with c.(i) > 0, ∀ j ≠ i:  V(e_i^{c_i})[j] <= c.(j)
+
+   Counting walks the sublattice breadth-first from the bottom cut, which
+   is sound because the consistent cuts are closed under meet/join and
+   every consistent cut is reachable from bottom through consistent cuts.
+
+   The size of the sublattice is the paper's measure of how well control
+   messages approximate a single time axis: no communication at all makes
+   every cut consistent (O(p^n) states); strobing at each relevant event
+   with Δ = 0 collapses it to a single chain of n·p + 1 cuts ("slim
+   lattice postulate"). *)
+
+type verdict =
+  | Exact of int
+  | At_least of int  (* hit the exploration cap *)
+
+type stamps = int array array array
+(* stamps.(i).(k): vector stamp of process i's (k+1)-th event *)
+
+let lens (stamps : stamps) = Array.map Array.length stamps
+
+let validate (stamps : stamps) =
+  Array.iteri
+    (fun i evs ->
+      Array.iteri
+        (fun k v ->
+          if Array.length v <> Array.length stamps then
+            invalid_arg "Lattice: stamp dimension mismatch";
+          if v.(i) <> k + 1 then
+            invalid_arg
+              (Printf.sprintf
+                 "Lattice: own component of event %d of process %d must be %d"
+                 (k + 1) i (k + 1)))
+        evs)
+    stamps
+
+let is_consistent (stamps : stamps) (cut : Cut.t) =
+  let n = Array.length stamps in
+  let rec proc i =
+    i >= n
+    ||
+    let ok =
+      cut.(i) = 0
+      ||
+      let v = stamps.(i).(cut.(i) - 1) in
+      let rec comp j = j >= n || ((j = i || v.(j) <= cut.(j)) && comp (j + 1)) in
+      comp 0
+    in
+    ok && proc (i + 1)
+  in
+  proc 0
+
+(* Extending a consistent cut with one event of process i stays consistent
+   iff the new event's prerequisites are inside the extended cut. *)
+let extension_consistent (stamps : stamps) (cut : Cut.t) i =
+  let n = Array.length stamps in
+  let v = stamps.(i).(cut.(i)) in
+  let rec comp j = j >= n || ((j = i || v.(j) <= cut.(j)) && comp (j + 1)) in
+  comp 0
+
+(* Walk the sublattice of consistent cuts; [visit] sees each exactly once.
+   Returns the verdict on the total count under the cap. *)
+let walk ?(cap = 2_000_000) (stamps : stamps) visit =
+  let l = lens stamps in
+  let n = Array.length stamps in
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let bottom = Cut.bottom n in
+  Hashtbl.replace seen bottom ();
+  Queue.add bottom queue;
+  let count = ref 0 in
+  let capped = ref false in
+  while not (Queue.is_empty queue) do
+    let cut = Queue.pop queue in
+    incr count;
+    visit cut;
+    if !count >= cap then begin
+      capped := true;
+      Queue.clear queue
+    end
+    else
+      for i = 0 to n - 1 do
+        if cut.(i) < l.(i) && extension_consistent stamps cut i then begin
+          let c = Array.copy cut in
+          c.(i) <- c.(i) + 1;
+          if not (Hashtbl.mem seen c) then begin
+            Hashtbl.replace seen c ();
+            Queue.add c queue
+          end
+        end
+      done
+  done;
+  if !capped then At_least !count else Exact !count
+
+let count_consistent ?cap stamps =
+  validate stamps;
+  walk ?cap stamps (fun _ -> ())
+
+let consistent_cuts ?cap stamps =
+  validate stamps;
+  let acc = ref [] in
+  let verdict = walk ?cap stamps (fun c -> acc := Cut.copy c :: !acc) in
+  (List.rev !acc, verdict)
+
+(* Total cuts in the full (unconstrained) lattice: Π (len_i + 1). *)
+let total_cuts stamps =
+  Array.fold_left (fun acc evs -> acc * (Array.length evs + 1)) 1 stamps
+
+(* Whether the consistent cuts form a single chain — the Δ = 0 linear
+   order of §4.2.4. *)
+let is_chain ?cap stamps =
+  let cuts, verdict = consistent_cuts ?cap stamps in
+  let sorted = List.sort (fun a b -> Stdlib.compare (Cut.level a) (Cut.level b)) cuts in
+  let rec pairwise = function
+    | a :: (b :: _ as rest) -> Cut.leq a b && pairwise rest
+    | [ _ ] | [] -> true
+  in
+  match verdict with Exact _ -> pairwise sorted | At_least _ -> false
+
+let verdict_count = function Exact n -> n | At_least n -> n
+
+let pp_verdict ppf = function
+  | Exact n -> Fmt.pf ppf "%d" n
+  | At_least n -> Fmt.pf ppf ">=%d" n
+
+(* Graphviz rendering of the consistent sublattice (small executions only:
+   caps at [max_nodes] cuts).  Each node is a cut; edges are single-event
+   extensions; an optional [label] annotates cuts (e.g. predicate truth). *)
+let to_dot ?(max_nodes = 500) ?label stamps =
+  validate stamps;
+  let cuts, _ = consistent_cuts ~cap:max_nodes stamps in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph lattice {\n  rankdir=BT;\n";
+  let name c =
+    "\"" ^ String.concat "," (List.map string_of_int (Array.to_list c)) ^ "\""
+  in
+  List.iter
+    (fun c ->
+      let extra =
+        match label with
+        | Some f -> (
+            match f c with
+            | Some s -> Printf.sprintf " [label=%s, style=filled]" ("\"" ^ s ^ "\"")
+            | None -> "")
+        | None -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s%s;\n" (name c) extra))
+    cuts;
+  let l = lens stamps in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (_, succ) ->
+          if is_consistent stamps succ && List.exists (Cut.equal succ) cuts then
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s;\n" (name c) (name succ)))
+        (Cut.successors ~lens:l c))
+    cuts;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

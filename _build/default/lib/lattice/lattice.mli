@@ -1,0 +1,39 @@
+(** The sublattice of consistent global states of a finite execution,
+    derived from per-event vector stamps. *)
+
+type verdict = Exact of int | At_least of int
+
+type stamps = int array array array
+(** [stamps.(i).(k)]: vector stamp of process i's (k+1)-th event. Own
+    components must count local events from 1. *)
+
+val lens : stamps -> int array
+
+val is_consistent : stamps -> Cut.t -> bool
+
+val extension_consistent : stamps -> Cut.t -> int -> bool
+(** Whether extending a consistent cut with process [i]'s next event stays
+    consistent (O(n); used by incremental lattice walks). *)
+
+val count_consistent : ?cap:int -> stamps -> verdict
+(** Size of the consistent sublattice, exploring at most [cap] cuts
+    (default 2,000,000). *)
+
+val consistent_cuts : ?cap:int -> stamps -> Cut.t list * verdict
+(** Enumerate consistent cuts (breadth-first by level). *)
+
+val total_cuts : stamps -> int
+(** Size of the unconstrained lattice: Π (events_i + 1) — the paper's
+    O(p^n). *)
+
+val is_chain : ?cap:int -> stamps -> bool
+(** Whether the consistent cuts are totally ordered (Δ = 0 linear order).
+    [false] when the cap was hit. *)
+
+val verdict_count : verdict -> int
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val to_dot :
+  ?max_nodes:int -> ?label:(Cut.t -> string option) -> stamps -> string
+(** Graphviz digraph of the consistent sublattice (bottom at the bottom);
+    [label] can annotate/fill chosen cuts. Intended for small executions. *)

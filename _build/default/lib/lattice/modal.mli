@@ -1,0 +1,24 @@
+(** Exact Cooper–Marzullo modalities over the consistent-cut lattice —
+    the verification oracle for the online detectors. *)
+
+type verdict = bool option
+(** [None] = the exploration cap was hit. *)
+
+val possibly :
+  ?cap:int -> Lattice.stamps -> holds:(Cut.t -> bool) -> verdict
+
+val definitely :
+  ?cap:int -> Lattice.stamps -> holds:(Cut.t -> bool) -> verdict
+
+val cut_env :
+  init:(Psn_predicates.Expr.var * Psn_world.Value.t) list ->
+  updates:(string * Psn_world.Value.t) array array -> Cut.t ->
+  Psn_predicates.Expr.var -> Psn_world.Value.t option
+(** Variable environment at a cut: [updates.(i)] is process i's ordered
+    write sequence; falls back to [init]. *)
+
+val holds_of_expr :
+  init:(Psn_predicates.Expr.var * Psn_world.Value.t) list ->
+  updates:(string * Psn_world.Value.t) array array ->
+  Psn_predicates.Expr.t -> Cut.t -> bool
+(** Predicate truth at a cut; unbound variables read as false. *)

@@ -1,0 +1,1 @@
+lib/middleware/causal_broadcast.ml: Array List Psn_network Psn_sim

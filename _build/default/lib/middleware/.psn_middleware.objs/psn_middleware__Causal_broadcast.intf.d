@@ -1,0 +1,1 @@
+lib/middleware/causal_broadcast.mli: Psn_sim

@@ -1,0 +1,1 @@
+lib/middleware/mutex.ml: Array List Psn_clocks Psn_network Psn_sim

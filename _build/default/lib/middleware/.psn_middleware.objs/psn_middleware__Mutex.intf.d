@@ -1,0 +1,1 @@
+lib/middleware/mutex.mli: Psn_sim

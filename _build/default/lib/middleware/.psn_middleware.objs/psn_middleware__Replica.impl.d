@@ -1,0 +1,1 @@
+lib/middleware/replica.ml: Array Psn_clocks Psn_network Psn_sim

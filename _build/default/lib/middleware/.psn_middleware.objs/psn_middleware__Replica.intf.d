@@ -1,0 +1,1 @@
+lib/middleware/replica.mli: Psn_clocks Psn_sim

@@ -1,0 +1,1 @@
+lib/middleware/snapshot.ml: Array List Psn_network Psn_sim

@@ -1,0 +1,1 @@
+lib/middleware/snapshot.mli: Psn_sim

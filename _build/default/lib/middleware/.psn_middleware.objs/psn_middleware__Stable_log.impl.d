@@ -1,0 +1,1 @@
+lib/middleware/stable_log.ml: Array Hashtbl List Psn_clocks Psn_network Psn_sim

@@ -1,0 +1,1 @@
+lib/middleware/stable_log.mli: Psn_sim

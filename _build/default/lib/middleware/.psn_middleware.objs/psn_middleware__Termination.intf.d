@@ -1,0 +1,1 @@
+lib/middleware/termination.mli: Psn_sim

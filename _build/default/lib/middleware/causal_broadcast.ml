@@ -1,0 +1,94 @@
+(* Causal-order broadcast (Birman–Schiper–Stephenson).
+
+   Appendix A lists "causal memory" and "maintaining consistency of
+   replicated files" among vector time's classic middleware uses; causal
+   broadcast is their common substrate.  Each broadcast carries the
+   sender's vector of *delivered-broadcast* counts; a receiver buffers a
+   message from j until it has delivered exactly the broadcasts the
+   message causally depends on:
+
+     deliverable at i  ⟺  V[j] = D_i[j] + 1  ∧  ∀k≠j. V[k] ≤ D_i[k]
+
+   where D_i counts broadcasts by each origin that i has delivered. *)
+
+module Engine = Psn_sim.Engine
+module Net = Psn_network.Net
+
+type 'a message = {
+  origin : int;
+  stamp : int array;  (* origin's broadcast vector, including this one *)
+  payload : 'a;
+}
+
+type 'a t = {
+  n : int;
+  net : 'a message Net.t;
+  delivered : int array array;        (* delivered.(i).(j) *)
+  sent : int array;                   (* broadcasts by each origin *)
+  mutable pending : (int * 'a message) list;  (* (dst, msg) buffered *)
+  deliver : dst:int -> src:int -> 'a -> unit;
+  mutable delivered_total : int;
+}
+
+let deliverable t dst (m : 'a message) =
+  let v = m.stamp and d = t.delivered.(dst) in
+  let rec ok k =
+    k >= t.n
+    || (if k = m.origin then v.(k) = d.(k) + 1 else v.(k) <= d.(k)) && ok (k + 1)
+  in
+  ok 0
+
+let rec drain t =
+  let ready, still =
+    List.partition (fun (dst, m) -> deliverable t dst m) t.pending
+  in
+  t.pending <- still;
+  if ready <> [] then begin
+    List.iter
+      (fun (dst, (m : 'a message)) ->
+        t.delivered.(dst).(m.origin) <- t.delivered.(dst).(m.origin) + 1;
+        t.delivered_total <- t.delivered_total + 1;
+        t.deliver ~dst ~src:m.origin m.payload)
+      ready;
+    (* Deliveries may have unblocked further buffered messages. *)
+    drain t
+  end
+
+let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay ~deliver () =
+  if n < 2 then invalid_arg "Causal_broadcast.create: need >= 2 processes";
+  let net =
+    Net.create ?loss
+      ~payload_words:(fun m -> payload_words m.payload + n)
+      engine ~n ~delay
+  in
+  let t =
+    {
+      n;
+      net;
+      delivered = Array.make_matrix n n 0;
+      sent = Array.make n 0;
+      pending = [];
+      deliver;
+      delivered_total = 0;
+    }
+  in
+  for dst = 0 to n - 1 do
+    Net.set_handler net dst (fun ~src:_ m ->
+        t.pending <- (dst, m) :: t.pending;
+        drain t)
+  done;
+  t
+
+let broadcast t ~src payload =
+  if src < 0 || src >= t.n then invalid_arg "Causal_broadcast.broadcast: src";
+  t.sent.(src) <- t.sent.(src) + 1;
+  (* The causal past of this broadcast is what [src] has delivered, plus
+     its own broadcasts (a process trivially delivers its own). *)
+  t.delivered.(src).(src) <- t.delivered.(src).(src) + 1;
+  t.delivered_total <- t.delivered_total + 1;
+  let stamp = Array.copy t.delivered.(src) in
+  Net.broadcast t.net ~src { origin = src; stamp; payload }
+
+let buffered t = List.length t.pending
+let delivered_count t = t.delivered_total
+let messages_sent t = Net.sent t.net

@@ -1,0 +1,18 @@
+(** Causal-order broadcast (Birman–Schiper–Stephenson): messages are
+    buffered until everything they causally depend on has been delivered. *)
+
+type 'a t
+
+val create :
+  ?loss:Psn_sim.Loss_model.t -> ?payload_words:('a -> int) ->
+  Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
+  deliver:(dst:int -> src:int -> 'a -> unit) -> unit -> 'a t
+
+val broadcast : 'a t -> src:int -> 'a -> unit
+(** The sender counts as having delivered its own broadcast immediately. *)
+
+val buffered : 'a t -> int
+(** Messages currently held back waiting for causal predecessors. *)
+
+val delivered_count : 'a t -> int
+val messages_sent : 'a t -> int

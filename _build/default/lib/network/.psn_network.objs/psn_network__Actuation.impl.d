@@ -1,0 +1,1 @@
+lib/network/actuation.ml: Exec_event Process Psn_sim Psn_world

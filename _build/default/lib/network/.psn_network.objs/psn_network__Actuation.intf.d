@@ -1,0 +1,1 @@
+lib/network/actuation.mli: Process Psn_sim Psn_world

@@ -1,0 +1,1 @@
+lib/network/churn.ml: Psn_sim Psn_util

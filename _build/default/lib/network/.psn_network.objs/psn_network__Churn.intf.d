@@ -1,0 +1,1 @@
+lib/network/churn.mli: Psn_sim Psn_util

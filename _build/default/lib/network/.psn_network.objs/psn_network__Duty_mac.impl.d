@@ -1,0 +1,1 @@
+lib/network/duty_mac.ml: Array Energy Float Psn_sim Psn_util

@@ -1,0 +1,1 @@
+lib/network/duty_mac.mli: Energy Psn_sim Psn_util

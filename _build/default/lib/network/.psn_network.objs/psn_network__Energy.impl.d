@@ -1,0 +1,1 @@
+lib/network/energy.ml: Array Psn_sim

@@ -1,0 +1,1 @@
+lib/network/energy.mli: Psn_sim

@@ -1,0 +1,1 @@
+lib/network/exec_event.ml: Fmt Psn_sim Psn_world

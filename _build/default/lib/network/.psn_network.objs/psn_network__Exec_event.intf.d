@@ -1,0 +1,1 @@
+lib/network/exec_event.mli: Format Psn_sim Psn_world

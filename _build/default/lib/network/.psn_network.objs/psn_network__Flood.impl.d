@@ -1,0 +1,1 @@
+lib/network/flood.ml: Array Hashtbl List Net Psn_sim Psn_util

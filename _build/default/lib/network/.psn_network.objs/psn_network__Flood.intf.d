@@ -1,0 +1,1 @@
+lib/network/flood.mli: Psn_sim Psn_util

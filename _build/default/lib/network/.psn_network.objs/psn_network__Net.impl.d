@@ -1,0 +1,1 @@
+lib/network/net.ml: Array List Psn_sim Psn_util

@@ -1,0 +1,1 @@
+lib/network/net.mli: Psn_sim Psn_util

@@ -1,0 +1,1 @@
+lib/network/process.ml: Exec_event Fmt Hashtbl Printf Psn_sim Psn_util Psn_world

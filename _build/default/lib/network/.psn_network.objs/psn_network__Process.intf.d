@@ -1,0 +1,1 @@
+lib/network/process.mli: Exec_event Format Psn_sim Psn_world

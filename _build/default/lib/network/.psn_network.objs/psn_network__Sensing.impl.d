@@ -1,0 +1,1 @@
+lib/network/sensing.ml: Psn_sim Psn_util Psn_world String

@@ -1,0 +1,1 @@
+lib/network/sensing.mli: Psn_sim Psn_util Psn_world

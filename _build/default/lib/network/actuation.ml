@@ -1,0 +1,21 @@
+(* Actuation: the network plane writing back into the world plane.
+
+   The paper's generic loop is sense → evaluate predicate → respond.  An
+   actuation both logs an actuate (a) event at the process and changes the
+   world object's attribute, closing the cause-and-effect chain
+   e1@l1 → sense@l1 → actuate@l2 → e2@l2 of §4.1.  An optional actuation
+   delay models mechanical/communication lag to the device. *)
+
+module Engine = Psn_sim.Engine
+module World = Psn_world.World
+
+let actuate ?(delay = Psn_sim.Delay_model.synchronous) process world ~obj ~attr
+    value =
+  let engine = Process.engine process in
+  let rng = Engine.rng engine in
+  let d = Psn_sim.Delay_model.sample delay rng in
+  ignore
+    (Engine.schedule_after engine d (fun () ->
+         ignore
+           (Process.log_event process (Exec_event.Actuate { obj; attr; value }));
+         World.set_attr world obj attr value))

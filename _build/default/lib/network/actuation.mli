@@ -1,0 +1,6 @@
+(** Actuation: log an actuate event at the process and write the value
+    into the world object, optionally after an actuation delay. *)
+
+val actuate :
+  ?delay:Psn_sim.Delay_model.t -> Process.t -> Psn_world.World.t -> obj:int ->
+  attr:string -> Psn_world.Value.t -> unit

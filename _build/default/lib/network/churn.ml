@@ -1,0 +1,48 @@
+(* Overlay churn: the paper's L "is a dynamically changing graph".
+
+   Periodically toggles random edges of a live topology.  Removals that
+   would disconnect the graph are skipped (the overlay stays usable, as a
+   routing layer would ensure), so protocols above — flooding, sync —
+   experience realistic path changes without partition artifacts.
+   Partition experiments can use [partition_tolerant:true] to allow
+   disconnections. *)
+
+module Engine = Psn_sim.Engine
+module Graph = Psn_util.Graph
+module Rng = Psn_util.Rng
+
+type stats = {
+  mutable added : int;
+  mutable removed : int;
+  mutable skipped : int;  (* removals refused to preserve connectivity *)
+}
+
+let start ?(partition_tolerant = false) engine rng ~topology ~period ~until =
+  let n = Graph.size topology in
+  if n < 2 then invalid_arg "Churn.start: need at least two nodes";
+  let stats = { added = 0; removed = 0; skipped = 0 } in
+  ignore
+    (Engine.schedule_periodic engine ~start:period ~period ~until (fun () ->
+         let u = Rng.int rng n in
+         let v = Rng.int rng n in
+         if u <> v then begin
+           if Graph.has_edge topology u v then begin
+             Graph.remove_edge topology u v;
+             if (not partition_tolerant) && not (Graph.connected topology) then begin
+               (* Revert: this removal would partition the overlay. *)
+               Graph.add_edge topology u v;
+               stats.skipped <- stats.skipped + 1
+             end
+             else stats.removed <- stats.removed + 1
+           end
+           else begin
+             Graph.add_edge topology u v;
+             stats.added <- stats.added + 1
+           end
+         end;
+         true));
+  stats
+
+let added s = s.added
+let removed s = s.removed
+let skipped s = s.skipped

@@ -1,0 +1,13 @@
+(** Overlay churn: periodic random edge toggles on a live topology,
+    connectivity-preserving by default. *)
+
+type stats
+
+val start :
+  ?partition_tolerant:bool -> Psn_sim.Engine.t -> Psn_util.Rng.t ->
+  topology:Psn_util.Graph.t -> period:Psn_sim.Sim_time.t ->
+  until:Psn_sim.Sim_time.t -> stats
+
+val added : stats -> int
+val removed : stats -> int
+val skipped : stats -> int

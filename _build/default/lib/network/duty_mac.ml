@@ -1,0 +1,123 @@
+(* Duty-cycled MAC layer.
+
+   §5's closing note: "synchronization of duty cycles among wireless
+   sensor nodes for efficient execution of MAC and routing layer functions
+   can be achieved using distributed timers ... particularly feasible in
+   applications such as habitat monitoring where the monitoring activities
+   proceed slowly."
+
+   Each node sleeps except during a periodic awake window.  A transmission
+   propagates with the link delay but is only *deliverable* while the
+   receiver is awake; otherwise it is held until the receiver's next
+   window opens (low-power-listening style: the sender effectively
+   retransmits its preamble until the receiver wakes).  Duty cycling is
+   therefore a Δ-amplifier: the effective delay the upper layers see is
+   the link delay plus up to a full sleep interval — exactly the Δ the
+   strobe-clock accuracy analysis feeds on.  When schedules are aligned
+   (offset 0 everywhere, as a sync protocol would arrange), the wait
+   collapses for messages sent within the common window. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Stats = Psn_util.Stats
+
+type schedule = {
+  period : Sim_time.t;
+  awake : Sim_time.t;       (* window length at the start of each period *)
+  offset : Sim_time.t;      (* phase of the window within the period *)
+}
+
+let duty_fraction s =
+  Sim_time.to_sec_float s.awake /. Sim_time.to_sec_float s.period
+
+type 'a t = {
+  engine : Engine.t;
+  n : int;
+  link_delay : Psn_sim.Delay_model.t;
+  schedules : schedule array;
+  handlers : (src:int -> 'a -> unit) option array;
+  rng : Psn_util.Rng.t;
+  energy : Energy.t option;
+  payload_words : 'a -> int;
+  mutable sent : int;
+  delay_stats : Stats.t;  (* effective (MAC-level) delays, seconds *)
+}
+
+let create ?energy ?(payload_words = fun _ -> 1) engine ~n ~link_delay
+    ~schedules =
+  if Array.length schedules <> n then
+    invalid_arg "Duty_mac.create: schedule count mismatch";
+  Array.iter
+    (fun s ->
+      if Sim_time.( > ) s.awake s.period || Sim_time.equal s.awake Sim_time.zero
+      then invalid_arg "Duty_mac.create: awake window must be in (0, period]")
+    schedules;
+  {
+    engine;
+    n;
+    link_delay;
+    schedules;
+    handlers = Array.make n None;
+    rng = Psn_util.Rng.split (Engine.rng engine);
+    energy;
+    payload_words;
+    sent = 0;
+    delay_stats = Stats.create ();
+  }
+
+let set_handler t node handler =
+  if node < 0 || node >= t.n then invalid_arg "Duty_mac.set_handler";
+  t.handlers.(node) <- Some handler
+
+(* Earliest instant >= [at] that falls inside [dst]'s awake window. *)
+let next_awake t dst ~at =
+  let s = t.schedules.(dst) in
+  let period = Sim_time.to_sec_float s.period in
+  let awake = Sim_time.to_sec_float s.awake in
+  let offset = Sim_time.to_sec_float s.offset in
+  let ts = Sim_time.to_sec_float at in
+  let phase = Float.rem (ts -. offset) period in
+  let phase = if phase < 0.0 then phase +. period else phase in
+  if phase < awake then at
+  else Sim_time.of_sec_float (ts +. (period -. phase))
+
+let send t ~src ~dst payload =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src = dst then
+    invalid_arg "Duty_mac.send: bad endpoints";
+  t.sent <- t.sent + 1;
+  let words = t.payload_words payload in
+  (match t.energy with Some e -> Energy.charge_tx e src ~words | None -> ());
+  let now = Engine.now t.engine in
+  let d = Psn_sim.Delay_model.sample t.link_delay t.rng in
+  let arrival = Sim_time.add now d in
+  let deliver_at = next_awake t dst ~at:arrival in
+  Stats.add t.delay_stats (Sim_time.to_sec_float (Sim_time.sub deliver_at now));
+  ignore
+    (Engine.schedule_at t.engine deliver_at (fun () ->
+         (match t.energy with
+         | Some e -> Energy.charge_rx e dst ~words
+         | None -> ());
+         match t.handlers.(dst) with
+         | Some handler -> handler ~src payload
+         | None -> ()))
+
+let broadcast t ~src payload =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst payload
+  done
+
+let messages_sent t = t.sent
+let effective_delay_stats t = t.delay_stats
+
+(* Charge each node's duty-cycle listening/sleeping for a whole run. *)
+let finalize_energy t ~horizon =
+  match t.energy with
+  | None -> ()
+  | Some e ->
+      Array.iteri
+        (fun node s ->
+          let frac = duty_fraction s in
+          let awake = Sim_time.scale horizon frac in
+          let asleep = Sim_time.sub horizon awake in
+          Energy.charge_radio_time e node ~awake ~asleep)
+        t.schedules

@@ -1,0 +1,118 @@
+(* Asynchronous message passing over the logical overlay L (paper §2.1).
+
+   Polymorphic in the payload so clocks/detectors define their own message
+   types.  Delivery samples the delay model per message (per receiver for
+   broadcasts, as in a real wireless medium where each receiver decodes
+   independently); the loss model drops messages before delivery.  The
+   overlay may be restricted to a topology graph, in which case unicast to
+   a non-neighbor fails loudly and broadcast reaches neighbors only —
+   flooding, if needed, is a protocol concern, not a medium concern. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Graph = Psn_util.Graph
+
+type 'a stats = {
+  mutable sent : int;        (* transmissions attempted (per receiver) *)
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable words : int;       (* abstract payload words transmitted *)
+}
+
+type 'a t = {
+  engine : Engine.t;
+  n : int;
+  delay : Psn_sim.Delay_model.t;
+  loss : Psn_sim.Loss_model.t;
+  rng : Psn_util.Rng.t;
+  handlers : (src:int -> 'a -> unit) option array;
+  payload_words : 'a -> int;
+  topology : Graph.t option;
+  stats : 'a stats;
+  fifo : Sim_time.t array array option;
+      (* per-(src,dst) last scheduled delivery time: when present, a later
+         send is never delivered before an earlier one on the same channel
+         (FIFO channels, as Chandy–Lamport requires) *)
+}
+
+let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1) engine
+    ~n ~delay =
+  if n <= 0 then invalid_arg "Net.create: n must be positive";
+  (match topology with
+  | Some g when Graph.size g <> n -> invalid_arg "Net.create: topology size mismatch"
+  | _ -> ());
+  {
+    engine;
+    n;
+    delay;
+    loss = (match loss with Some l -> l | None -> Psn_sim.Loss_model.no_loss);
+    rng = Psn_util.Rng.split (Engine.rng engine);
+    handlers = Array.make n None;
+    payload_words;
+    topology;
+    stats = { sent = 0; delivered = 0; dropped = 0; words = 0 };
+    fifo = (if fifo then Some (Array.make_matrix n n Sim_time.zero) else None);
+  }
+
+let size t = t.n
+let delay_model t = t.delay
+
+let set_handler t dst handler =
+  if dst < 0 || dst >= t.n then invalid_arg "Net.set_handler: dst out of range";
+  t.handlers.(dst) <- Some handler
+
+let check_link t src dst =
+  match t.topology with
+  | None -> true
+  | Some g -> Graph.has_edge g src dst
+
+let transmit t ~src ~dst payload =
+  t.stats.sent <- t.stats.sent + 1;
+  t.stats.words <- t.stats.words + t.payload_words payload;
+  if Psn_sim.Loss_model.drops t.loss t.rng then
+    t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let d = Psn_sim.Delay_model.sample t.delay t.rng in
+    let at = Sim_time.add (Engine.now t.engine) d in
+    let at =
+      match t.fifo with
+      | None -> at
+      | Some last ->
+          (* Clamp behind the previous delivery on this channel. *)
+          let at = Sim_time.max at last.(src).(dst) in
+          last.(src).(dst) <- at;
+          at
+    in
+    ignore
+      (Engine.schedule_at t.engine at (fun () ->
+           t.stats.delivered <- t.stats.delivered + 1;
+           match t.handlers.(dst) with
+           | Some handler -> handler ~src payload
+           | None -> ()))
+  end
+
+let send t ~src ~dst payload =
+  if src < 0 || src >= t.n then invalid_arg "Net.send: src out of range";
+  if dst < 0 || dst >= t.n then invalid_arg "Net.send: dst out of range";
+  if src = dst then invalid_arg "Net.send: src = dst";
+  if not (check_link t src dst) then
+    invalid_arg "Net.send: no link between src and dst in the overlay";
+  transmit t ~src ~dst payload
+
+(* System-wide broadcast, as required by the strobe protocols (SSC1/SVC1).
+   With a topology, reaches direct neighbors only. *)
+let broadcast t ~src payload =
+  if src < 0 || src >= t.n then invalid_arg "Net.broadcast: src out of range";
+  match t.topology with
+  | None ->
+      for dst = 0 to t.n - 1 do
+        if dst <> src then transmit t ~src ~dst payload
+      done
+  | Some g -> List.iter (fun dst -> transmit t ~src ~dst payload) (Graph.neighbors g src)
+
+let sent t = t.stats.sent
+let delivered t = t.stats.delivered
+let dropped t = t.stats.dropped
+let words_transmitted t = t.stats.words
+
+let pending t = Engine.pending t.engine

@@ -1,0 +1,65 @@
+(* Sensing: how the network plane observes the world plane.
+
+   A sensor is a subscription to world attribute changes, with a spatial
+   filter (range) and a sensing latency.  The callback fires a sense (n)
+   event at the owning process; what happens next — tick a strobe clock,
+   broadcast an update — is the detector's business. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Vec2 = Psn_util.Vec2
+module World = Psn_world.World
+module Rooms = Psn_world.Rooms
+module Value = Psn_world.Value
+
+(* Sense every change matching [filter]; [latency] is the delay between
+   the physical change and the sense event (RFID decode time, ADC sample
+   period, ...). *)
+let attach ?(latency = Psn_sim.Delay_model.synchronous) engine world ~filter
+    callback =
+  let rng = Psn_util.Rng.split (Engine.rng engine) in
+  World.subscribe world (fun change ->
+      if filter change then begin
+        let d = Psn_sim.Delay_model.sample latency rng in
+        ignore (Engine.schedule_after engine d (fun () -> callback change))
+      end)
+
+(* Range-based sensor at a fixed position: senses changes of objects
+   within [radius] at the moment of the change. *)
+let attach_range ?latency engine world ~pos ~radius ~attr callback =
+  let filter (change : World.change) =
+    String.equal change.attr attr
+    && Vec2.dist (Psn_world.World_object.pos (World.obj world change.obj)) pos
+       <= radius
+  in
+  attach ?latency engine world ~filter callback
+
+type direction = Entry | Exit
+
+(* Door sensor for room scenarios: fires on each crossing through
+   [door_id], classifying it as entry into or exit from [room].  Requires
+   walkers configured with a [door_attr] (see Mobility.room_walk): the
+   walker writes the door id immediately before the room change, and the
+   sensor reacts to the room change itself. *)
+let attach_door ?latency engine world ~rooms ~door_id ~room ~room_attr
+    ~door_attr callback =
+  let door = Rooms.door rooms door_id in
+  if door.Rooms.side_a <> room && door.Rooms.side_b <> room then
+    invalid_arg "Sensing.attach_door: door does not touch room";
+  let filter (change : World.change) =
+    String.equal change.attr room_attr
+    &&
+    match World.get_attr world change.obj door_attr with
+    | Some (Value.Int d) when d = door_id -> (
+        (* Direction relative to [room]. *)
+        let to_room = Value.to_int change.new_value in
+        let from_room =
+          match change.old_value with Some v -> Value.to_int v | None -> Rooms.outside
+        in
+        to_room = room || from_room = room)
+    | _ -> false
+  in
+  attach ?latency engine world ~filter (fun change ->
+      let to_room = Value.to_int change.new_value in
+      let dir = if to_room = room then Entry else Exit in
+      callback dir change)

@@ -1,0 +1,24 @@
+(** Sensing: subscriptions from the network plane to world-plane changes,
+    with spatial filtering and sensing latency. *)
+
+type direction = Entry | Exit
+
+val attach :
+  ?latency:Psn_sim.Delay_model.t -> Psn_sim.Engine.t -> Psn_world.World.t ->
+  filter:(Psn_world.World.change -> bool) ->
+  (Psn_world.World.change -> unit) -> unit
+
+val attach_range :
+  ?latency:Psn_sim.Delay_model.t -> Psn_sim.Engine.t -> Psn_world.World.t ->
+  pos:Psn_util.Vec2.t -> radius:float -> attr:string ->
+  (Psn_world.World.change -> unit) -> unit
+(** Senses changes of the named attribute for objects within [radius] of
+    [pos] at the moment of the change. *)
+
+val attach_door :
+  ?latency:Psn_sim.Delay_model.t -> Psn_sim.Engine.t -> Psn_world.World.t ->
+  rooms:Psn_world.Rooms.t -> door_id:int -> room:int -> room_attr:string ->
+  door_attr:string -> (direction -> Psn_world.World.change -> unit) -> unit
+(** Fires on each crossing through the given door, classified as entry
+    into or exit from [room]. Walkers must be configured with the same
+    [door_attr] (see [Mobility.room_walk]). *)

@@ -1,0 +1,1 @@
+lib/predicates/expr.ml: Fmt Hashtbl List Option Psn_world Stdlib

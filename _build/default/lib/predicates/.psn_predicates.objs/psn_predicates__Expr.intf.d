@@ -1,0 +1,1 @@
+lib/predicates/expr.mli: Format Psn_world

@@ -1,0 +1,1 @@
+lib/predicates/modality.ml: Fmt

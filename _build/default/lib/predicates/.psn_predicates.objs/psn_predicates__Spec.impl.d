@@ -1,0 +1,1 @@
+lib/predicates/spec.ml: Expr Fmt Modality

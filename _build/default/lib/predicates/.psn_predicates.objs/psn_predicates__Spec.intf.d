@@ -1,0 +1,1 @@
+lib/predicates/spec.mli: Expr Format Modality

@@ -1,0 +1,1 @@
+lib/predicates/timed.ml: Expr Fmt Psn_sim

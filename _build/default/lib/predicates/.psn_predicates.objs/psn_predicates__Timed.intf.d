@@ -1,0 +1,1 @@
+lib/predicates/timed.mli: Expr Format Psn_sim

@@ -1,0 +1,25 @@
+(* Time modalities on predicates (paper §3.1.1).
+
+   The specification axis of the design space: what it means, in time,
+   for a predicate to "hold".  [Instantaneous] is the single-axis modality
+   every pervasive system in the paper's survey uses; [Possibly] and
+   [Definitely] are the partial-order modalities of Cooper–Marzullo. *)
+
+type t =
+  | Instantaneous   (* held at some instant of real time *)
+  | Possibly        (* held in some consistent observation *)
+  | Definitely      (* held in every consistent observation *)
+
+let to_string = function
+  | Instantaneous -> "instantaneous"
+  | Possibly -> "possibly"
+  | Definitely -> "definitely"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* Which time-model axis (paper §3.1.1.a vs .b) the modality belongs to. *)
+type axis = Single_axis | Partial_order
+
+let axis = function
+  | Instantaneous -> Single_axis
+  | Possibly | Definitely -> Partial_order

@@ -1,0 +1,11 @@
+(** Time modalities on predicates: Instantaneous (single axis), Possibly
+    and Definitely (partial order). *)
+
+type t = Instantaneous | Possibly | Definitely
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+type axis = Single_axis | Partial_order
+
+val axis : t -> axis

@@ -1,0 +1,29 @@
+(* A full timing-property specification: a point in the paper's
+   specification design space (§3.1) — predicate + modality — paired with
+   a name for reporting.
+
+   The example problem of §3.3 is [relational predicate, Instantaneous
+   modality, Δ-bounded delay]; the implementation axis (clock choice,
+   delay model) lives in lib/core's run configuration, keeping the
+   paper's separation between specifying and implementing time. *)
+
+type t = {
+  name : string;
+  predicate : Expr.t;
+  modality : Modality.t;
+}
+
+let make ~name ~predicate ~modality = { name; predicate; modality }
+
+let name t = t.name
+let predicate t = t.predicate
+let modality t = t.modality
+
+let predicate_class t =
+  if Expr.is_conjunctive t.predicate then `Conjunctive else `Relational
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %a(%a) [%s]" t.name Modality.pp t.modality Expr.pp t.predicate
+    (match predicate_class t with
+    | `Conjunctive -> "conjunctive"
+    | `Relational -> "relational")

@@ -1,0 +1,10 @@
+(** A timing-property specification: named predicate + modality. *)
+
+type t
+
+val make : name:string -> predicate:Expr.t -> modality:Modality.t -> t
+val name : t -> string
+val predicate : t -> Expr.t
+val modality : t -> Modality.t
+val predicate_class : t -> [ `Conjunctive | `Relational ]
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(* Relative timing relations on the single time axis (paper §3.1.1.a.ii).
+
+   "Some attempts have been made at specifying such constraints for
+   real-world observation ... Examples are: X before Y, or X overlaps Y,
+   or X before Y by real-time greater than 5 seconds.  An example from
+   secure banking is: a biometric key is presented remotely after a
+   password is entered across the network."
+
+   X and Y are boolean conditions over located variables; their maximal
+   truth intervals are the operands of the relation.  Evaluation over an
+   update stream lives in [Psn_detection.Timed_eval]; this module is the
+   specification vocabulary. *)
+
+module Sim_time = Psn_sim.Sim_time
+
+type relation =
+  | Before
+      (* some X-interval ends before the Y-interval starts *)
+  | Before_by_at_least of Sim_time.t
+      (* ... with a gap of at least the given duration *)
+  | Before_within of Sim_time.t
+      (* X precedes Y and Y starts within the window after X ends —
+         the secure-banking rule shape *)
+  | Overlaps
+      (* X and Y share an instant *)
+  | Contains
+      (* Y lies entirely within X *)
+
+type t = {
+  name : string;
+  x : Expr.t;   (* condition whose truth intervals are the X operands *)
+  y : Expr.t;
+  relation : relation;
+}
+
+let make ~name ~x ~y ~relation = { name; x; y; relation }
+
+let relation_to_string = function
+  | Before -> "before"
+  | Before_by_at_least d -> Fmt.str "before by >= %a" Sim_time.pp d
+  | Before_within d -> Fmt.str "before, within %a" Sim_time.pp d
+  | Overlaps -> "overlaps"
+  | Contains -> "contains"
+
+let pp ppf t =
+  Fmt.pf ppf "%s: (%a) %s (%a)" t.name Expr.pp t.x (relation_to_string t.relation)
+    Expr.pp t.y

@@ -1,0 +1,1 @@
+lib/scenarios/banking.ml: Array List Psn_clocks Psn_detection Psn_network Psn_predicates Psn_sim Psn_util Psn_world

@@ -1,0 +1,1 @@
+lib/scenarios/banking.mli: Psn_predicates Psn_sim Psn_world

@@ -1,0 +1,1 @@
+lib/scenarios/habitat.ml: Hashtbl Psn_network Psn_sim Psn_util

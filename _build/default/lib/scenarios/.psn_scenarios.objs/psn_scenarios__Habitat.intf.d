@@ -1,0 +1,1 @@
+lib/scenarios/habitat.mli: Psn_sim

@@ -1,0 +1,1 @@
+lib/scenarios/hospital.ml: Array List Printf Psn Psn_detection Psn_predicates Psn_sim Psn_util Psn_world

@@ -1,0 +1,1 @@
+lib/scenarios/hospital.mli: Psn Psn_detection Psn_predicates Psn_sim Psn_world

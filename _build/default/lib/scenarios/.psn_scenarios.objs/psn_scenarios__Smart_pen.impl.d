@@ -1,0 +1,1 @@
+lib/scenarios/smart_pen.ml: Array List Psn_clocks Psn_network Psn_sim Psn_util Psn_world

@@ -1,0 +1,1 @@
+lib/scenarios/smart_pen.mli: Psn_sim

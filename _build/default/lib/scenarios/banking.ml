@@ -1,0 +1,220 @@
+(* Secure banking (paper §6, after Kshemkalyani's temporal predicate
+   detection with synchronized clocks [22]): "a biometric key is presented
+   remotely after a password is entered across the network."
+
+   Two processes: the password terminal (0, also the checker) and the
+   biometric reader (1).  Legitimate logins present the biometric within
+   [auth_window] after the password pulse; attacks present a biometric
+   with no (timely) password.  The checker must raise an alarm for every
+   unjustified biometric — a timing relation ("password before biometric,
+   within T") that needs a common time base to decide.
+
+   The online checker timestamps updates with ε-synchronized physical
+   clocks and compares timestamps across the two sites; the oracle is the
+   offline [Timed_eval] classification of the ground-truth stream.  Skew
+   ε eats into the decision margin, so alarms near the window boundary
+   can flip — the scenario reports exactly how many. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Net = Psn_network.Net
+module Expr = Psn_predicates.Expr
+module Timed = Psn_predicates.Timed
+module Value = Psn_world.Value
+module Observation = Psn_detection.Observation
+module Physical_clock = Psn_clocks.Physical_clock
+
+type cfg = {
+  sessions_per_hour : float;   (* legitimate login attempts *)
+  attacks_per_hour : float;    (* biometric presentations with no password *)
+  boundary_attack_prob : float;
+      (* per session: probability of a replay-style attack timed just
+         outside the window (the adversary that stresses the skew) *)
+  password_duration : Sim_time.t;
+  auth_window : Sim_time.t;    (* biometric must follow within this window *)
+  legit_delay_max : Sim_time.t;(* legit biometric delay after password end *)
+  eps : Sim_time.t;            (* clock synchronization skew *)
+  delay : Psn_sim.Delay_model.t;
+  horizon : Sim_time.t;
+  seed : int64;
+}
+
+let default =
+  {
+    sessions_per_hour = 40.0;
+    attacks_per_hour = 10.0;
+    boundary_attack_prob = 0.3;
+    password_duration = Sim_time.of_sec 2;
+    auth_window = Sim_time.of_sec 30;
+    legit_delay_max = Sim_time.of_sec 25;
+    eps = Sim_time.of_ms 100;
+    delay =
+      Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 20)
+        ~max:(Sim_time.of_ms 200);
+    horizon = Sim_time.of_sec 7200;
+    seed = 29L;
+  }
+
+(* The timed specification: password before biometric, within the window
+   (measured from password end to biometric start). *)
+let spec cfg =
+  Timed.make ~name:"password-then-biometric"
+    ~x:Expr.(var ~name:"password" ~loc:0 ==? bool true)
+    ~y:Expr.(var ~name:"biometric" ~loc:1 ==? bool true)
+    ~relation:(Timed.Before_within cfg.auth_window)
+
+let init =
+  [
+    ({ Expr.name = "password"; loc = 0 }, Value.Bool false);
+    ({ Expr.name = "biometric"; loc = 1 }, Value.Bool false);
+  ]
+
+type result = {
+  logins : int;          (* legitimate sessions completed *)
+  attacks : int;         (* unjustified biometrics injected *)
+  oracle_alarms : int;   (* biometrics the offline oracle calls unjustified *)
+  alarms : int;          (* alarms the online checker raised *)
+  alarm_tp : int;
+  alarm_fp : int;        (* legit biometric flagged (annoyed customer) *)
+  alarm_fn : int;        (* attack admitted *)
+  messages : int;
+}
+
+type msg = { update : Observation.update; ts : Sim_time.t }
+
+let run cfg =
+  let engine = Engine.create ~seed:cfg.seed () in
+  let rng = Engine.scenario_rng engine in
+  let clock_rng = Psn_util.Rng.split (Engine.rng engine) in
+  let clocks =
+    Array.init 2 (fun _ -> Physical_clock.synced_within clock_rng ~eps:cfg.eps)
+  in
+  let net = Net.create ~payload_words:(fun _ -> 3) engine ~n:2 ~delay:cfg.delay in
+  let seqs = Array.make 2 0 in
+  let updates = ref [] in
+  (* Online checker state at process 0: recent password pulse timestamps
+     and the alarm log (biometric sense times, for scoring). *)
+  let password_ends : Sim_time.t list ref = ref [] in
+  let alarms = ref [] in
+  let margin = Sim_time.add cfg.auth_window cfg.eps in
+  let checker_consider (u : Observation.update) ts =
+    match (u.Observation.var, u.Observation.value) with
+    | "password", Value.Bool false -> password_ends := ts :: !password_ends
+    | "biometric", Value.Bool true ->
+        let justified =
+          List.exists
+            (fun pwd_end ->
+              Sim_time.( <= ) pwd_end ts
+              && Sim_time.( <= ) (Sim_time.sub ts pwd_end) margin)
+            !password_ends
+        in
+        if not justified then alarms := u.Observation.sense_time :: !alarms
+    | _ -> ()
+  in
+  Net.set_handler net 0 (fun ~src:_ (m : msg) -> checker_consider m.update m.ts);
+  let emit ~src ~var value =
+    let u =
+      { Observation.src; var; value; seq = seqs.(src);
+        sense_time = Engine.now engine }
+    in
+    seqs.(src) <- seqs.(src) + 1;
+    updates := u :: !updates;
+    let ts = Physical_clock.read clocks.(src) ~now:(Engine.now engine) in
+    let m = { update = u; ts } in
+    if src = 0 then checker_consider u ts else Net.send net ~src ~dst:0 m
+  in
+  let pulse ~src ~var ~at ~duration =
+    if Sim_time.( < ) at cfg.horizon then begin
+      ignore
+        (Engine.schedule_at engine at (fun () -> emit ~src ~var (Value.Bool true)));
+      ignore
+        (Engine.schedule_at engine (Sim_time.add at duration) (fun () ->
+             emit ~src ~var (Value.Bool false)))
+    end
+  in
+  (* Legitimate sessions. *)
+  let logins = ref 0 in
+  let boundary_attacks = ref [] in
+  let rec schedule_session t =
+    let gap =
+      Psn_util.Rng.exponential rng ~mean:(3600.0 /. cfg.sessions_per_hour)
+    in
+    let at = Sim_time.add t (Sim_time.of_sec_float gap) in
+    if Sim_time.( < ) at cfg.horizon then begin
+      incr logins;
+      pulse ~src:0 ~var:"password" ~at ~duration:cfg.password_duration;
+      let pwd_end = Sim_time.add at cfg.password_duration in
+      let bio_at =
+        Sim_time.add pwd_end
+          (Sim_time.of_sec_float
+             (Psn_util.Rng.float rng (Sim_time.to_sec_float cfg.legit_delay_max)))
+      in
+      pulse ~src:1 ~var:"biometric" ~at:bio_at ~duration:(Sim_time.of_sec 1);
+      (* Boundary replay attack: a biometric presented just outside the
+         window after this very session's password — decidable only if
+         the clocks can resolve the margin. *)
+      if Psn_util.Rng.unit_float rng < cfg.boundary_attack_prob then begin
+        let overshoot = 1.02 +. Psn_util.Rng.float rng 0.4 in
+        let atk_at =
+          Sim_time.add pwd_end (Sim_time.scale cfg.auth_window overshoot)
+        in
+        boundary_attacks := atk_at :: !boundary_attacks;
+        pulse ~src:1 ~var:"biometric" ~at:atk_at ~duration:(Sim_time.of_sec 1)
+      end;
+      schedule_session at
+    end
+  in
+  schedule_session Sim_time.zero;
+  (* Attacks: biometrics out of the blue. *)
+  let attacks = ref 0 in
+  let rec schedule_attack t =
+    let gap =
+      Psn_util.Rng.exponential rng ~mean:(3600.0 /. cfg.attacks_per_hour)
+    in
+    let at = Sim_time.add t (Sim_time.of_sec_float gap) in
+    if Sim_time.( < ) at cfg.horizon then begin
+      incr attacks;
+      pulse ~src:1 ~var:"biometric" ~at ~duration:(Sim_time.of_sec 1);
+      schedule_attack at
+    end
+  in
+  schedule_attack Sim_time.zero;
+  Engine.run ~until:cfg.horizon engine;
+  (* Oracle: which biometric presentations were justified? *)
+  let updates = List.rev !updates in
+  let _matched, unmatched =
+    Psn_detection.Timed_eval.classify_y ~init ~updates ~horizon:cfg.horizon
+      (spec cfg)
+  in
+  let oracle_alarms = List.length unmatched in
+  (* Score alarms against the oracle's unjustified set (anchor: the
+     biometric rise time). *)
+  let inside (iv : Psn_detection.Ground_truth.interval) t =
+    Sim_time.( <= ) iv.t_start t && Sim_time.( < ) t iv.t_end
+  in
+  let claimed = Array.make oracle_alarms false in
+  let unmatched_arr = Array.of_list unmatched in
+  let tp = ref 0 and fp = ref 0 in
+  List.iter
+    (fun alarm_t ->
+      let rec find i =
+        if i >= Array.length unmatched_arr then None
+        else if (not claimed.(i)) && inside unmatched_arr.(i) alarm_t then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i ->
+          claimed.(i) <- true;
+          incr tp
+      | None -> incr fp)
+    !alarms;
+  {
+    logins = !logins;
+    attacks = !attacks + List.length !boundary_attacks;
+    oracle_alarms;
+    alarms = List.length !alarms;
+    alarm_tp = !tp;
+    alarm_fp = !fp;
+    alarm_fn = oracle_alarms - !tp;
+    messages = Net.sent net;
+  }

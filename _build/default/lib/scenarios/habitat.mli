@@ -1,0 +1,24 @@
+(** Habitat monitoring with on-demand duty-cycle coordination: rare events
+    trigger wake-up strobes; peers co-sense while the phenomenon lasts. *)
+
+type cfg = {
+  nodes : int;
+  event_rate_per_hour : float;
+  event_duration : Psn_sim.Sim_time.t;
+  delay : Psn_sim.Delay_model.t;
+  loss : Psn_sim.Loss_model.t;
+  horizon : Psn_sim.Sim_time.t;
+  seed : int64;
+}
+
+val default : cfg
+
+type result = {
+  events : int;
+  mean_coverage : float;
+  full_coverage : int;
+  messages : int;
+  wake_time : Psn_sim.Sim_time.t;
+}
+
+val run : cfg -> result

@@ -1,0 +1,136 @@
+(* The §5 hospital: visitors with RFID badges moving through a ward,
+   proximity sensors at patients' beds, alarms on simultaneous crowding.
+
+   Patients are static objects; visitors move by random waypoint.  Each
+   patient's bedside sensor (process i) samples its neighbourhood
+   periodically and reports the count of visitors in range whenever it
+   changes — a sense event.  The default predicate is the conjunctive
+   "every monitored patient has at least one visitor simultaneously"
+   (a multi-party coincidence that needs a global time base to call
+   correctly); alarms actuate a world-plane bell so the loop closes. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Vec2 = Psn_util.Vec2
+module Expr = Psn_predicates.Expr
+module Value = Psn_world.Value
+module World = Psn_world.World
+module Mobility = Psn_world.Mobility
+module Detector = Psn_detection.Detector
+
+type cfg = {
+  patients : int;
+  visitors : int;
+  ward_width : float;           (* metres *)
+  ward_height : float;
+  sense_radius : float;
+  sample_period : Sim_time.t;
+  visitor_speed : float;        (* m/s; the paper's "slow human movement" *)
+  alarm : bool;
+}
+
+let default =
+  {
+    patients = 2;
+    visitors = 5;
+    ward_width = 30.0;
+    ward_height = 20.0;
+    sense_radius = 3.0;
+    sample_period = Sim_time.of_sec 2;
+    visitor_speed = 1.2;
+    alarm = false;
+  }
+
+let n_processes cfg = cfg.patients
+
+(* φ = ∧_i (near_i > 0): all patients visited at once. Conjunctive. *)
+let predicate cfg =
+  let conj =
+    List.init cfg.patients (fun i -> Expr.(var ~name:"near" ~loc:i >? int 0))
+  in
+  match conj with
+  | [] -> Expr.bool false
+  | e :: rest -> List.fold_left Expr.( &&& ) e rest
+
+let spec ?(modality = Psn_predicates.Modality.Instantaneous) cfg =
+  Psn_predicates.Spec.make ~name:"hospital-all-visited" ~predicate:(predicate cfg)
+    ~modality
+
+let init cfg =
+  List.init cfg.patients (fun i -> ({ Expr.name = "near"; loc = i }, Value.Int 0))
+
+let setup cfg engine detector =
+  if cfg.patients <= 0 then invalid_arg "Hospital.setup: patients";
+  let world = World.create engine in
+  let rng = Engine.scenario_rng engine in
+  let horizon = Sim_time.of_sec 86_400 in
+  (* Patients on a bed row. *)
+  let patient_pos =
+    Array.init cfg.patients (fun i ->
+        Vec2.make
+          (cfg.ward_width *. (float_of_int i +. 0.5) /. float_of_int cfg.patients)
+          (cfg.ward_height /. 2.0))
+  in
+  Array.iteri
+    (fun i pos ->
+      ignore (World.add_object world ~name:(Printf.sprintf "patient%d" i) ~pos ()))
+    patient_pos;
+  let bell = World.add_object world ~name:"alarm-bell" () in
+  (* Visitors roam the ward. *)
+  let visitor_ids =
+    List.init cfg.visitors (fun v ->
+        let obj =
+          World.add_object world
+            ~name:(Printf.sprintf "visitor%d" v)
+            ~pos:(Vec2.make (Psn_util.Rng.float rng cfg.ward_width)
+                    (Psn_util.Rng.float rng cfg.ward_height))
+            ()
+        in
+        let id = Psn_world.World_object.id obj in
+        let wcfg =
+          { Mobility.default_waypoint with
+            width = cfg.ward_width;
+            height = cfg.ward_height;
+            speed_min = cfg.visitor_speed /. 2.0;
+            speed_max = cfg.visitor_speed *. 1.5;
+            pause_max = 20.0;
+          }
+        in
+        Mobility.random_waypoint engine world (Psn_util.Rng.split rng) ~obj:id
+          ~cfg:wcfg ~until:horizon;
+        id)
+  in
+  (* Bedside proximity sensors: poll, report count changes. *)
+  let last = Array.make cfg.patients (-1) in
+  for i = 0 to cfg.patients - 1 do
+    ignore
+      (Engine.schedule_periodic engine ~start:cfg.sample_period
+         ~period:cfg.sample_period (fun () ->
+           let count =
+             List.length
+               (List.filter
+                  (fun id ->
+                    Vec2.dist
+                      (Psn_world.World_object.pos (World.obj world id))
+                      patient_pos.(i)
+                    <= cfg.sense_radius)
+                  visitor_ids)
+           in
+           if count <> last.(i) then begin
+             last.(i) <- count;
+             Detector.emit detector ~src:i ~var:"near" (Value.Int count)
+           end;
+           true))
+  done;
+  if cfg.alarm then begin
+    let bell_id = Psn_world.World_object.id bell in
+    let rings = ref 0 in
+    Detector.set_on_occurrence detector (fun _ ->
+        incr rings;
+        World.set_attr world bell_id "rings" (Value.Int !rings))
+  end
+
+let run ?(cfg = default) ?modality ?policy (config : Psn.Config.t) =
+  let config = { config with n = max config.n (n_processes cfg) } in
+  Psn.Runner.run ?policy ~init:(init cfg) config ~spec:(spec ?modality cfg)
+    ~setup:(setup cfg) ()

@@ -1,0 +1,28 @@
+(** Hospital ward (§5): waypoint visitors, bedside proximity sensors,
+    conjunctive coincidence predicate, optional alarm actuation. *)
+
+type cfg = {
+  patients : int;
+  visitors : int;
+  ward_width : float;
+  ward_height : float;
+  sense_radius : float;
+  sample_period : Psn_sim.Sim_time.t;
+  visitor_speed : float;
+  alarm : bool;
+}
+
+val default : cfg
+val n_processes : cfg -> int
+val predicate : cfg -> Psn_predicates.Expr.t
+
+val spec :
+  ?modality:Psn_predicates.Modality.t -> cfg -> Psn_predicates.Spec.t
+
+val init : cfg -> (Psn_predicates.Expr.var * Psn_world.Value.t) list
+val setup : cfg -> Psn_sim.Engine.t -> Psn_detection.Detector.t -> unit
+
+val run :
+  ?cfg:cfg -> ?modality:Psn_predicates.Modality.t ->
+  ?policy:Psn_detection.Metrics.borderline_policy -> Psn.Config.t ->
+  Psn.Report.t

@@ -1,0 +1,110 @@
+(* The smart office of §3.1.1.b.i / ref [17]: a person enters a room while
+   the temperature is high; the rule base lowers the temperature.
+
+   Two sensors share a room: process 0 tracks temperature (bounded random
+   walk, reported on significant change), process 1 tracks motion
+   (exponential on/off).  The conjunctive predicate
+
+       φ  =  (temp_0 > threshold) ∧ (motion_1 = true)
+
+   supports both the Instantaneous modality (linearizing detectors) and
+   Definitely (Garg–Waldecker over strobe vectors), which is what E4
+   sweeps.  With [thermostat] on, each detection actuates the temperature
+   back down — closing the sense→detect→respond loop and generating the
+   repeated occurrences of E7. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Expr = Psn_predicates.Expr
+module Value = Psn_world.Value
+module World = Psn_world.World
+module Event_gen = Psn_world.Event_gen
+module Sensing = Psn_network.Sensing
+module Detector = Psn_detection.Detector
+
+type cfg = {
+  temp_threshold : float;
+  temp_init : float;
+  temp_sigma : float;          (* random-walk step stddev, per sample *)
+  temp_period : Sim_time.t;    (* sampling period *)
+  motion_on_mean : float;      (* mean seconds of presence *)
+  motion_off_mean : float;
+  thermostat : bool;           (* actuate temp back down on detection *)
+  thermostat_reset : float;
+  extra_sensors : int;         (* chatty humidity sensors (more strobes) *)
+}
+
+let default =
+  {
+    temp_threshold = 30.0;
+    temp_init = 29.0;
+    temp_sigma = 0.4;
+    temp_period = Sim_time.of_sec 5;
+    motion_on_mean = 90.0;
+    motion_off_mean = 90.0;
+    thermostat = false;
+    thermostat_reset = 28.0;
+    extra_sensors = 0;
+  }
+
+let n_processes cfg = 2 + cfg.extra_sensors
+
+let predicate cfg =
+  Expr.(
+    (var ~name:"temp" ~loc:0 >? float cfg.temp_threshold)
+    &&& (var ~name:"motion" ~loc:1 ==? bool true))
+
+let spec ?(modality = Psn_predicates.Modality.Instantaneous) cfg =
+  Psn_predicates.Spec.make ~name:"office-hot-and-occupied"
+    ~predicate:(predicate cfg) ~modality
+
+let init cfg =
+  [
+    ({ Expr.name = "temp"; loc = 0 }, Value.Float cfg.temp_init);
+    ({ Expr.name = "motion"; loc = 1 }, Value.Bool false);
+  ]
+
+let setup cfg engine detector =
+  let world = World.create engine in
+  let rng = Engine.scenario_rng engine in
+  let horizon = Sim_time.of_sec 86_400 in
+  let room = World.add_object world ~name:"room0" () in
+  let room_id = Psn_world.World_object.id room in
+  (* World-plane dynamics. *)
+  Event_gen.random_walk_float engine world
+    (Psn_util.Rng.split rng)
+    ~obj:room_id ~attr:"temp" ~init:cfg.temp_init ~sigma:cfg.temp_sigma ~lo:15.0
+    ~hi:45.0 ~threshold:0.5 ~period:cfg.temp_period ~until:horizon;
+  Event_gen.toggle_bool engine world
+    (Psn_util.Rng.split rng)
+    ~obj:room_id ~attr:"motion" ~init:false ~mean_true_s:cfg.motion_on_mean
+    ~mean_false_s:cfg.motion_off_mean ~until:horizon;
+  (* Sensors. *)
+  Sensing.attach engine world
+    ~filter:(fun c -> c.World.obj = room_id && String.equal c.World.attr "temp")
+    (fun c -> Detector.emit detector ~src:0 ~var:"temp" c.World.new_value);
+  Sensing.attach engine world
+    ~filter:(fun c -> c.World.obj = room_id && String.equal c.World.attr "motion")
+    (fun c -> Detector.emit detector ~src:1 ~var:"motion" c.World.new_value);
+  (* Optional chatty sensors exercising the strobe traffic. *)
+  for k = 0 to cfg.extra_sensors - 1 do
+    let src = 2 + k in
+    let attr = Printf.sprintf "humidity%d" k in
+    Event_gen.random_walk_float engine world
+      (Psn_util.Rng.split rng)
+      ~obj:room_id ~attr ~init:50.0 ~sigma:1.0 ~lo:0.0 ~hi:100.0 ~threshold:2.0
+      ~period:(Sim_time.of_sec 7) ~until:horizon;
+    Sensing.attach engine world
+      ~filter:(fun c -> c.World.obj = room_id && String.equal c.World.attr attr)
+      (fun c -> Detector.emit detector ~src ~var:"humidity" c.World.new_value)
+  done;
+  (* The respond half: reset the thermostat on each detection, per the
+     paper's "reset thermostat to 28C each time motion ∧ temp>30". *)
+  if cfg.thermostat then
+    Detector.set_on_occurrence detector (fun _occ ->
+        World.set_attr world room_id "temp" (Value.Float cfg.thermostat_reset))
+
+let run ?(cfg = default) ?modality ?policy (config : Psn.Config.t) =
+  let config = { config with n = max config.n (n_processes cfg) } in
+  Psn.Runner.run ?policy ~init:(init cfg) config ~spec:(spec ?modality cfg)
+    ~setup:(setup cfg) ()

@@ -1,0 +1,138 @@
+(* The smart pen of §4.1 — the paper's central story about hidden
+   channels and dual-role entities.
+
+   "When Bob gives a pen to Tom, Tom then moves to another room, and
+   leaves the pen there, the physical handoff and transport of the pen
+   can be detected by all the sensors/badge readers.  The causality from
+   event pen@t1@l_i → event pen@t2@l_j in the world plane can be tracked
+   in the network plane. ... if the pen is intelligent and not just
+   embedded with a RFID tag, it is part of the network plane also."
+
+   We build the story both ways:
+
+   - DUMB pen: handoffs and moves are covert channels.  Room sensors
+     observe the pen's appearances, stamp them with Mattern/Fidge clocks,
+     but never message each other about the pen — so the recovered causal
+     order over the pen's trajectory is empty.
+
+   - SMART pen: the pen is a dual-role entity, process and object at once
+     (it occupies a process slot and its handoffs are network sends), so
+     the sensors' stamps recover the full trajectory order.
+
+   [run] returns, for each mode, the fraction of consecutive trajectory
+   pairs (pen seen at room_i before room_j) whose network-plane stamps
+   certify the true order — the quantitative form of §4.1's "technology
+   does not allow tracking of the hidden channels ... in the general
+   case". *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Vc = Psn_clocks.Vector_clock
+module World = Psn_world.World
+module Value = Psn_world.Value
+module Net = Psn_network.Net
+
+type cfg = {
+  rooms : int;            (* one badge-reader process per room *)
+  hops : int;             (* trajectory length: handoffs/moves of the pen *)
+  dwell_mean_s : float;   (* time the pen rests in a room *)
+  delay : Psn_sim.Delay_model.t;
+  seed : int64;
+}
+
+let default =
+  {
+    rooms = 4;
+    hops = 12;
+    dwell_mean_s = 60.0;
+    delay =
+      Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 10)
+        ~max:(Sim_time.of_ms 100);
+    seed = 37L;
+  }
+
+type result = {
+  trajectory : int list;        (* rooms visited, in true order *)
+  pairs : int;                  (* consecutive trajectory pairs *)
+  certified : int;              (* pairs whose stamps prove the order *)
+  fraction : float;
+}
+
+type mode = Dumb | Smart
+
+let run ~mode cfg =
+  if cfg.rooms < 2 then invalid_arg "Smart_pen.run: need at least two rooms";
+  let engine = Engine.create ~seed:cfg.seed () in
+  let rng = Engine.scenario_rng engine in
+  let world = World.create engine in
+  let pen = World.add_object world ~name:"pen" () in
+  let pen_id = Psn_world.World_object.id pen in
+  (* Process slots: one badge reader per room; the smart pen, being a
+     dual-role entity, occupies an extra slot of the network plane. *)
+  let n = cfg.rooms + (match mode with Smart -> 1 | Dumb -> 0) in
+  let pen_proc = cfg.rooms (* valid only in Smart mode *) in
+  let clocks = Array.init n (fun me -> Vc.create ~n ~me) in
+  let net = Net.create engine ~n ~delay:cfg.delay in
+  for dst = 0 to n - 1 do
+    Net.set_handler net dst (fun ~src:_ stamp ->
+        ignore (Vc.receive clocks.(dst) stamp))
+  done;
+  (* Badge readers stamp each sighting of the pen in their room. *)
+  let sightings = ref [] in
+  World.subscribe world (fun change ->
+      if change.World.attr = "room" then begin
+        let room = Value.to_int change.World.new_value in
+        let stamp = Vc.tick clocks.(room) in
+        sightings := (room, change.World.time, stamp) :: !sightings
+      end);
+  (* The pen's trajectory. *)
+  let trajectory = ref [] in
+  let rec hop remaining room =
+    trajectory := room :: !trajectory;
+    (* The handoff/move: a covert channel.  A smart pen mirrors it in the
+       network plane: its own process sends to the destination room's
+       reader right as the pen arrives (the reader decodes the pen's
+       radio, not just a passive tag). *)
+    (match mode with
+    | Smart ->
+        let stamp = Vc.send clocks.(pen_proc) in
+        (* The pen physically carries its state: the destination reader
+           learns it at the sighting, synchronously. *)
+        ignore (Vc.receive clocks.(room) stamp)
+    | Dumb -> ());
+    World.set_attr world pen_id "room" (Value.Int room);
+    (match mode with
+    | Smart ->
+        (* The pen also hears the reader (two-way RFID session). *)
+        let stamp = Vc.send clocks.(room) in
+        ignore (Vc.receive clocks.(pen_proc) stamp)
+    | Dumb -> ());
+    if remaining > 0 then begin
+      let dwell = Psn_util.Rng.exponential rng ~mean:cfg.dwell_mean_s in
+      let next_room =
+        (room + 1 + Psn_util.Rng.int rng (cfg.rooms - 1)) mod cfg.rooms
+      in
+      ignore
+        (Engine.schedule_after engine (Sim_time.of_sec_float dwell) (fun () ->
+             hop (remaining - 1) next_room))
+    end
+  in
+  hop cfg.hops 0;
+  Engine.run engine;
+  let trajectory = List.rev !trajectory in
+  let sightings = List.rev !sightings in
+  (* Score: consecutive sightings of the pen — does the network plane's
+     causal order certify sighting k before sighting k+1? *)
+  let stamps = List.map (fun (_, _, s) -> s) sightings in
+  let rec score acc pairs = function
+    | a :: (b :: _ as rest) ->
+        score (if Vc.happened_before a b then acc + 1 else acc) (pairs + 1) rest
+    | _ -> (acc, pairs)
+  in
+  let certified, pairs = score 0 0 stamps in
+  {
+    trajectory;
+    pairs;
+    certified;
+    fraction = (if pairs = 0 then 0.0 else float_of_int certified /. float_of_int pairs);
+  }

@@ -1,0 +1,24 @@
+(** The smart pen of §4.1: a dumb pen's trajectory crosses only covert
+    channels (causality unrecoverable); a smart (dual-role) pen mirrors
+    each handoff in the network plane (causality fully recovered). *)
+
+type cfg = {
+  rooms : int;
+  hops : int;
+  dwell_mean_s : float;
+  delay : Psn_sim.Delay_model.t;
+  seed : int64;
+}
+
+val default : cfg
+
+type result = {
+  trajectory : int list;
+  pairs : int;
+  certified : int;
+  fraction : float;
+}
+
+type mode = Dumb | Smart
+
+val run : mode:mode -> cfg -> result

@@ -1,0 +1,1 @@
+lib/sim/delay_model.ml: Fmt Psn_util Sim_time

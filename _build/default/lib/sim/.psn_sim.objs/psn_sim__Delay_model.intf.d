@@ -1,0 +1,1 @@
+lib/sim/delay_model.mli: Format Psn_util Sim_time

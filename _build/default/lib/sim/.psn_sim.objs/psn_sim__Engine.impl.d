@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Int64 Psn_util Sim_time Stdlib

@@ -1,0 +1,1 @@
+lib/sim/loss_model.ml: Fmt Psn_util

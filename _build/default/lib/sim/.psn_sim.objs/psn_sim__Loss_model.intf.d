@@ -1,0 +1,1 @@
+lib/sim/loss_model.mli: Format Psn_util

@@ -1,0 +1,1 @@
+lib/sim/sim_time.ml: Fmt Int64 Stdlib

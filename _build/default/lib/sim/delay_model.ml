@@ -1,0 +1,79 @@
+(* Message transmission/propagation delay models (paper §3.2.2).
+
+   The paper's design space: (a) instantaneous/synchronous — the ideal
+   case; (b) asynchronous Δ-bounded — the practical sensornet case, where
+   bounded retransmission attempts bound the delay; (c) asynchronous
+   unbounded — worst-case analysis. *)
+
+type t =
+  | Synchronous
+      (* Δ = 0: delivery at the same instant (still after the send in
+         execution order, thanks to the engine's sequence numbers). *)
+  | Bounded_uniform of { min : Sim_time.t; max : Sim_time.t }
+  | Bounded_exponential of { mean : Sim_time.t; cap : Sim_time.t }
+      (* Exponential delay truncated at [cap]; models retransmission
+         back-off with a bounded number of attempts. *)
+  | Unbounded_exponential of { mean : Sim_time.t }
+  | Unbounded_pareto of { scale : Sim_time.t; shape : float }
+
+let synchronous = Synchronous
+
+let bounded_uniform ~min ~max =
+  if Sim_time.( < ) max min then invalid_arg "Delay_model.bounded_uniform: max < min";
+  Bounded_uniform { min; max }
+
+let bounded_exponential ~mean ~cap =
+  if Sim_time.( < ) cap mean then invalid_arg "Delay_model.bounded_exponential: cap < mean";
+  Bounded_exponential { mean; cap }
+
+let unbounded_exponential ~mean = Unbounded_exponential { mean }
+
+let unbounded_pareto ~scale ~shape =
+  if shape <= 0.0 then invalid_arg "Delay_model.unbounded_pareto: shape <= 0";
+  Unbounded_pareto { scale; shape }
+
+let sample t rng =
+  match t with
+  | Synchronous -> Sim_time.zero
+  | Bounded_uniform { min; max } ->
+      let span = Sim_time.to_sec_float (Sim_time.sub max min) in
+      Sim_time.add min (Sim_time.of_sec_float (Psn_util.Rng.float rng span))
+  | Bounded_exponential { mean; cap } ->
+      let d =
+        Psn_util.Rng.exponential rng ~mean:(Sim_time.to_sec_float mean)
+      in
+      Sim_time.min cap (Sim_time.of_sec_float d)
+  | Unbounded_exponential { mean } ->
+      Sim_time.of_sec_float
+        (Psn_util.Rng.exponential rng ~mean:(Sim_time.to_sec_float mean))
+  | Unbounded_pareto { scale; shape } ->
+      Sim_time.of_sec_float
+        (Psn_util.Rng.pareto rng ~scale:(Sim_time.to_sec_float scale) ~shape)
+
+(* The Δ bound when one exists; [None] for the unbounded models. *)
+let delta = function
+  | Synchronous -> Some Sim_time.zero
+  | Bounded_uniform { max; _ } -> Some max
+  | Bounded_exponential { cap; _ } -> Some cap
+  | Unbounded_exponential _ | Unbounded_pareto _ -> None
+
+let mean_delay = function
+  | Synchronous -> Sim_time.zero
+  | Bounded_uniform { min; max } ->
+      Sim_time.of_sec_float
+        ((Sim_time.to_sec_float min +. Sim_time.to_sec_float max) /. 2.0)
+  | Bounded_exponential { mean; _ } -> mean
+  | Unbounded_exponential { mean } -> mean
+  | Unbounded_pareto { scale; shape } ->
+      if shape <= 1.0 then scale (* infinite mean; report the scale *)
+      else Sim_time.scale scale (shape /. (shape -. 1.0))
+
+let pp ppf = function
+  | Synchronous -> Fmt.pf ppf "synchronous"
+  | Bounded_uniform { min; max } ->
+      Fmt.pf ppf "uniform[%a,%a]" Sim_time.pp min Sim_time.pp max
+  | Bounded_exponential { mean; cap } ->
+      Fmt.pf ppf "exp(mean=%a,cap=%a)" Sim_time.pp mean Sim_time.pp cap
+  | Unbounded_exponential { mean } -> Fmt.pf ppf "exp(mean=%a)" Sim_time.pp mean
+  | Unbounded_pareto { scale; shape } ->
+      Fmt.pf ppf "pareto(scale=%a,shape=%.2f)" Sim_time.pp scale shape

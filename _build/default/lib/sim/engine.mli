@@ -1,0 +1,39 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simultaneous events fire in scheduling order; all randomness comes from
+    the engine's seeded generator. *)
+
+type t
+type handle
+
+val create : ?seed:int64 -> unit -> t
+val now : t -> Sim_time.t
+val rng : t -> Psn_util.Rng.t
+
+val scenario_rng : t -> Psn_util.Rng.t
+(** Independent stream for world/scenario randomness: protocol-side draws
+    from [rng] cannot perturb the world, so a seed fixes the world across
+    clock kinds. *)
+
+val events_processed : t -> int
+val pending : t -> int
+
+val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
+(** Raises if the time is before [now]. *)
+
+val schedule_after : t -> Sim_time.t -> (unit -> unit) -> handle
+val cancel : handle -> unit
+val cancelled : handle -> bool
+
+val step : t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** Process events until the queue empties or the horizon is passed. When a
+    horizon is given the clock always ends at it. *)
+
+val schedule_periodic :
+  ?until:Sim_time.t -> t -> start:Sim_time.t -> period:Sim_time.t ->
+  (unit -> bool) -> handle
+(** Fire repeatedly from [start] every [period] until the callback returns
+    [false], the horizon passes, or the handle is cancelled. *)

@@ -1,0 +1,63 @@
+(* Message loss models.
+
+   Strobe clock protocols broadcast; §4.2.2 claims a lost strobe perturbs
+   detection only in its temporal vicinity.  E6 exercises that claim under
+   both independent (Bernoulli) and bursty (Gilbert–Elliott) loss. *)
+
+type t =
+  | No_loss
+  | Bernoulli of float
+  | Gilbert_elliott of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+      mutable in_bad : bool;
+    }
+
+let no_loss = No_loss
+
+let bernoulli p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Loss_model.bernoulli: p out of range";
+  if p = 0.0 then No_loss else Bernoulli p
+
+let gilbert_elliott ~p_good_to_bad ~p_bad_to_good ~loss_good ~loss_bad =
+  let check name p =
+    if p < 0.0 || p > 1.0 then invalid_arg ("Loss_model.gilbert_elliott: " ^ name)
+  in
+  check "p_good_to_bad" p_good_to_bad;
+  check "p_bad_to_good" p_bad_to_good;
+  check "loss_good" loss_good;
+  check "loss_bad" loss_bad;
+  Gilbert_elliott { p_good_to_bad; p_bad_to_good; loss_good; loss_bad; in_bad = false }
+
+(* Decide the fate of one transmission; advances burst state when used. *)
+let drops t rng =
+  match t with
+  | No_loss -> false
+  | Bernoulli p -> Psn_util.Rng.unit_float rng < p
+  | Gilbert_elliott g ->
+      let flip = Psn_util.Rng.unit_float rng in
+      if g.in_bad then begin
+        if flip < g.p_bad_to_good then g.in_bad <- false
+      end
+      else if flip < g.p_good_to_bad then g.in_bad <- true;
+      let p = if g.in_bad then g.loss_bad else g.loss_good in
+      Psn_util.Rng.unit_float rng < p
+
+let expected_loss_rate = function
+  | No_loss -> 0.0
+  | Bernoulli p -> p
+  | Gilbert_elliott g ->
+      let denom = g.p_good_to_bad +. g.p_bad_to_good in
+      if denom = 0.0 then g.loss_good
+      else
+        let frac_bad = g.p_good_to_bad /. denom in
+        (frac_bad *. g.loss_bad) +. ((1.0 -. frac_bad) *. g.loss_good)
+
+let pp ppf = function
+  | No_loss -> Fmt.pf ppf "no-loss"
+  | Bernoulli p -> Fmt.pf ppf "bernoulli(%.3f)" p
+  | Gilbert_elliott g ->
+      Fmt.pf ppf "gilbert-elliott(gb=%.3f,bg=%.3f,lg=%.3f,lb=%.3f)"
+        g.p_good_to_bad g.p_bad_to_good g.loss_good g.loss_bad

@@ -1,0 +1,18 @@
+(** Message-loss models: none, independent Bernoulli, and bursty
+    Gilbert–Elliott. *)
+
+type t
+
+val no_loss : t
+val bernoulli : float -> t
+val gilbert_elliott :
+  p_good_to_bad:float -> p_bad_to_good:float -> loss_good:float ->
+  loss_bad:float -> t
+
+val drops : t -> Psn_util.Rng.t -> bool
+(** Decide one transmission's fate; advances burst state. *)
+
+val expected_loss_rate : t -> float
+(** Long-run loss probability. *)
+
+val pp : Format.formatter -> t -> unit

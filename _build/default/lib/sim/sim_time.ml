@@ -1,0 +1,51 @@
+(* Simulated time as integer nanoseconds.
+
+   Integer time keeps event ordering exact and platform-independent; all
+   user-facing durations go through the unit constructors below. *)
+
+type t = int64
+
+let zero = 0L
+let compare = Int64.compare
+let equal = Int64.equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+
+let add = Int64.add
+let sub = Int64.sub
+
+let of_ns ns =
+  if Stdlib.( < ) ns 0 then invalid_arg "Sim_time.of_ns: negative";
+  Int64.of_int ns
+
+let of_us us = of_ns (us * 1_000)
+let of_ms ms = of_ns (ms * 1_000_000)
+let of_sec s = of_ns (s * 1_000_000_000)
+
+let of_sec_float s =
+  if Stdlib.( < ) s 0.0 then invalid_arg "Sim_time.of_sec_float: negative";
+  Int64.of_float (s *. 1e9)
+
+let to_ns t = Int64.to_int t
+let to_sec_float t = Int64.to_float t /. 1e9
+let to_ms_float t = Int64.to_float t /. 1e6
+
+let is_negative t = Stdlib.( < ) (Int64.compare t 0L) 0
+
+(* Scale a duration by a float factor, e.g. jitter multipliers. *)
+let scale t k =
+  if Stdlib.( < ) k 0.0 then invalid_arg "Sim_time.scale: negative factor";
+  Int64.of_float (Int64.to_float t *. k)
+
+let pp ppf t =
+  let ns = Int64.to_float t in
+  if Stdlib.( < ) ns 1e3 then Fmt.pf ppf "%.0fns" ns
+  else if Stdlib.( < ) ns 1e6 then Fmt.pf ppf "%.1fus" (ns /. 1e3)
+  else if Stdlib.( < ) ns 1e9 then Fmt.pf ppf "%.1fms" (ns /. 1e6)
+  else Fmt.pf ppf "%.3fs" (ns /. 1e9)
+
+let to_string t = Fmt.str "%a" pp t

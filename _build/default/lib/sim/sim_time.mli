@@ -1,0 +1,33 @@
+(** Simulated time: integer nanoseconds since the start of the run. *)
+
+type t = int64
+
+val zero : t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val of_ns : int -> t
+(** Raises on negative input; durations are non-negative by construction. *)
+
+val of_us : int -> t
+val of_ms : int -> t
+val of_sec : int -> t
+val of_sec_float : float -> t
+val to_ns : t -> int
+val to_sec_float : t -> float
+val to_ms_float : t -> float
+val is_negative : t -> bool
+
+val scale : t -> float -> t
+(** Scale a duration by a non-negative factor. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

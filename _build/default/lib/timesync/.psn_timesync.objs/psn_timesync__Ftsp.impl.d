@@ -1,0 +1,1 @@
+lib/timesync/ftsp.ml: Array Float List Psn_clocks Psn_network Psn_sim Psn_util Sync_result

@@ -1,0 +1,1 @@
+lib/timesync/ftsp.mli: Psn_clocks Psn_sim Psn_util Sync_result

@@ -1,0 +1,1 @@
+lib/timesync/rbs.ml: Array Float List Psn_clocks Psn_network Psn_sim Sync_result

@@ -1,0 +1,1 @@
+lib/timesync/rbs.mli: Psn_clocks Psn_sim Sync_result

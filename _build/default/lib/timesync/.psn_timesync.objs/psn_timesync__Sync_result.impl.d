@@ -1,0 +1,1 @@
+lib/timesync/sync_result.ml: Array Float Fmt List Psn_clocks Psn_sim

@@ -1,0 +1,1 @@
+lib/timesync/sync_result.mli: Format Psn_clocks Psn_sim

@@ -1,0 +1,1 @@
+lib/timesync/tpsn.ml: Array List Printf Psn_clocks Psn_network Psn_sim Psn_util Sync_result

@@ -1,0 +1,1 @@
+lib/timesync/tpsn.mli: Psn_clocks Psn_sim Psn_util Sync_result

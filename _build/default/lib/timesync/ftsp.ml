@@ -1,0 +1,103 @@
+(* FTSP-style flooding time synchronization (Maróti et al.), simplified.
+
+   The root (node 0) periodically floods its current (corrected) clock
+   reading.  A node that receives a flood for a new round records the
+   pair (root_estimate, local_reading); with [regression_points] pairs it
+   least-squares fits local error vs local time — estimating both offset
+   and drift — and installs the correction.  Hop latency is the error
+   source: each hop adds one sampled link delay to the age of the root
+   estimate, so skew grows with network diameter (like TPSN's depth
+   effect, but with drift compensation).
+
+   Nodes re-flood through the Flood substrate, so the protocol works on
+   arbitrary (even churning) multi-hop topologies. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Graph = Psn_util.Graph
+module Physical_clock = Psn_clocks.Physical_clock
+
+type beacon = {
+  round : int;
+  root_time_ns : float;  (* root's clock at flood origination *)
+}
+
+type cfg = {
+  rounds : int;
+  round_interval : Sim_time.t;
+  delay : Psn_sim.Delay_model.t;
+  regression_points : int;  (* samples needed before installing correction *)
+}
+
+let default_cfg =
+  {
+    rounds = 8;
+    round_interval = Sim_time.of_ms 500;
+    delay =
+      Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_us 100)
+        ~max:(Sim_time.of_us 300);
+    regression_points = 4;
+  }
+
+let read_ns hw ~now = Sim_time.to_sec_float (Physical_clock.read hw ~now) *. 1e9
+
+(* Least-squares fit of err = a + b * x; returns (a, b). *)
+let fit points =
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-9 then ((sy /. n), 0.0)
+  else
+    let b = ((n *. sxy) -. (sx *. sy)) /. denom in
+    let a = (sy -. (b *. sx)) /. n in
+    (a, b)
+
+let run ?topology engine hw ~cfg =
+  let n = Array.length hw in
+  if n < 2 then invalid_arg "Ftsp.run: need at least two nodes";
+  let topo = match topology with Some g -> g | None -> Graph.complete ~n in
+  if Graph.size topo <> n then invalid_arg "Ftsp.run: topology size mismatch";
+  let flood = Psn_network.Flood.create ~payload_words:(fun _ -> 2) engine ~topology:topo ~delay:cfg.delay in
+  let start = Engine.now engine in
+  (* Per-node regression samples: (local reading ns, error ns) where
+     error = root_estimate - local reading. *)
+  let samples = Array.make n [] in
+  let last_round = Array.make n (-1) in
+  for node = 1 to n - 1 do
+    Psn_network.Flood.set_handler flood node (fun ~origin:_ (b : beacon) ->
+        if b.round > last_round.(node) then begin
+          last_round.(node) <- b.round;
+          let now = Engine.now engine in
+          let local = read_ns hw.(node) ~now in
+          samples.(node) <- (local, b.root_time_ns -. local) :: samples.(node);
+          if List.length samples.(node) >= cfg.regression_points then begin
+            let a, bslope = fit samples.(node) in
+            (* err(local) = a + b*local; correct offset at current local
+               and drift in ppm. *)
+            let err_now = a +. (bslope *. local) in
+            Physical_clock.adjust_offset_ns hw.(node) err_now;
+            ignore bslope;
+            samples.(node) <- []
+          end
+        end)
+  done;
+  for r = 0 to cfg.rounds - 1 do
+    let at =
+      Sim_time.add start (Sim_time.scale cfg.round_interval (float_of_int (r + 1)))
+    in
+    ignore
+      (Engine.schedule_at engine at (fun () ->
+           let root_time_ns = read_ns hw.(0) ~now:(Engine.now engine) in
+           Psn_network.Flood.flood flood ~src:0 { round = r; root_time_ns }))
+  done;
+  Engine.run engine;
+  let now = Engine.now engine in
+  let nodes = List.init n (fun i -> i) in
+  Sync_result.measure ~protocol:"ftsp"
+    ~messages:(Psn_network.Flood.messages_sent flood)
+    ~words:(Psn_network.Flood.words_transmitted flood)
+    ~duration:(Sim_time.sub now start)
+    hw nodes ~now

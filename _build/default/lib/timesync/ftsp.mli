@@ -1,0 +1,18 @@
+(** FTSP-style flooding time synchronization: the root floods clock
+    beacons over a multi-hop topology; nodes regress their error and
+    install corrections. Skew grows with hop count. *)
+
+type cfg = {
+  rounds : int;
+  round_interval : Psn_sim.Sim_time.t;
+  delay : Psn_sim.Delay_model.t;
+  regression_points : int;
+}
+
+val default_cfg : cfg
+
+val run :
+  ?topology:Psn_util.Graph.t -> Psn_sim.Engine.t ->
+  Psn_clocks.Physical_clock.t array -> cfg:cfg -> Sync_result.t
+(** Default topology: complete graph. Node 0 is the root. Runs the engine
+    to quiescence. *)

@@ -1,0 +1,111 @@
+(* Reference Broadcast Synchronization (Elson et al.), simplified but
+   message-accurate in structure.
+
+   A reference node broadcasts beacons; each *receiver* records its local
+   hardware reading at reception.  Because the reference's own clock never
+   enters the computation, the error is only the difference in propagation
+   /decode delay between receivers — which in our medium is exactly the
+   per-receiver sampled delay jitter.  Receivers report their readings to
+   a base receiver, which computes per-node offsets relative to itself
+   (averaged over beacons) and distributes corrections.
+
+   Node 0 is the reference (beacon sender); nodes 1..n-1 are receivers and
+   are the synchronized set reported in the result. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Net = Psn_network.Net
+module Physical_clock = Psn_clocks.Physical_clock
+
+type msg =
+  | Beacon of { seq : int }
+  | Report of { seq : int; reading_ns : float }
+  | Correction of { delta_ns : float }
+
+let payload_words = function
+  | Beacon _ -> 1
+  | Report _ -> 2
+  | Correction _ -> 1
+
+type cfg = {
+  beacons : int;
+  beacon_interval : Sim_time.t;
+  delay : Psn_sim.Delay_model.t;
+}
+
+let default_cfg =
+  { beacons = 5; beacon_interval = Sim_time.of_ms 100; delay = Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_us 100) ~max:(Sim_time.of_us 300) }
+
+let run engine hw ~cfg =
+  let n = Array.length hw in
+  if n < 3 then invalid_arg "Rbs.run: need a reference plus >= 2 receivers";
+  let net = Net.create ~payload_words engine ~n ~delay:cfg.delay in
+  let start = Engine.now engine in
+  let base = 1 in
+  (* readings.(i).(s): receiver i's local reading of beacon s, ns. *)
+  let readings = Array.make_matrix n cfg.beacons nan in
+  let reports_pending = ref ((n - 1) * cfg.beacons) in
+  let finished = ref false in
+  let finish_corrections () =
+    for i = 2 to n - 1 do
+      (* Mean offset of receiver i relative to the base receiver. *)
+      let sum = ref 0.0 and count = ref 0 in
+      for s = 0 to cfg.beacons - 1 do
+        if (not (Float.is_nan readings.(i).(s)))
+           && not (Float.is_nan readings.(base).(s))
+        then begin
+          sum := !sum +. (readings.(i).(s) -. readings.(base).(s));
+          incr count
+        end
+      done;
+      if !count > 0 then begin
+        let delta_ns = -. (!sum /. float_of_int !count) in
+        Net.send net ~src:base ~dst:i (Correction { delta_ns })
+      end
+    done
+  in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      finish_corrections ()
+    end
+  in
+  for i = 1 to n - 1 do
+    Net.set_handler net i (fun ~src msg ->
+        match msg with
+        | Beacon { seq } ->
+            let now = Engine.now engine in
+            let r =
+              Sim_time.to_sec_float (Physical_clock.read hw.(i) ~now) *. 1e9
+            in
+            readings.(i).(seq) <- r;
+            if i = base then begin
+              decr reports_pending;
+              if !reports_pending = 0 then finish ()
+            end
+            else Net.send net ~src:i ~dst:base (Report { seq; reading_ns = r })
+        | Report { seq; reading_ns } ->
+            (* Only the base receives reports. *)
+            readings.(src).(seq) <- reading_ns;
+            decr reports_pending;
+            if !reports_pending = 0 then finish ()
+        | Correction { delta_ns } ->
+            Physical_clock.adjust_offset_ns hw.(i) delta_ns)
+  done;
+  (* Beacon schedule, plus a deadline fallback so a lost report cannot
+     stall the round forever. *)
+  for s = 0 to cfg.beacons - 1 do
+    let at = Sim_time.add start (Sim_time.scale cfg.beacon_interval (float_of_int (s + 1))) in
+    ignore (Engine.schedule_at engine at (fun () -> Net.broadcast net ~src:0 (Beacon { seq = s })))
+  done;
+  let deadline =
+    Sim_time.add start (Sim_time.scale cfg.beacon_interval (float_of_int (cfg.beacons + 3)))
+  in
+  ignore (Engine.schedule_at engine deadline finish);
+  Engine.run engine;
+  let now = Engine.now engine in
+  let nodes = List.init (n - 1) (fun i -> i + 1) in
+  Sync_result.measure ~protocol:"rbs" ~messages:(Net.sent net)
+    ~words:(Net.words_transmitted net)
+    ~duration:(Sim_time.sub now start)
+    hw nodes ~now

@@ -1,0 +1,20 @@
+(** Reference Broadcast Synchronization (simplified RBS).
+
+    Node 0 broadcasts beacons; receivers 1..n-1 record local reception
+    readings, report to a base receiver, and get offset corrections back.
+    The achieved skew reflects only inter-receiver delay jitter, the
+    protocol's defining property. *)
+
+type cfg = {
+  beacons : int;
+  beacon_interval : Psn_sim.Sim_time.t;
+  delay : Psn_sim.Delay_model.t;
+}
+
+val default_cfg : cfg
+
+val run :
+  Psn_sim.Engine.t -> Psn_clocks.Physical_clock.t array -> cfg:cfg ->
+  Sync_result.t
+(** Runs the engine to quiescence. Requires n >= 3 clocks (one reference,
+    two receivers). *)

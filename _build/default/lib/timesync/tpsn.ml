@@ -1,0 +1,94 @@
+(* Timing-sync Protocol for Sensor Networks (Ganeriwal et al.), simplified.
+
+   Level-by-level two-way exchange along a spanning tree rooted at node 0:
+   a child sends a request carrying its local send reading t1; the parent
+   stamps reception t2 and reply t3 with its own (already corrected)
+   clock; the child stamps reception t4 and corrects by
+   ((t2 - t1) + (t3 - t4)) / 2.  Delay asymmetry between the two legs is
+   the residual error, and it accumulates with tree depth — which is the
+   behaviour E12 exhibits against RBS. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Net = Psn_network.Net
+module Graph = Psn_util.Graph
+module Physical_clock = Psn_clocks.Physical_clock
+
+type msg =
+  | Request of { t1_ns : float }
+  | Reply of { t1_ns : float; t2_ns : float; t3_ns : float }
+
+let payload_words = function Request _ -> 1 | Reply _ -> 3
+
+type cfg = {
+  delay : Psn_sim.Delay_model.t;
+  level_interval : Sim_time.t;  (* spacing between tree levels *)
+  rounds : int;                 (* exchanges per child, averaged *)
+}
+
+let default_cfg =
+  {
+    delay =
+      Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_us 100)
+        ~max:(Sim_time.of_us 300);
+    level_interval = Sim_time.of_ms 50;
+    rounds = 1;
+  }
+
+let read_ns hw ~now = Sim_time.to_sec_float (Physical_clock.read hw ~now) *. 1e9
+
+let run ?topology engine hw ~cfg =
+  let n = Array.length hw in
+  if n < 2 then invalid_arg "Tpsn.run: need at least two nodes";
+  let topo = match topology with Some g -> g | None -> Graph.star ~n in
+  let parent = Graph.spanning_tree topo 0 in
+  Array.iteri
+    (fun i p -> if p < 0 then invalid_arg (Printf.sprintf "Tpsn.run: node %d unreachable" i))
+    parent;
+  let depth = Graph.bfs_dist topo 0 in
+  let net = Net.create ~payload_words ~topology:topo engine ~n ~delay:cfg.delay in
+  let start = Engine.now engine in
+  (* Parents answer requests; children apply the offset estimate. *)
+  let pending = Array.make n cfg.rounds in
+  let acc = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Net.set_handler net i (fun ~src msg ->
+        let now = Engine.now engine in
+        match msg with
+        | Request { t1_ns } ->
+            let t2_ns = read_ns hw.(i) ~now in
+            (* t3 sampled at the (immediate) reply; decode/turnaround time
+               is already part of the sampled link delays. *)
+            let t3_ns = read_ns hw.(i) ~now in
+            Net.send net ~src:i ~dst:src (Reply { t1_ns; t2_ns; t3_ns })
+        | Reply { t1_ns; t2_ns; t3_ns } ->
+            let t4_ns = read_ns hw.(i) ~now in
+            let offset = ((t2_ns -. t1_ns) +. (t3_ns -. t4_ns)) /. 2.0 in
+            acc.(i) <- acc.(i) +. offset;
+            pending.(i) <- pending.(i) - 1;
+            if pending.(i) = 0 then
+              Physical_clock.adjust_offset_ns hw.(i)
+                (acc.(i) /. float_of_int cfg.rounds)
+            else begin
+              let t1_ns = read_ns hw.(i) ~now:(Engine.now engine) in
+              Net.send net ~src:i ~dst:parent.(i) (Request { t1_ns })
+            end)
+  done;
+  (* Kick off each child's first exchange when its level comes up, so
+     parents are already corrected. *)
+  for i = 1 to n - 1 do
+    let at =
+      Sim_time.add start (Sim_time.scale cfg.level_interval (float_of_int depth.(i)))
+    in
+    ignore
+      (Engine.schedule_at engine at (fun () ->
+           let t1_ns = read_ns hw.(i) ~now:(Engine.now engine) in
+           Net.send net ~src:i ~dst:parent.(i) (Request { t1_ns })))
+  done;
+  Engine.run engine;
+  let now = Engine.now engine in
+  let nodes = List.init n (fun i -> i) in
+  Sync_result.measure ~protocol:"tpsn" ~messages:(Net.sent net)
+    ~words:(Net.words_transmitted net)
+    ~duration:(Sim_time.sub now start)
+    hw nodes ~now

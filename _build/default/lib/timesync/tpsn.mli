@@ -1,0 +1,16 @@
+(** TPSN-style two-way sender–receiver synchronization along a spanning
+    tree rooted at node 0. Residual error grows with tree depth. *)
+
+type cfg = {
+  delay : Psn_sim.Delay_model.t;
+  level_interval : Psn_sim.Sim_time.t;
+  rounds : int;
+}
+
+val default_cfg : cfg
+
+val run :
+  ?topology:Psn_util.Graph.t -> Psn_sim.Engine.t ->
+  Psn_clocks.Physical_clock.t array -> cfg:cfg -> Sync_result.t
+(** Default topology: a star centred on node 0. Runs the engine to
+    quiescence. *)

@@ -1,0 +1,1 @@
+lib/util/graph.ml: Array Int Queue Rng Set Vec2

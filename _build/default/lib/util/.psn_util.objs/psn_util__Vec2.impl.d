@@ -1,0 +1,1 @@
+lib/util/vec2.ml: Fmt

@@ -1,0 +1,81 @@
+(* Binary min-heap over an explicit comparison function.
+
+   Backs the simulation event queue, so [add]/[pop] are the hot path of
+   every experiment; the implementation keeps the classic array layout with
+   sift-up/sift-down and no allocation beyond amortized array growth. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  if cap = 0 then t.data <- Array.make 16 x
+  else begin
+    let data = Array.make (2 * cap) t.data.(0) in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.len && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let clear t = t.len <- 0
+
+let of_list ~cmp xs =
+  let t = create ~cmp () in
+  List.iter (add t) xs;
+  t
+
+(* Destructive: drains the heap in ascending order. *)
+let drain t =
+  let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

@@ -1,0 +1,22 @@
+(** Binary min-heap over an explicit comparison.
+
+    Backs the discrete-event simulation queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val drain : 'a t -> 'a list
+(** Empty the heap, returning its elements in ascending order. *)

@@ -1,0 +1,37 @@
+(* Deterministic fan-out over OCaml 5 domains.
+
+   Experiment sweeps run one independent, seeded simulation per parameter
+   point; tasks never share mutable state, so a static block partition is
+   both safe and reproducible: the output array is in input order whatever
+   the number of domains. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map_array ?domains f xs =
+  let n = Array.length xs in
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  if n = 0 then [||]
+  else if d = 1 || n = 1 then Array.map f xs
+  else begin
+    let d = min d n in
+    let results = Array.make n None in
+    let chunk = (n + d - 1) / d in
+    let worker k () =
+      let lo = k * chunk in
+      let hi = min n (lo + chunk) in
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f xs.(i))
+      done
+    in
+    let handles = List.init d (fun k -> Domain.spawn (worker k)) in
+    List.iter Domain.join handles;
+    Array.map
+      (function
+        | Some y -> y
+        | None -> assert false)
+      results
+  end
+
+let map_list ?domains f xs = Array.to_list (map_array ?domains f (Array.of_list xs))
+
+let init ?domains n f = map_array ?domains f (Array.init n (fun i -> i))

@@ -1,0 +1,13 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    Tasks must be independent (no shared mutable state); results come back
+    in input order, so parallel and sequential runs are indistinguishable. *)
+
+val default_domains : unit -> int
+(** Recommended worker count, leaving one core for the main domain. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [init n f] computes [f 0 .. f (n-1)] in parallel. *)

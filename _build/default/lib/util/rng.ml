@@ -1,0 +1,113 @@
+(* Deterministic SplitMix64 pseudo-random generator.
+
+   Every source of randomness in the library flows from one of these
+   generators so that any simulation or experiment is exactly reproducible
+   from its seed.  [split] derives an independent stream, which lets
+   parallel sweeps give each task its own generator without sharing
+   mutable state across domains. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ?(seed = 0x1234_5678_9ABC_DEFL) () = { state = seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int64 t = next_int64 t
+
+(* Non-negative int in [0, bound). The reduction happens in int64 space:
+   converting a 63-bit value to a native int first would wrap negative. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform float in [0, 1). 53 bits of precision. *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let uniform t lo hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. (unit_float t *. (hi -. lo))
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. unit_float t in
+  -.mean *. log u
+
+(* Knuth's algorithm for small means; normal approximation for large. *)
+let poisson t ~mean =
+  if mean < 0.0 then invalid_arg "Rng.poisson: mean must be non-negative";
+  if mean = 0.0 then 0
+  else if mean < 30.0 then begin
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. unit_float t in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else begin
+    let g =
+      mean +. (sqrt mean *. sqrt (-2.0 *. log (1.0 -. unit_float t))
+               *. cos (2.0 *. Float.pi *. unit_float t))
+    in
+    max 0 (int_of_float (Float.round g))
+  end
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. unit_float t and u2 = unit_float t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let pareto t ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Rng.pareto";
+  let u = 1.0 -. unit_float t in
+  scale /. (u ** (1.0 /. shape))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric";
+  if p = 1.0 then 1
+  else
+    let u = 1.0 -. unit_float t in
+    1 + int_of_float (floor (log u /. log (1.0 -. p)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+(* Sample an index proportionally to the given non-negative weights. *)
+let weighted t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.weighted: weights sum to zero";
+  let x = float t total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

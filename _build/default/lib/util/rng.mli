@@ -1,0 +1,56 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    All randomness in the library flows from explicitly threaded [t] values,
+    never from global state, so every run is reproducible from its seed. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh generator. The default seed is fixed, so two [create ()] calls
+    produce identical streams. *)
+
+val split : t -> t
+(** Derive an independent generator; advances the parent. Use one split per
+    parallel task to keep sweeps deterministic. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float : t -> float -> float
+(** [float t b] is uniform in [\[0, b)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val poisson : t -> mean:float -> int
+(** Poisson-distributed count. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate (Box–Muller). *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Pareto deviate, for heavy-tailed (unbounded) message delays. *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli(p) trials up to and including the first success. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly chosen element. Raises on empty array. *)
+
+val weighted : t -> float array -> int
+(** Index sampled proportionally to non-negative weights. *)

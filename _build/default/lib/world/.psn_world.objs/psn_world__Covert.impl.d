@@ -1,0 +1,1 @@
+lib/world/covert.ml: Fun List Psn_sim Psn_util String World

@@ -1,0 +1,1 @@
+lib/world/covert.mli: Psn_sim World

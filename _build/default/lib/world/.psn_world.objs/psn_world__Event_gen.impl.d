@@ -1,0 +1,1 @@
+lib/world/event_gen.ml: Float Psn_sim Psn_util Value World

@@ -1,0 +1,1 @@
+lib/world/mobility.ml: Array Psn_sim Psn_util Rooms Value World World_object

@@ -1,0 +1,1 @@
+lib/world/mobility.mli: Psn_sim Psn_util Rooms World

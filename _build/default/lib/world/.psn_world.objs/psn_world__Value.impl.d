@@ -1,0 +1,1 @@
+lib/world/value.ml: Fmt Stdlib String

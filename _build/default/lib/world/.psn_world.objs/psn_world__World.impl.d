@@ -1,0 +1,1 @@
+lib/world/world.ml: Array List Psn_sim Psn_util String Value World_object

@@ -1,0 +1,1 @@
+lib/world/world.mli: Psn_sim Psn_util Value World_object

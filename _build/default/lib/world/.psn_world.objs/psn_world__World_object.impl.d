@@ -1,0 +1,1 @@
+lib/world/world_object.ml: Fmt Hashtbl List Printf Psn_util Value

@@ -1,0 +1,1 @@
+lib/world/world_object.mli: Format Psn_util Value

@@ -1,0 +1,121 @@
+(* Covert (hidden) channels of the world plane overlay C (paper §2.1, §4.1).
+
+   Objects communicate with one another in the physical world — Bob hands
+   Tom a pen, wind spreads a fire — and this communication "may or may not
+   be sensed by the processes in P and hence may not be replicable in L".
+   Each registered channel reacts to attribute changes of its source object
+   by changing its destination object after a delay; every transmission is
+   logged as a ground-truth causal pair so experiment E11 can measure how
+   much of the true world-plane causality the network plane recovers as a
+   function of channel observability. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Vec = Psn_util.Vec
+
+type transmission = {
+  seq : int;
+  src_obj : int;
+  dst_obj : int;
+  sent_at : Sim_time.t;
+  delivered_at : Sim_time.t;
+  src_attr : string;
+}
+
+type channel = {
+  src : int;
+  dst : int;
+  trigger_attr : string option;  (* None = any attribute of src *)
+  delay : Psn_sim.Delay_model.t;
+  effect : World.t -> transmission -> unit;
+  observable : bool;  (* can sensors in P see this transmission? *)
+}
+
+type t = {
+  world : World.t;
+  rng : Psn_util.Rng.t;
+  mutable channels : channel list;
+  log : transmission Vec.t;
+  mutable seq : int;
+  mutable observers : (transmission -> unit) list;
+  mutable delivering : bool;
+      (* re-entrancy guard: an effect that changes the destination must not
+         recursively trigger channels within the same call stack; the
+         trigger is re-examined from the engine instead. *)
+}
+
+let dummy_transmission =
+  { seq = -1; src_obj = -1; dst_obj = -1; sent_at = Sim_time.zero;
+    delivered_at = Sim_time.zero; src_attr = "" }
+
+let create engine world =
+  let t =
+    {
+      world;
+      rng = Psn_util.Rng.split (Engine.rng engine);
+      channels = [];
+      log = Vec.create ~dummy:dummy_transmission ();
+      seq = 0;
+      observers = [];
+      delivering = false;
+    }
+  in
+  World.subscribe world (fun change ->
+      if not t.delivering then
+        List.iter
+          (fun ch ->
+            let attr_matches =
+              match ch.trigger_attr with
+              | None -> true
+              | Some a -> String.equal a change.World.attr
+            in
+            if ch.src = change.World.obj && attr_matches then begin
+              let d = Psn_sim.Delay_model.sample ch.delay t.rng in
+              let sent_at = Engine.now engine in
+              t.seq <- t.seq + 1;
+              let seq = t.seq in
+              ignore
+                (Engine.schedule_after engine d (fun () ->
+                     let tx =
+                       {
+                         seq;
+                         src_obj = ch.src;
+                         dst_obj = ch.dst;
+                         sent_at;
+                         delivered_at = Engine.now engine;
+                         src_attr = change.World.attr;
+                       }
+                     in
+                     Vec.push t.log tx;
+                     (* Observers fire before the effect lands: a mirrored
+                        covert communication (smart pen, RFID handoff) is
+                        seen by the network plane at the handoff itself,
+                        i.e. causally before the consequence it explains. *)
+                     if ch.observable then
+                       List.iter (fun f -> f tx) t.observers;
+                     t.delivering <- true;
+                     Fun.protect
+                       ~finally:(fun () -> t.delivering <- false)
+                       (fun () -> ch.effect world tx)))
+            end)
+          t.channels);
+  t
+
+let connect t ~src ~dst ?trigger_attr ~delay ?(observable = false) effect =
+  ignore (World.obj t.world src);
+  ignore (World.obj t.world dst);
+  t.channels <-
+    { src; dst; trigger_attr; delay; effect; observable } :: t.channels
+
+(* Sensors that can see (some) covert traffic register here; only
+   transmissions on channels marked observable are reported. *)
+let on_observable t f = t.observers <- f :: t.observers
+
+let transmissions t = Vec.to_list t.log
+
+let transmission_count t = Vec.length t.log
+
+(* Ground-truth causal pairs (src change -> dst change) for E11. *)
+let causal_pairs t =
+  List.map (fun tx -> (tx.src_obj, tx.dst_obj, tx.sent_at, tx.delivered_at))
+    (transmissions t)

@@ -1,0 +1,79 @@
+(* Room/door topology for indoor scenarios.
+
+   Rooms are integers 0..n_rooms-1; [outside] is the distinguished room -1.
+   Doors connect two rooms; a door sensor in lib/scenarios watches the room
+   attribute changes that correspond to crossings through its door. *)
+
+type door = {
+  door_id : int;
+  side_a : int;
+  side_b : int;
+}
+
+type t = {
+  n_rooms : int;
+  doors : door array;
+}
+
+let outside = -1
+
+let valid_room t r = r = outside || (r >= 0 && r < t.n_rooms)
+
+let create ~n_rooms ~doors =
+  if n_rooms < 0 then invalid_arg "Rooms.create: negative room count";
+  let doors =
+    Array.of_list
+      (List.mapi
+         (fun i (a, b) ->
+           if a = b then invalid_arg "Rooms.create: door must join two distinct rooms";
+           { door_id = i; side_a = a; side_b = b })
+         doors)
+  in
+  let t = { n_rooms; doors } in
+  Array.iter
+    (fun d ->
+      if not (valid_room t d.side_a && valid_room t d.side_b) then
+        invalid_arg "Rooms.create: door references unknown room")
+    doors;
+  t
+
+(* A single hall (room 0) with [d] doors to the outside — the paper's
+   exhibition hall (§5). *)
+let hall ~doors:d =
+  if d <= 0 then invalid_arg "Rooms.hall: need at least one door";
+  create ~n_rooms:1 ~doors:(List.init d (fun _ -> (outside, 0)))
+
+(* A corridor of [n] rooms, each connected to the next, with an entrance
+   from outside into room 0 — hospital-ward shaped. *)
+let corridor ~rooms:n =
+  if n <= 0 then invalid_arg "Rooms.corridor: need at least one room";
+  let inner = List.init (n - 1) (fun i -> (i, i + 1)) in
+  create ~n_rooms:n ~doors:((outside, 0) :: inner)
+
+let n_rooms t = t.n_rooms
+let n_doors t = Array.length t.doors
+let door t i =
+  if i < 0 || i >= Array.length t.doors then invalid_arg "Rooms.door: out of range";
+  t.doors.(i)
+
+let doors_from t room =
+  if not (valid_room t room) then invalid_arg "Rooms.doors_from: unknown room";
+  Array.to_list t.doors
+  |> List.filter (fun d -> d.side_a = room || d.side_b = room)
+
+let other_side _t door room =
+  if door.side_a = room then door.side_b
+  else if door.side_b = room then door.side_a
+  else invalid_arg "Rooms.other_side: door does not touch room"
+
+(* The door crossed by a move from [from_room] to [to_room], if any single
+   door joins them; with parallel doors the lowest id wins (a sensing
+   ambiguity real RFID gates share). *)
+let crossing_door t ~from_room ~to_room =
+  let candidates =
+    Array.to_list t.doors
+    |> List.filter (fun d ->
+           (d.side_a = from_room && d.side_b = to_room)
+           || (d.side_b = from_room && d.side_a = to_room))
+  in
+  match candidates with [] -> None | d :: _ -> Some d

@@ -1,0 +1,24 @@
+(** Room/door topology for indoor scenarios. Rooms are [0..n_rooms-1];
+    {!outside} is the distinguished exterior. *)
+
+type door = { door_id : int; side_a : int; side_b : int }
+type t
+
+val outside : int
+
+val create : n_rooms:int -> doors:(int * int) list -> t
+(** Door ids are assigned in list order. *)
+
+val hall : doors:int -> t
+(** One hall (room 0) with [doors] doors to the outside — the paper's
+    exhibition-hall scenario. *)
+
+val corridor : rooms:int -> t
+(** Rooms in a line, entrance from outside into room 0. *)
+
+val n_rooms : t -> int
+val n_doors : t -> int
+val door : t -> int -> door
+val doors_from : t -> int -> door list
+val other_side : t -> door -> int -> int
+val crossing_door : t -> from_room:int -> to_room:int -> door option

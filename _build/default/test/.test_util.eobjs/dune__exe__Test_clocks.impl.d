@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Array Bool Float Int64 List Psn_clocks Psn_sim Psn_util QCheck QCheck_alcotest

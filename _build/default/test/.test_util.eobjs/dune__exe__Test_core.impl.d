@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fmt List Psn Psn_clocks Psn_detection Psn_network Psn_predicates Psn_sim Psn_util Psn_world String

@@ -1,0 +1,1 @@
+test/test_detection.ml: Alcotest Array Fmt Int64 List Printf Psn_detection Psn_predicates Psn_sim Psn_world QCheck QCheck_alcotest String

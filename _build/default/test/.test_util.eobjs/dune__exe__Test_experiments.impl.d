@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Printf Psn_detection Psn_experiments Psn_lattice Psn_sim String

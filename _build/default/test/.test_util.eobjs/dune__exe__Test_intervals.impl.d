@@ -1,0 +1,1 @@
+test/test_intervals.ml: Alcotest Array Bool Hashtbl Int64 List Printf Psn_intervals Psn_sim Psn_util Psn_world QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Int64 List Psn_lattice Psn_predicates Psn_util Psn_world QCheck QCheck_alcotest String

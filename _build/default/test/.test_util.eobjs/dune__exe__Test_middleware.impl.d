@@ -1,0 +1,1 @@
+test/test_middleware.ml: Alcotest Array List Printf Psn_clocks Psn_middleware Psn_sim Psn_util

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Hashtbl List Printf Psn_network Psn_sim Psn_util Psn_world String

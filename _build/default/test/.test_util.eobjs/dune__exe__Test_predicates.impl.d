@@ -1,0 +1,1 @@
+test/test_predicates.ml: Alcotest List Psn_predicates Psn_world

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Int64 List Psn Psn_clocks Psn_detection Psn_middleware Psn_network Psn_scenarios Psn_sim Psn_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest List Psn Psn_detection Psn_predicates Psn_scenarios Psn_sim

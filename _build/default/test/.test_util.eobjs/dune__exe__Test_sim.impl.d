@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Fmt Int64 List Psn_sim Psn_util QCheck QCheck_alcotest String

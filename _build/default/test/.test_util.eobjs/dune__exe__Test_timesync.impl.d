@@ -1,0 +1,1 @@
+test/test_timesync.ml: Alcotest Array List Psn_clocks Psn_sim Psn_timesync Psn_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Int64 List Psn_util QCheck QCheck_alcotest String

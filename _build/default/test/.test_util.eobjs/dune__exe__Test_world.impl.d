@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Float Hashtbl List Printf Psn_sim Psn_util Psn_world QCheck QCheck_alcotest

@@ -1,0 +1,448 @@
+(* Tests for psn_clocks: the protocol rules SC1–3, VC1–3, SSC1–2, SVC1–2,
+   physical clocks, matrix clocks, HLC — including the key property that
+   Mattern/Fidge stamps are isomorphic to happened-before on randomly
+   generated executions. *)
+
+module Lamport = Psn_clocks.Lamport
+module Vc = Psn_clocks.Vector_clock
+module Ss = Psn_clocks.Strobe_scalar
+module Sv = Psn_clocks.Strobe_vector
+module Phys = Psn_clocks.Physical_clock
+module Pv = Psn_clocks.Physical_vector
+module Matrix = Psn_clocks.Matrix_clock
+module Hlc = Psn_clocks.Hlc
+module Clock_kind = Psn_clocks.Clock_kind
+module Sim_time = Psn_sim.Sim_time
+module Rng = Psn_util.Rng
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Lamport (SC1-SC3) --- *)
+
+let test_lamport_rules () =
+  let c = Lamport.create ~me:0 in
+  Alcotest.(check int) "initial" 0 (Lamport.read c);
+  Alcotest.(check int) "SC1 tick" 1 (Lamport.tick c);
+  Alcotest.(check int) "SC2 send" 2 (Lamport.send c);
+  (* SC3: max(2, 10) + 1 *)
+  Alcotest.(check int) "SC3 receive high" 11 (Lamport.receive c 10);
+  (* SC3 with a stale stamp still ticks. *)
+  Alcotest.(check int) "SC3 receive low" 12 (Lamport.receive c 3)
+
+let test_lamport_total_order () =
+  Alcotest.(check bool) "stamp dominates" true
+    (Lamport.compare_total (1, 9) (2, 0) < 0);
+  Alcotest.(check bool) "pid breaks ties" true
+    (Lamport.compare_total (5, 1) (5, 2) < 0);
+  Alcotest.(check int) "equal" 0 (Lamport.compare_total (5, 1) (5, 1))
+
+(* --- Vector clock (VC1-VC3) --- *)
+
+let test_vc_rules () =
+  let a = Vc.create ~n:3 ~me:0 and b = Vc.create ~n:3 ~me:1 in
+  let s1 = Vc.tick a in
+  Alcotest.(check (array int)) "VC1" [| 1; 0; 0 |] s1;
+  let s2 = Vc.send a in
+  Alcotest.(check (array int)) "VC2" [| 2; 0; 0 |] s2;
+  let s3 = Vc.receive b s2 in
+  Alcotest.(check (array int)) "VC3 merge+tick" [| 2; 1; 0 |] s3
+
+let test_vc_comparisons () =
+  Alcotest.(check bool) "leq" true (Vc.leq [| 1; 0 |] [| 1; 2 |]);
+  Alcotest.(check bool) "hb strict" false (Vc.happened_before [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "hb" true (Vc.happened_before [| 1; 0 |] [| 1; 2 |]);
+  Alcotest.(check bool) "concurrent" true (Vc.concurrent [| 1; 0 |] [| 0; 1 |]);
+  Alcotest.(check (array int)) "merge" [| 1; 1 |] (Vc.merge [| 1; 0 |] [| 0; 1 |]);
+  Alcotest.(check (option int)) "compare lt" (Some (-1))
+    (Vc.compare_partial [| 1; 0 |] [| 1; 2 |]);
+  Alcotest.(check (option int)) "compare conc" None
+    (Vc.compare_partial [| 1; 0 |] [| 0; 1 |]);
+  Alcotest.(check int) "total" 3 (Vc.total [| 1; 2 |])
+
+(* Random execution generator shared by the isomorphism tests: returns the
+   event list [(proc, vstamp, id)] and the happened-before relation as
+   reachability over (program order + message) edges. *)
+let random_execution ~seed ~n ~steps =
+  let rng = Rng.create ~seed () in
+  let clocks = Array.init n (fun me -> Vc.create ~n ~me) in
+  let events = ref [] in
+  let nev = ref 0 in
+  let last_event = Array.make n None in
+  let edges = ref [] in
+  let add_event proc stamp =
+    let id = !nev in
+    incr nev;
+    events := (proc, stamp, id) :: !events;
+    (match last_event.(proc) with
+    | Some prev -> edges := (prev, id) :: !edges
+    | None -> ());
+    last_event.(proc) <- Some id;
+    id
+  in
+  (* Pending messages carry (stamp, send event id). *)
+  let pending = ref [] in
+  for _ = 1 to steps do
+    match Rng.int rng 3 with
+    | 0 ->
+        let i = Rng.int rng n in
+        ignore (add_event i (Vc.tick clocks.(i)))
+    | 1 ->
+        let i = Rng.int rng n in
+        let stamp = Vc.send clocks.(i) in
+        let id = add_event i stamp in
+        pending := (stamp, id) :: !pending
+    | _ -> (
+        match !pending with
+        | [] -> ()
+        | (stamp, send_id) :: rest ->
+            pending := rest;
+            let j = Rng.int rng n in
+            let stamp' = Vc.receive clocks.(j) stamp in
+            let id = add_event j stamp' in
+            edges := (send_id, id) :: !edges)
+  done;
+  let m = !nev in
+  (* Transitive closure (small m). *)
+  let reach = Array.make_matrix m m false in
+  List.iter (fun (a, b) -> reach.(a).(b) <- true) !edges;
+  for k = 0 to m - 1 do
+    for i = 0 to m - 1 do
+      if reach.(i).(k) then
+        for j = 0 to m - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  (List.rev !events, reach)
+
+let test_vc_isomorphism =
+  qtest ~count:40 "vc: stamps isomorphic to happened-before" QCheck.int
+    (fun seed ->
+      let events, reach =
+        random_execution ~seed:(Int64.of_int seed) ~n:3 ~steps:30
+      in
+      List.for_all
+        (fun (_, sa, ia) ->
+          List.for_all
+            (fun (_, sb, ib) ->
+              ia = ib
+              || Bool.equal reach.(ia).(ib) (Vc.happened_before sa sb))
+            events)
+        events)
+
+let test_lamport_consistency =
+  (* Weak clock condition: e -> f implies L(e) < L(f). *)
+  qtest ~count:40 "lamport: consistent with happened-before" QCheck.int
+    (fun seed ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let n = 3 in
+      let lamports = Array.init n (fun me -> Lamport.create ~me) in
+      let vcs = Array.init n (fun me -> Vc.create ~n ~me) in
+      let events = ref [] in
+      let pending = ref [] in
+      for _ = 1 to 30 do
+        match Rng.int rng 3 with
+        | 0 ->
+            let i = Rng.int rng n in
+            events := (Lamport.tick lamports.(i), Vc.tick vcs.(i)) :: !events
+        | 1 ->
+            let i = Rng.int rng n in
+            let s = Lamport.send lamports.(i) and v = Vc.send vcs.(i) in
+            events := (s, v) :: !events;
+            pending := (s, v) :: !pending
+        | _ -> (
+            match !pending with
+            | [] -> ()
+            | (s, v) :: rest ->
+                pending := rest;
+                let j = Rng.int rng n in
+                events :=
+                  (Lamport.receive lamports.(j) s, Vc.receive vcs.(j) v)
+                  :: !events)
+      done;
+      List.for_all
+        (fun (sa, va) ->
+          List.for_all
+            (fun (sb, vb) -> (not (Vc.happened_before va vb)) || sa < sb)
+            !events)
+        !events)
+
+(* --- Strobe scalar (SSC1-SSC2) --- *)
+
+let test_strobe_scalar_rules () =
+  let c = Ss.create ~me:0 in
+  Alcotest.(check int) "SSC1" 1 (Ss.tick_and_strobe c);
+  (* SSC2: catch up, no tick. *)
+  Ss.receive_strobe c 10;
+  Alcotest.(check int) "SSC2 catch up" 10 (Ss.read c);
+  Ss.receive_strobe c 4;
+  Alcotest.(check int) "SSC2 no regress" 10 (Ss.read c);
+  Alcotest.(check int) "tick after catch-up" 11 (Ss.tick_and_strobe c)
+
+let test_strobe_scalar_no_tick_on_receive () =
+  let c = Ss.create ~me:0 in
+  let before = Ss.read c in
+  Ss.receive_strobe c before;
+  Alcotest.(check int) "receive of equal value does not tick" before (Ss.read c)
+
+(* --- Strobe vector (SVC1-SVC2) --- *)
+
+let test_strobe_vector_rules () =
+  let a = Sv.create ~n:3 ~me:0 and b = Sv.create ~n:3 ~me:1 in
+  let s = Sv.tick_and_strobe a in
+  Alcotest.(check (array int)) "SVC1" [| 1; 0; 0 |] s;
+  Sv.receive_strobe b s;
+  (* SVC2: merge only — own component untouched. *)
+  Alcotest.(check (array int)) "SVC2 merge no tick" [| 1; 0; 0 |] (Sv.read b);
+  let s2 = Sv.tick_and_strobe b in
+  Alcotest.(check (array int)) "tick after merge" [| 1; 1; 0 |] s2
+
+let test_strobe_vector_monotone =
+  qtest ~count:50 "strobe vector: reads are monotone" QCheck.(list (int_bound 2))
+    (fun ops ->
+      let a = Sv.create ~n:3 ~me:0 in
+      let rng = Rng.create () in
+      let prev = ref (Sv.read a) in
+      List.for_all
+        (fun op ->
+          (match op with
+          | 0 -> ignore (Sv.tick_and_strobe a)
+          | 1 ->
+              let s = Array.init 3 (fun _ -> Rng.int rng 10) in
+              Sv.receive_strobe a s
+          | _ -> ());
+          let now = Sv.read a in
+          let ok = Vc.leq !prev now in
+          prev := now;
+          ok)
+        ops)
+
+let test_strobe_sizes () =
+  Alcotest.(check int) "scalar O(1)" 1 Ss.stamp_size_words;
+  Alcotest.(check int) "vector O(n)" 16 (Sv.stamp_size_words 16)
+
+(* --- Physical clocks --- *)
+
+let test_physical_perfect () =
+  let c = Phys.perfect () in
+  let now = Sim_time.of_ms 1234 in
+  Alcotest.(check (float 1e-9)) "reads true time" 1.234
+    (Sim_time.to_sec_float (Phys.read c ~now))
+
+let test_physical_synced_within =
+  qtest ~count:50 "physical: synced_within bound" QCheck.int (fun seed ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let eps = Sim_time.of_ms 10 in
+      let c = Phys.synced_within rng ~eps in
+      let err = Phys.error_sec c ~now:(Sim_time.of_sec 100) in
+      Float.abs err <= 0.005 +. 1e-9)
+
+let test_physical_drift_grows () =
+  let rng = Rng.create ~seed:77L () in
+  let c = Phys.create rng ~max_offset:Sim_time.zero ~max_drift_ppm:100.0 in
+  let e1 = Float.abs (Phys.error_sec c ~now:(Sim_time.of_sec 10)) in
+  let e2 = Float.abs (Phys.error_sec c ~now:(Sim_time.of_sec 1000)) in
+  Alcotest.(check bool) "error grows with drift" true (e2 > e1)
+
+let test_physical_correction () =
+  let rng = Rng.create ~seed:78L () in
+  let c = Phys.create rng ~max_offset:(Sim_time.of_ms 100) ~max_drift_ppm:0.0 in
+  let now = Sim_time.of_sec 5 in
+  let err_before = Phys.error_sec c ~now in
+  Phys.apply_correction c ~now ~offset_ns:(-.err_before *. 1e9) ~drift_ppm:0.0;
+  let err_after = Phys.error_sec c ~now in
+  Alcotest.(check bool) "correction shrinks error" true
+    (Float.abs err_after < Float.abs err_before /. 100.0 +. 1e-9);
+  Phys.adjust_offset_ns c 1000.0;
+  let err_adj = Phys.error_sec c ~now in
+  Alcotest.(check (float 1e-9)) "adjust adds 1us" 1e-6 (err_adj -. err_after)
+
+let test_physical_raw_vs_corrected () =
+  let rng = Rng.create ~seed:79L () in
+  let c = Phys.create rng ~max_offset:(Sim_time.of_ms 50) ~max_drift_ppm:0.0 in
+  let now = Sim_time.of_sec 1 in
+  Phys.apply_correction c ~now ~offset_ns:5000.0 ~drift_ppm:0.0;
+  let raw = Phys.read_raw c ~now and corr = Phys.read c ~now in
+  Alcotest.(check bool) "raw ignores correction" true (not (Sim_time.equal raw corr))
+
+(* --- Physical vector --- *)
+
+let test_physical_vector () =
+  let hw0 = Phys.perfect () and hw1 = Phys.perfect () in
+  let a = Pv.create ~n:2 ~me:0 hw0 and b = Pv.create ~n:2 ~me:1 hw1 in
+  let sa = Pv.tick a ~now:(Sim_time.of_ms 100) in
+  Pv.receive b ~now:(Sim_time.of_ms 200) sa;
+  let sb = Pv.read b in
+  Alcotest.(check bool) "hb after receive" true (Pv.happened_before sa sb);
+  let s_conc = Pv.tick a ~now:(Sim_time.of_ms 300) in
+  let b_only = Pv.tick b ~now:(Sim_time.of_ms 250) in
+  Alcotest.(check bool) "tick monotone" true (Pv.leq sa s_conc);
+  ignore b_only
+
+(* --- Matrix clock --- *)
+
+let test_matrix_clock () =
+  let a = Matrix.create ~n:3 ~me:0 and b = Matrix.create ~n:3 ~me:1 in
+  let sa = Matrix.tick a in
+  Alcotest.(check int) "own count" 1 sa.(0).(0);
+  Matrix.receive b ~from:0 sa;
+  Alcotest.(check int) "b knows a's event" 1 (Matrix.vector b).(0);
+  (* min_known: process 2 has seen nothing of 0. *)
+  Alcotest.(check int) "min_known floor" 0 (Matrix.min_known b 0);
+  Alcotest.(check int) "size" 3 (Matrix.size b)
+
+let test_matrix_gc_property () =
+  (* After a full exchange round everyone knows everyone saw event 1. *)
+  let n = 3 in
+  let clocks = Array.init n (fun me -> Matrix.create ~n ~me) in
+  let s0 = Matrix.send clocks.(0) in
+  Matrix.receive clocks.(1) ~from:0 s0;
+  Matrix.receive clocks.(2) ~from:0 s0;
+  let s1 = Matrix.send clocks.(1) in
+  let s2 = Matrix.send clocks.(2) in
+  Matrix.receive clocks.(0) ~from:1 s1;
+  Matrix.receive clocks.(0) ~from:2 s2;
+  Alcotest.(check bool) "min_known at checker >= 1" true
+    (Matrix.min_known clocks.(0) 0 >= 1)
+
+(* --- HLC --- *)
+
+let test_hlc_monotone () =
+  let hw = Phys.perfect () in
+  let c = Hlc.create ~me:0 hw in
+  let s1 = Hlc.tick c ~now:(Sim_time.of_ms 10) in
+  let s2 = Hlc.tick c ~now:(Sim_time.of_ms 5) in
+  (* Physical time went backwards (other node's perspective); HLC must not. *)
+  Alcotest.(check bool) "monotone" true (Hlc.compare_stamp s1 s2 < 0)
+
+let test_hlc_happened_before () =
+  let hw0 = Phys.perfect () and hw1 = Phys.perfect () in
+  let a = Hlc.create ~me:0 hw0 and b = Hlc.create ~me:1 hw1 in
+  let sa = Hlc.send a ~now:(Sim_time.of_ms 100) in
+  let sb = Hlc.receive b ~now:(Sim_time.of_ms 50) sa in
+  (* Receiver's physical clock is behind the sender's stamp; logical
+     component must still order send before receive. *)
+  Alcotest.(check bool) "send < receive" true (Hlc.compare_stamp sa sb < 0)
+
+let test_hlc_divergence_bounded () =
+  let hw = Phys.perfect () in
+  let c = Hlc.create ~me:0 hw in
+  ignore (Hlc.tick c ~now:(Sim_time.of_ms 10));
+  ignore (Hlc.tick c ~now:(Sim_time.of_ms 20));
+  Alcotest.(check (float 1e-9)) "no divergence with perfect clock" 0.0
+    (Hlc.physical_divergence c ~now:(Sim_time.of_ms 20))
+
+let test_dimension_mismatches () =
+  let a = Vc.create ~n:3 ~me:0 in
+  Alcotest.(check bool) "vc receive mismatch" true
+    (try
+       ignore (Vc.receive a [| 1; 2 |]);
+       false
+     with Invalid_argument _ -> true);
+  let sv = Sv.create ~n:3 ~me:0 in
+  Alcotest.(check bool) "strobe receive mismatch" true
+    (try
+       Sv.receive_strobe sv [| 1 |];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "leq mismatch" true
+    (try
+       ignore (Vc.leq [| 1 |] [| 1; 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_construction_bounds () =
+  Alcotest.(check bool) "vc bad me" true
+    (try
+       ignore (Vc.create ~n:2 ~me:5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "vc bad n" true
+    (try
+       ignore (Vc.create ~n:0 ~me:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "lamport bad me" true
+    (try
+       ignore (Lamport.create ~me:(-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check int) "ids kept" 3 (Lamport.me (Lamport.create ~me:3));
+  Alcotest.(check int) "vc size" 4 (Vc.size (Vc.create ~n:4 ~me:1))
+
+(* --- Clock_kind --- *)
+
+let test_clock_kind () =
+  Alcotest.(check string) "to_string" "strobe-vector"
+    (Clock_kind.to_string Clock_kind.Strobe_vector);
+  Alcotest.(check bool) "strobe vector partial order" true
+    (Clock_kind.time_model Clock_kind.Strobe_vector = Clock_kind.Partial_order);
+  Alcotest.(check bool) "lamport single axis" true
+    (Clock_kind.time_model Clock_kind.Logical_scalar = Clock_kind.Single_axis);
+  Alcotest.(check int) "scalar words" 1
+    (Clock_kind.stamp_words ~n:16 Clock_kind.Strobe_scalar);
+  Alcotest.(check int) "vector words" 16
+    (Clock_kind.stamp_words ~n:16 Clock_kind.Logical_vector);
+  let hybrid =
+    Clock_kind.Hybrid_logical
+      { max_offset = Sim_time.of_ms 10; max_drift_ppm = 50.0 }
+  in
+  Alcotest.(check int) "hlc words" 2 (Clock_kind.stamp_words ~n:16 hybrid);
+  Alcotest.(check bool) "hlc single axis" true
+    (Clock_kind.time_model hybrid = Clock_kind.Single_axis)
+
+let () =
+  Alcotest.run "psn_clocks"
+    [
+      ( "lamport",
+        [
+          Alcotest.test_case "SC rules" `Quick test_lamport_rules;
+          Alcotest.test_case "total order" `Quick test_lamport_total_order;
+          test_lamport_consistency;
+        ] );
+      ( "vector",
+        [
+          Alcotest.test_case "VC rules" `Quick test_vc_rules;
+          Alcotest.test_case "comparisons" `Quick test_vc_comparisons;
+          test_vc_isomorphism;
+        ] );
+      ( "strobe_scalar",
+        [
+          Alcotest.test_case "SSC rules" `Quick test_strobe_scalar_rules;
+          Alcotest.test_case "no tick on receive" `Quick
+            test_strobe_scalar_no_tick_on_receive;
+        ] );
+      ( "strobe_vector",
+        [
+          Alcotest.test_case "SVC rules" `Quick test_strobe_vector_rules;
+          test_strobe_vector_monotone;
+          Alcotest.test_case "sizes" `Quick test_strobe_sizes;
+        ] );
+      ( "physical",
+        [
+          Alcotest.test_case "perfect" `Quick test_physical_perfect;
+          test_physical_synced_within;
+          Alcotest.test_case "drift grows" `Quick test_physical_drift_grows;
+          Alcotest.test_case "correction" `Quick test_physical_correction;
+          Alcotest.test_case "raw vs corrected" `Quick test_physical_raw_vs_corrected;
+          Alcotest.test_case "physical vector" `Quick test_physical_vector;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "basics" `Quick test_matrix_clock;
+          Alcotest.test_case "gc property" `Quick test_matrix_gc_property;
+        ] );
+      ( "hlc",
+        [
+          Alcotest.test_case "monotone" `Quick test_hlc_monotone;
+          Alcotest.test_case "happened-before" `Quick test_hlc_happened_before;
+          Alcotest.test_case "divergence" `Quick test_hlc_divergence_bounded;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "dimension mismatches" `Quick test_dimension_mismatches;
+          Alcotest.test_case "construction bounds" `Quick test_construction_bounds;
+        ] );
+      ("clock_kind", [ Alcotest.test_case "meta" `Quick test_clock_kind ]);
+    ]

@@ -1,0 +1,320 @@
+(* Tests for psn_intervals: interval construction, Allen's 13 relations,
+   and the causality-bit fine-grained classification. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Interval = Psn_intervals.Interval
+module Allen = Psn_intervals.Allen
+module Fine = Psn_intervals.Fine_grain
+module Value = Psn_world.Value
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let ms = Sim_time.of_ms
+
+let itv ?v_lo ?v_hi proc a b =
+  Interval.make ~proc ~seq:0 ~value:(Value.Int 0) ~t_lo:(ms a) ~t_hi:(ms b)
+    ?v_lo ?v_hi ()
+
+(* --- Interval --- *)
+
+let test_interval_basic () =
+  let i = itv 0 10 30 in
+  Alcotest.(check bool) "duration" true
+    (Sim_time.equal (Interval.duration i) (ms 20));
+  Alcotest.check_raises "reversed" (Invalid_argument "Interval.make: t_lo > t_hi")
+    (fun () -> ignore (itv 0 30 10))
+
+let test_interval_overlap () =
+  let a = itv 0 0 10 and b = itv 1 5 15 and c = itv 1 11 20 in
+  Alcotest.(check bool) "overlaps" true (Interval.overlaps_real a b);
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps_real a c);
+  Alcotest.(check bool) "overlap length" true
+    (Sim_time.equal (Interval.overlap_length a b) (ms 5));
+  Alcotest.(check bool) "zero overlap" true
+    (Sim_time.equal (Interval.overlap_length a c) Sim_time.zero)
+
+let test_interval_of_timeline () =
+  let changes =
+    [
+      (ms 0, Value.Int 1, None, Some 1);
+      (ms 10, Value.Int 2, None, Some 2);
+      (ms 25, Value.Int 3, None, Some 3);
+    ]
+  in
+  let itvs = Interval.of_timeline ~proc:2 ~horizon:(ms 100) changes in
+  Alcotest.(check int) "three intervals" 3 (List.length itvs);
+  let last = List.nth itvs 2 in
+  Alcotest.(check bool) "closed at horizon" true
+    (Sim_time.equal last.Interval.t_hi (ms 100));
+  let middle = List.nth itvs 1 in
+  Alcotest.(check bool) "middle span" true
+    (Sim_time.equal middle.Interval.t_lo (ms 10)
+    && Sim_time.equal middle.Interval.t_hi (ms 25));
+  Alcotest.(check int) "seq" 1 middle.Interval.seq;
+  Alcotest.(check (option int)) "scalar stamps carried" (Some 2)
+    middle.Interval.s_lo
+
+let test_interval_missing_stamp () =
+  let i = itv 0 0 1 in
+  Alcotest.check_raises "no stamp"
+    (Invalid_argument "Interval: missing vector stamp at start") (fun () ->
+      ignore (Interval.v_lo_exn i))
+
+(* --- Allen relations: one case per relation --- *)
+
+let check_rel name expected a b =
+  Alcotest.(check string) name (Allen.to_string expected)
+    (Allen.to_string (Allen.classify a b))
+
+let test_allen_all_13 () =
+  check_rel "before" Allen.Before (itv 0 0 5) (itv 1 10 20);
+  check_rel "meets" Allen.Meets (itv 0 0 10) (itv 1 10 20);
+  check_rel "overlaps" Allen.Overlaps (itv 0 0 15) (itv 1 10 20);
+  check_rel "finished-by" Allen.Finished_by (itv 0 0 20) (itv 1 10 20);
+  check_rel "contains" Allen.Contains (itv 0 0 30) (itv 1 10 20);
+  check_rel "starts" Allen.Starts (itv 0 10 15) (itv 1 10 20);
+  check_rel "equals" Allen.Equals (itv 0 10 20) (itv 1 10 20);
+  check_rel "started-by" Allen.Started_by (itv 0 10 30) (itv 1 10 20);
+  check_rel "during" Allen.During (itv 0 12 18) (itv 1 10 20);
+  check_rel "finishes" Allen.Finishes (itv 0 15 20) (itv 1 10 20);
+  check_rel "overlapped-by" Allen.Overlapped_by (itv 0 15 30) (itv 1 10 20);
+  check_rel "met-by" Allen.Met_by (itv 0 20 30) (itv 1 10 20);
+  check_rel "after" Allen.After (itv 0 25 30) (itv 1 10 20)
+
+let gen_interval =
+  QCheck.(
+    map
+      (fun (a, d) -> (a, a + d))
+      (pair (int_bound 50) (int_bound 30)))
+
+let test_allen_inverse =
+  qtest "allen: classify(a,b) = inverse(classify(b,a))"
+    QCheck.(pair gen_interval gen_interval)
+    (fun ((a1, a2), (b1, b2)) ->
+      let x = itv 0 a1 a2 and y = itv 1 b1 b2 in
+      Allen.classify x y = Allen.inverse (Allen.classify y x))
+
+let test_allen_overlap_consistency =
+  qtest "allen: implies_overlap = overlaps_real"
+    QCheck.(pair gen_interval gen_interval)
+    (fun ((a1, a2), (b1, b2)) ->
+      let x = itv 0 a1 a2 and y = itv 1 b1 b2 in
+      Bool.equal
+        (Allen.implies_overlap (Allen.classify x y))
+        (Interval.overlaps_real x y))
+
+let test_allen_inverse_table () =
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Allen.to_string r ^ " involution")
+        (Allen.to_string r)
+        (Allen.to_string (Allen.inverse (Allen.inverse r))))
+    Allen.all
+
+let test_allen_malformed () =
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Allen.classify_times: malformed interval") (fun () ->
+      ignore (Allen.classify_times (ms 5) (ms 1) (ms 0) (ms 2)))
+
+(* --- Fine-grained causality bits --- *)
+
+(* Stamps for a 2-process scenario where X = [a1,a2] at p0, Y = [b1,b2] at
+   p1, and causality flows through strobes broadcast at each endpoint with
+   zero delay: endpoint e knows all endpoints with earlier real time. *)
+let stamps_zero_delay (a1, a2) (b1, b2) =
+  (* Build vector stamps by real-time order of the four endpoints. *)
+  let events =
+    List.sort
+      (fun (t1, _, _) (t2, _, _) -> compare t1 t2)
+      [ (a1, 0, `Xlo); (a2, 0, `Xhi); (b1, 1, `Ylo); (b2, 1, `Yhi) ]
+  in
+  let clock = [| 0; 0 |] in
+  let out = Hashtbl.create 4 in
+  List.iter
+    (fun (_, p, tag) ->
+      clock.(p) <- clock.(p) + 1;
+      Hashtbl.replace out tag (Array.copy clock))
+    events;
+  ( Hashtbl.find out `Xlo, Hashtbl.find out `Xhi,
+    Hashtbl.find out `Ylo, Hashtbl.find out `Yhi )
+
+let test_fine_grain_sequential () =
+  (* X wholly before Y with full knowledge: X strictly precedes Y. *)
+  let xlo, xhi, ylo, yhi = stamps_zero_delay (0, 10) (20, 30) in
+  let bits = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+  Alcotest.(check bool) "precedes" true (Fine.strictly_precedes bits);
+  Alcotest.(check bool) "no overlap possible" false (Fine.possibly_overlap bits);
+  Alcotest.(check bool) "not definite" false (Fine.definitely_overlap bits)
+
+let test_fine_grain_overlap () =
+  let xlo, xhi, ylo, yhi = stamps_zero_delay (0, 20) (10, 30) in
+  let bits = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+  Alcotest.(check bool) "possibly" true (Fine.possibly_overlap bits);
+  Alcotest.(check bool) "definitely" true (Fine.definitely_overlap bits);
+  Alcotest.(check bool) "not precedes" false (Fine.strictly_precedes bits)
+
+let test_fine_grain_concurrent () =
+  (* No communication: all cross bits false. *)
+  let xlo = [| 1; 0 |] and xhi = [| 2; 0 |] in
+  let ylo = [| 0; 1 |] and yhi = [| 0; 2 |] in
+  let bits = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+  Alcotest.(check bool) "fully concurrent" true (Fine.fully_concurrent bits);
+  Alcotest.(check bool) "possibly overlap" true (Fine.possibly_overlap bits);
+  Alcotest.(check bool) "not definitely" false (Fine.definitely_overlap bits);
+  Alcotest.(check int) "code zero" 0 (Fine.code bits)
+
+let test_fine_grain_definitely_implies_possibly =
+  qtest ~count:300 "fine: definitely => possibly"
+    QCheck.(pair (pair (int_bound 40) (int_bound 20)) (pair (int_bound 40) (int_bound 20)))
+    (fun ((a1, da), (b1, db)) ->
+      let xlo, xhi, ylo, yhi =
+        stamps_zero_delay (a1, a1 + da + 1) (b1, b1 + db + 1)
+      in
+      let bits = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+      (not (Fine.definitely_overlap bits)) || Fine.possibly_overlap bits)
+
+let test_fine_grain_matches_real_overlap =
+  (* With zero-delay full knowledge, possibly = definitely = real overlap
+     (open endpoints aside, using strict containment cases). *)
+  qtest ~count:300 "fine: zero-delay tracks real overlap"
+    QCheck.(pair (pair (int_bound 40) (int_bound 20)) (pair (int_bound 40) (int_bound 20)))
+    (fun ((a1, da), (b1, db)) ->
+      let a2 = a1 + da + 1 and b2 = b1 + db + 1 in
+      (* Skip endpoint-touching cases where knowledge direction is
+         ambiguous at equal instants. *)
+      QCheck.assume (a1 <> b1 && a1 <> b2 && a2 <> b1 && a2 <> b2);
+      let xlo, xhi, ylo, yhi = stamps_zero_delay (a1, a2) (b1, b2) in
+      let bits = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+      let real = a1 < b2 && b1 < a2 in
+      Bool.equal (Fine.definitely_overlap bits) real)
+
+let test_fine_grain_code_distinguishes () =
+  let xlo, xhi, ylo, yhi = stamps_zero_delay (0, 10) (20, 30) in
+  let seq = Fine.code (Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi) in
+  let xlo', xhi', ylo', yhi' = stamps_zero_delay (0, 20) (10, 30) in
+  let ovl = Fine.code (Fine.classify_stamps ~xlo:xlo' ~xhi:xhi' ~ylo:ylo' ~yhi:yhi') in
+  Alcotest.(check bool) "distinct codes" true (seq <> ovl)
+
+(* Random stamps of two genuine intervals (lo happens-before hi within
+   each), built from random zero-delay endpoint interleavings plus random
+   extra knowledge exchanges. *)
+let gen_genuine_stamps seed =
+  let rng = Psn_util.Rng.create ~seed:(Int64.of_int seed) () in
+  let a1 = Psn_util.Rng.int rng 40 in
+  let a2 = a1 + 1 + Psn_util.Rng.int rng 20 in
+  let b1 = Psn_util.Rng.int rng 40 in
+  let b2 = b1 + 1 + Psn_util.Rng.int rng 20 in
+  stamps_zero_delay (a1, a2) (b1, b2)
+
+let test_fine_grain_quantifier_lattice =
+  qtest ~count:300 "fine: R1 => R2,R3 => R4 on genuine intervals" QCheck.int
+    (fun seed ->
+      let xlo, xhi, ylo, yhi = gen_genuine_stamps seed in
+      let b = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+      let implies p q = (not p) || q in
+      implies (Fine.r1 b) (Fine.r2 b)
+      && implies (Fine.r1 b) (Fine.r3 b)
+      && implies (Fine.r2 b) (Fine.r4 b)
+      && implies (Fine.r3 b) (Fine.r4 b)
+      && implies (Fine.r1_inv b) (Fine.r2_inv b)
+      && implies (Fine.r1_inv b) (Fine.r3_inv b)
+      && implies (Fine.r2_inv b) (Fine.r4_inv b)
+      && implies (Fine.r3_inv b) (Fine.r4_inv b))
+
+let test_fine_grain_coarse_consistent =
+  qtest ~count:300 "fine: coarse classification consistent" QCheck.int
+    (fun seed ->
+      let xlo, xhi, ylo, yhi = gen_genuine_stamps seed in
+      let b = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+      match Fine.coarse b with
+      | Fine.Precedes -> Fine.r1 b && not (Fine.possibly_overlap b)
+      | Fine.Preceded_by -> Fine.r1_inv b && not (Fine.possibly_overlap b)
+      | Fine.Definitely_coarse -> Fine.definitely_overlap b
+      | Fine.Possibly_coarse ->
+          Fine.possibly_overlap b && not (Fine.definitely_overlap b)
+      | Fine.Never -> true)
+
+let test_fine_grain_allen_bridge () =
+  (* With zero-delay full knowledge, each Allen configuration (distinct
+     endpoints) maps to its own endpoint-causality code, and the coarse
+     modality agrees with the real-time relation. *)
+  let configs =
+    [ (* (a1,a2,b1,b2) exemplars with all-distinct endpoints *)
+      (0, 5, 10, 20);      (* before *)
+      (0, 15, 10, 20);     (* overlaps *)
+      (0, 30, 10, 20);     (* contains *)
+      (12, 18, 10, 20);    (* during *)
+      (15, 30, 10, 20);    (* overlapped-by *)
+      (25, 30, 10, 20);    (* after *)
+    ]
+  in
+  let codes =
+    List.map
+      (fun (a1, a2, b1, b2) ->
+        let xlo, xhi, ylo, yhi = stamps_zero_delay (a1, a2) (b1, b2) in
+        let bits = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+        let real_overlap = a1 < b2 && b1 < a2 in
+        Alcotest.(check bool)
+          (Printf.sprintf "modality matches reality (%d,%d,%d,%d)" a1 a2 b1 b2)
+          real_overlap
+          (Fine.definitely_overlap bits);
+        Fine.code bits)
+      configs
+  in
+  Alcotest.(check int) "distinct codes" (List.length configs)
+    (List.length (List.sort_uniq compare codes))
+
+let test_fine_grain_r_named () =
+  (* Sequential case: X wholly precedes Y with full knowledge: all four
+     forward relations hold, no inverse ones. *)
+  let xlo, xhi, ylo, yhi = stamps_zero_delay (0, 10) (20, 30) in
+  let b = Fine.classify_stamps ~xlo ~xhi ~ylo ~yhi in
+  Alcotest.(check bool) "R1" true (Fine.r1 b);
+  Alcotest.(check bool) "R2" true (Fine.r2 b);
+  Alcotest.(check bool) "R3" true (Fine.r3 b);
+  Alcotest.(check bool) "R4" true (Fine.r4 b);
+  Alcotest.(check bool) "no inverse R4" false (Fine.r4_inv b);
+  Alcotest.(check string) "coarse" "precedes"
+    (Fine.coarse_to_string (Fine.coarse b))
+
+let test_fine_grain_classify_interval () =
+  let x = itv ~v_lo:[| 1; 0 |] ~v_hi:[| 2; 0 |] 0 0 10 in
+  let y = itv ~v_lo:[| 0; 1 |] ~v_hi:[| 0; 2 |] 1 0 10 in
+  let bits = Fine.classify x y in
+  Alcotest.(check bool) "via intervals" true (Fine.fully_concurrent bits)
+
+let () =
+  Alcotest.run "psn_intervals"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_basic;
+          Alcotest.test_case "overlap" `Quick test_interval_overlap;
+          Alcotest.test_case "of_timeline" `Quick test_interval_of_timeline;
+          Alcotest.test_case "missing stamp" `Quick test_interval_missing_stamp;
+        ] );
+      ( "allen",
+        [
+          Alcotest.test_case "all 13" `Quick test_allen_all_13;
+          test_allen_inverse;
+          test_allen_overlap_consistency;
+          Alcotest.test_case "inverse involution" `Quick test_allen_inverse_table;
+          Alcotest.test_case "malformed" `Quick test_allen_malformed;
+        ] );
+      ( "fine_grain",
+        [
+          Alcotest.test_case "sequential" `Quick test_fine_grain_sequential;
+          Alcotest.test_case "overlap" `Quick test_fine_grain_overlap;
+          Alcotest.test_case "concurrent" `Quick test_fine_grain_concurrent;
+          test_fine_grain_definitely_implies_possibly;
+          test_fine_grain_matches_real_overlap;
+          Alcotest.test_case "codes" `Quick test_fine_grain_code_distinguishes;
+          Alcotest.test_case "via intervals" `Quick test_fine_grain_classify_interval;
+          test_fine_grain_quantifier_lattice;
+          test_fine_grain_coarse_consistent;
+          Alcotest.test_case "R1-R4 sequential" `Quick test_fine_grain_r_named;
+          Alcotest.test_case "Allen bridge" `Quick test_fine_grain_allen_bridge;
+        ] );
+    ]

@@ -1,0 +1,337 @@
+(* Tests for psn_lattice: cuts, consistency, and the sublattice counter
+   behind the slim lattice postulate. *)
+
+module Cut = Psn_lattice.Cut
+module Lattice = Psn_lattice.Lattice
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Cut --- *)
+
+let test_cut_basics () =
+  let b = Cut.bottom 3 in
+  Alcotest.(check (array int)) "bottom" [| 0; 0; 0 |] b;
+  Alcotest.(check int) "level" 0 (Cut.level b);
+  let t = Cut.top [| 2; 3; 1 |] in
+  Alcotest.(check int) "top level" 6 (Cut.level t);
+  Alcotest.(check bool) "bottom <= top" true (Cut.leq b t);
+  Alcotest.(check bool) "not top <= bottom" false (Cut.leq t b)
+
+let test_cut_lattice_ops () =
+  let a = [| 1; 2; 0 |] and b = [| 2; 1; 0 |] in
+  Alcotest.(check (array int)) "join" [| 2; 2; 0 |] (Cut.join a b);
+  Alcotest.(check (array int)) "meet" [| 1; 1; 0 |] (Cut.meet a b)
+
+let cut_gen =
+  QCheck.(triple (int_bound 4) (int_bound 4) (int_bound 4))
+
+let test_cut_lattice_laws =
+  qtest "cut: join/meet absorption" QCheck.(pair cut_gen cut_gen)
+    (fun ((a1, a2, a3), (b1, b2, b3)) ->
+      let a = [| a1; a2; a3 |] and b = [| b1; b2; b3 |] in
+      Cut.equal (Cut.join a (Cut.meet a b)) a
+      && Cut.equal (Cut.meet a (Cut.join a b)) a
+      && Cut.leq (Cut.meet a b) a
+      && Cut.leq a (Cut.join a b))
+
+let test_cut_successors () =
+  let lens = [| 2; 1 |] in
+  let succ = Cut.successors ~lens [| 1; 1 |] in
+  Alcotest.(check int) "one successor" 1 (List.length succ);
+  match succ with
+  | [ (i, c) ] ->
+      Alcotest.(check int) "advancing proc" 0 i;
+      Alcotest.(check (array int)) "cut" [| 2; 1 |] c
+  | _ -> Alcotest.fail "unexpected successors"
+
+(* --- Lattice --- *)
+
+(* Independent stamps: no communication at all. *)
+let independent ~n ~k =
+  Array.init n (fun i ->
+      Array.init k (fun e ->
+          let v = Array.make n 0 in
+          v.(i) <- e + 1;
+          v))
+
+(* Fully-sequenced stamps: process 0's events all precede process 1's...
+   realized by carrying full knowledge forward. *)
+let chain_stamps ~n ~k =
+  let counter = Array.make n 0 in
+  Array.init n (fun i ->
+      Array.init k (fun _ ->
+          counter.(i) <- counter.(i) + 1;
+          Array.copy counter))
+
+let test_lattice_independent_count () =
+  let stamps = independent ~n:3 ~k:2 in
+  Alcotest.(check int) "total" 27 (Lattice.total_cuts stamps);
+  (match Lattice.count_consistent stamps with
+  | Lattice.Exact n -> Alcotest.(check int) "all consistent" 27 n
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  Alcotest.(check bool) "not a chain" false (Lattice.is_chain stamps)
+
+let test_lattice_chain () =
+  let stamps = chain_stamps ~n:3 ~k:2 in
+  (match Lattice.count_consistent stamps with
+  | Lattice.Exact n -> Alcotest.(check int) "n*k+1" 7 n
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  Alcotest.(check bool) "chain" true (Lattice.is_chain stamps)
+
+let test_lattice_message_prunes () =
+  (* Two processes, one "message": p1's first event knows p0's first. *)
+  let stamps =
+    [|
+      [| [| 1; 0 |]; [| 2; 0 |] |];
+      [| [| 1; 1 |]; [| 1; 2 |] |];
+    |]
+  in
+  (* Inconsistent cuts: those including p1's events without p0's first. *)
+  match Lattice.count_consistent stamps with
+  | Lattice.Exact n ->
+      Alcotest.(check int) "total" 9 (Lattice.total_cuts stamps);
+      Alcotest.(check int) "pruned" 7 n
+  | Lattice.At_least _ -> Alcotest.fail "capped"
+
+let test_lattice_is_consistent () =
+  let stamps =
+    [|
+      [| [| 1; 0 |] |];
+      [| [| 1; 1 |] |];
+    |]
+  in
+  Alcotest.(check bool) "bottom" true (Lattice.is_consistent stamps [| 0; 0 |]);
+  Alcotest.(check bool) "needs cause" false
+    (Lattice.is_consistent stamps [| 0; 1 |]);
+  Alcotest.(check bool) "with cause" true (Lattice.is_consistent stamps [| 1; 1 |])
+
+let test_lattice_enumerate_matches_bruteforce () =
+  let stamps =
+    [|
+      [| [| 1; 0 |]; [| 2; 1 |] |];
+      [| [| 0; 1 |]; [| 1; 2 |] |];
+    |]
+  in
+  let cuts, verdict = Lattice.consistent_cuts stamps in
+  (match verdict with
+  | Lattice.Exact n -> Alcotest.(check int) "count matches list" n (List.length cuts)
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  (* Brute force over all cuts. *)
+  let brute = ref 0 in
+  for a = 0 to 2 do
+    for b = 0 to 2 do
+      if Lattice.is_consistent stamps [| a; b |] then incr brute
+    done
+  done;
+  Alcotest.(check int) "bfs = brute force" !brute (List.length cuts)
+
+let test_lattice_closure_under_meet_join () =
+  let stamps =
+    [|
+      [| [| 1; 0 |]; [| 2; 1 |] |];
+      [| [| 0; 1 |]; [| 1; 2 |] |];
+    |]
+  in
+  let cuts, _ = Lattice.consistent_cuts stamps in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "join consistent" true
+            (Lattice.is_consistent stamps (Cut.join a b));
+          Alcotest.(check bool) "meet consistent" true
+            (Lattice.is_consistent stamps (Cut.meet a b)))
+        cuts)
+    cuts
+
+let test_lattice_cap () =
+  let stamps = independent ~n:4 ~k:5 in
+  match Lattice.count_consistent ~cap:100 stamps with
+  | Lattice.At_least n -> Alcotest.(check int) "cap respected" 100 n
+  | Lattice.Exact _ -> Alcotest.fail "expected cap"
+
+let test_lattice_validate () =
+  Alcotest.(check bool) "bad own component rejected" true
+    (try
+       ignore (Lattice.count_consistent [| [| [| 5; 0 |] |]; [||] |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad dimension rejected" true
+    (try
+       ignore (Lattice.count_consistent [| [| [| 1 |] |]; [||] |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: pruning never drops below the chain size nor exceeds the
+   product, on random strobe-like executions. *)
+let test_lattice_bounds =
+  qtest ~count:50 "lattice: chain <= consistent <= product" QCheck.int
+    (fun seed ->
+      let rng = Psn_util.Rng.create ~seed:(Int64.of_int seed) () in
+      let n = 3 and k = 3 in
+      (* Random partial knowledge: each event merges a random earlier
+         snapshot of another process before ticking. *)
+      let clocks = Array.init n (fun _ -> Array.make n 0) in
+      let stamps = Array.init n (fun _ -> Array.make k [||]) in
+      let published = Array.init n (fun i -> [ Array.copy clocks.(i) ]) in
+      for round = 0 to k - 1 do
+        for i = 0 to n - 1 do
+          if Psn_util.Rng.bool rng then begin
+            let j = Psn_util.Rng.int rng n in
+            match published.(j) with
+            | s :: _ ->
+                Array.iteri
+                  (fun idx x -> if x > clocks.(i).(idx) then clocks.(i).(idx) <- x)
+                  s
+            | [] -> ()
+          end;
+          clocks.(i).(i) <- clocks.(i).(i) + 1;
+          stamps.(i).(round) <- Array.copy clocks.(i);
+          published.(i) <- Array.copy clocks.(i) :: published.(i)
+        done
+      done;
+      match Lattice.count_consistent stamps with
+      | Lattice.Exact c -> c >= (n * k) + 1 && c <= Lattice.total_cuts stamps
+      | Lattice.At_least _ -> false)
+
+(* --- Modal oracle --- *)
+
+module Modal = Psn_lattice.Modal
+module Expr = Psn_predicates.Expr
+module Value = Psn_world.Value
+
+(* Two processes, independent (no communication): p0 writes a:=true then
+   a:=false; p1 writes b:=true then b:=false. *)
+let modal_updates =
+  [|
+    [| ("a", Value.Bool true); ("a", Value.Bool false) |];
+    [| ("b", Value.Bool true); ("b", Value.Bool false) |];
+  |]
+
+let modal_init =
+  [
+    ({ Expr.name = "a"; loc = 0 }, Value.Bool false);
+    ({ Expr.name = "b"; loc = 1 }, Value.Bool false);
+  ]
+
+let conj =
+  Expr.(
+    (var ~name:"a" ~loc:0 ==? bool true) &&& (var ~name:"b" ~loc:1 ==? bool true))
+
+let holds stamps_updates cut =
+  Modal.holds_of_expr ~init:modal_init ~updates:stamps_updates conj cut
+
+let test_modal_possibly_not_definitely () =
+  let stamps = independent ~n:2 ~k:2 in
+  Alcotest.(check (option bool)) "possibly" (Some true)
+    (Modal.possibly stamps ~holds:(holds modal_updates));
+  (* A path can interleave a's full pulse before b's: not definite. *)
+  Alcotest.(check (option bool)) "not definitely" (Some false)
+    (Modal.definitely stamps ~holds:(holds modal_updates))
+
+let test_modal_definitely_with_causality () =
+  (* p1's first event knows p0's first, and p0's second knows p1's first:
+     every observation passes through {a=true, b=true}. *)
+  let stamps =
+    [|
+      [| [| 1; 0 |]; [| 2; 1 |] |];
+      [| [| 1; 1 |]; [| 1; 2 |] |];
+    |]
+  in
+  Alcotest.(check (option bool)) "definitely" (Some true)
+    (Modal.definitely stamps ~holds:(holds modal_updates));
+  Alcotest.(check (option bool)) "possibly too" (Some true)
+    (Modal.possibly stamps ~holds:(holds modal_updates))
+
+let test_modal_never () =
+  (* φ requires b=true while p1 never writes it. *)
+  let updates =
+    [|
+      [| ("a", Value.Bool true); ("a", Value.Bool false) |];
+      [| ("b", Value.Bool false); ("b", Value.Bool false) |];
+    |]
+  in
+  let stamps = independent ~n:2 ~k:2 in
+  Alcotest.(check (option bool)) "not possibly" (Some false)
+    (Modal.possibly stamps ~holds:(holds updates));
+  Alcotest.(check (option bool)) "not definitely" (Some false)
+    (Modal.definitely stamps ~holds:(holds updates))
+
+let test_modal_definitely_implies_possibly =
+  qtest ~count:60 "modal: definitely => possibly" QCheck.int (fun seed ->
+      let rng = Psn_util.Rng.create ~seed:(Int64.of_int seed) () in
+      (* Random 2x2 update values over booleans. *)
+      let updates =
+        Array.init 2 (fun i ->
+            Array.init 2 (fun _ ->
+                ((if i = 0 then "a" else "b"), Value.Bool (Psn_util.Rng.bool rng))))
+      in
+      let stamps = independent ~n:2 ~k:2 in
+      match
+        ( Modal.definitely stamps ~holds:(holds updates),
+          Modal.possibly stamps ~holds:(holds updates) )
+      with
+      | Some true, p -> p = Some true
+      | _ -> true)
+
+let test_lattice_to_dot () =
+  let stamps = chain_stamps ~n:2 ~k:1 in
+  let dot = Lattice.to_dot stamps in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  (* 3 cuts in the chain, 2 edges. *)
+  let count_sub sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i acc =
+      if i + m > n then acc
+      else go (i + 1) (if String.sub s i m = sub then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "edges" 2 (count_sub "->" dot)
+
+let test_modal_cut_env () =
+  let env = Modal.cut_env ~init:modal_init ~updates:modal_updates [| 1; 0 |] in
+  Alcotest.(check bool) "a after first write" true
+    (env { Expr.name = "a"; loc = 0 } = Some (Value.Bool true));
+  Alcotest.(check bool) "b from init" true
+    (env { Expr.name = "b"; loc = 1 } = Some (Value.Bool false));
+  Alcotest.(check bool) "unknown loc" true (env { Expr.name = "x"; loc = 9 } = None)
+
+let () =
+  Alcotest.run "psn_lattice"
+    [
+      ( "modal",
+        [
+          Alcotest.test_case "possibly not definitely" `Quick
+            test_modal_possibly_not_definitely;
+          Alcotest.test_case "definitely with causality" `Quick
+            test_modal_definitely_with_causality;
+          Alcotest.test_case "never" `Quick test_modal_never;
+          test_modal_definitely_implies_possibly;
+          Alcotest.test_case "cut_env" `Quick test_modal_cut_env;
+        ] );
+      ( "cut",
+        [
+          Alcotest.test_case "basics" `Quick test_cut_basics;
+          Alcotest.test_case "join/meet" `Quick test_cut_lattice_ops;
+          test_cut_lattice_laws;
+          Alcotest.test_case "successors" `Quick test_cut_successors;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "independent" `Quick test_lattice_independent_count;
+          Alcotest.test_case "chain" `Quick test_lattice_chain;
+          Alcotest.test_case "message prunes" `Quick test_lattice_message_prunes;
+          Alcotest.test_case "is_consistent" `Quick test_lattice_is_consistent;
+          Alcotest.test_case "bfs = brute force" `Quick
+            test_lattice_enumerate_matches_bruteforce;
+          Alcotest.test_case "meet/join closure" `Quick
+            test_lattice_closure_under_meet_join;
+          Alcotest.test_case "cap" `Quick test_lattice_cap;
+          Alcotest.test_case "validate" `Quick test_lattice_validate;
+          test_lattice_bounds;
+          Alcotest.test_case "to_dot" `Quick test_lattice_to_dot;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Tests for psn_predicates: expression evaluation, the
+   conjunctive/relational classification, modalities and specs. *)
+
+module Expr = Psn_predicates.Expr
+module Modality = Psn_predicates.Modality
+module Spec = Psn_predicates.Spec
+module Value = Psn_world.Value
+open Expr
+
+let env_of bindings (v : Expr.var) =
+  List.assoc_opt (v.name, v.loc) bindings
+
+let test_eval_arith () =
+  let env = env_of [ (("x", 0), Value.Int 3); (("y", 1), Value.Float 2.5) ] in
+  let e = var ~name:"x" ~loc:0 +? var ~name:"y" ~loc:1 in
+  Alcotest.(check (float 1e-9)) "add" 5.5 (Value.to_float (eval ~env e));
+  let e = (var ~name:"x" ~loc:0 *? int 4) -? int 2 in
+  Alcotest.(check (float 1e-9)) "mul/sub" 10.0 (Value.to_float (eval ~env e))
+
+let test_eval_cmp () =
+  let env = env_of [ (("x", 0), Value.Int 3) ] in
+  Alcotest.(check bool) "gt" true (eval_bool ~env (var ~name:"x" ~loc:0 >? int 2));
+  Alcotest.(check bool) "ge" true (eval_bool ~env (var ~name:"x" ~loc:0 >=? int 3));
+  Alcotest.(check bool) "lt" false (eval_bool ~env (var ~name:"x" ~loc:0 <? int 3));
+  Alcotest.(check bool) "le" true (eval_bool ~env (var ~name:"x" ~loc:0 <=? int 3));
+  Alcotest.(check bool) "eq" true (eval_bool ~env (var ~name:"x" ~loc:0 ==? int 3));
+  Alcotest.(check bool) "ne" false (eval_bool ~env (var ~name:"x" ~loc:0 <>? int 3));
+  Alcotest.(check bool) "int vs float" true
+    (eval_bool ~env (var ~name:"x" ~loc:0 <? float 3.5))
+
+let test_eval_bool_ops () =
+  let env = env_of [ (("a", 0), Value.Bool true); (("b", 1), Value.Bool false) ] in
+  let a = var ~name:"a" ~loc:0 ==? bool true in
+  let b = var ~name:"b" ~loc:1 ==? bool true in
+  Alcotest.(check bool) "and" false (eval_bool ~env (a &&& b));
+  Alcotest.(check bool) "or" true (eval_bool ~env (a ||| b));
+  Alcotest.(check bool) "not" true (eval_bool ~env (not_ b))
+
+let test_eval_unbound () =
+  let env = env_of [] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (eval_bool ~env (var ~name:"x" ~loc:0 >? int 0));
+       false
+     with Expr.Unbound_variable v -> v.name = "x" && v.loc = 0)
+
+let test_eval_type_error () =
+  let env = env_of [ (("b", 0), Value.Bool true) ] in
+  Alcotest.(check bool) "bool in arith raises" true
+    (try
+       ignore (eval ~env (var ~name:"b" ~loc:0 +? int 1));
+       false
+     with Value.Type_error _ -> true)
+
+let test_sum () =
+  let env = env_of [ (("x", 0), Value.Int 1); (("x", 1), Value.Int 2) ] in
+  let e = sum [ var ~name:"x" ~loc:0; var ~name:"x" ~loc:1 ] in
+  Alcotest.(check (float 1e-9)) "sum" 3.0 (Value.to_float (eval ~env e));
+  Alcotest.(check (float 1e-9)) "empty sum" 0.0 (Value.to_float (eval ~env (sum [])))
+
+let test_vars_dedup () =
+  let e =
+    (var ~name:"x" ~loc:0 >? int 1) &&& (var ~name:"x" ~loc:0 <? var ~name:"y" ~loc:1)
+  in
+  let vs = vars e in
+  Alcotest.(check int) "dedup" 2 (List.length vs);
+  Alcotest.(check (list int)) "locations" [ 0; 1 ] (locations e)
+
+let test_conjunctive_classification () =
+  (* (x_0 = 5) ∧ (y_1 > 7): conjunctive, per the paper's example ψ. *)
+  let psi =
+    (var ~name:"x" ~loc:0 ==? int 5) &&& (var ~name:"y" ~loc:1 >? int 7)
+  in
+  Alcotest.(check bool) "psi conjunctive" true (is_conjunctive psi);
+  (match conjuncts psi with
+  | Some [ (0, _); (1, _) ] -> ()
+  | _ -> Alcotest.fail "expected two localized conjuncts");
+  (* x_0 + y_1 > 7: relational, per the paper's example φ. *)
+  let phi = var ~name:"x" ~loc:0 +? var ~name:"y" ~loc:1 >? int 7 in
+  Alcotest.(check bool) "phi relational" false (is_conjunctive phi);
+  Alcotest.(check bool) "no decomposition" true (conjuncts phi = None)
+
+let test_conjunctive_nested () =
+  (* Nested ANDs flatten; same-location compound conjuncts allowed. *)
+  let e =
+    (var ~name:"a" ~loc:0 >? int 0)
+    &&& ((var ~name:"b" ~loc:1 >? int 0) &&& (var ~name:"c" ~loc:2 >? int 0))
+  in
+  match conjuncts e with
+  | Some l -> Alcotest.(check int) "three conjuncts" 3 (List.length l)
+  | None -> Alcotest.fail "expected conjunctive"
+
+let test_conjunct_multi_var_same_loc () =
+  let e =
+    (var ~name:"a" ~loc:0 >? var ~name:"b" ~loc:0)
+    &&& (var ~name:"c" ~loc:1 >? int 0)
+  in
+  Alcotest.(check bool) "local compound ok" true (is_conjunctive e)
+
+let test_disjunction_not_conjunctive_across_locs () =
+  let e = (var ~name:"a" ~loc:0 >? int 0) ||| (var ~name:"b" ~loc:1 >? int 0) in
+  Alcotest.(check bool) "cross-loc disjunction relational" false
+    (is_conjunctive e)
+
+let test_pp () =
+  let e = var ~name:"x" ~loc:0 +? int 1 >? int 2 in
+  Alcotest.(check string) "pp" "((x_0 + 1) > 2)" (to_string e)
+
+let test_modality () =
+  Alcotest.(check string) "inst" "instantaneous" (Modality.to_string Modality.Instantaneous);
+  Alcotest.(check bool) "inst single axis" true
+    (Modality.axis Modality.Instantaneous = Modality.Single_axis);
+  Alcotest.(check bool) "possibly partial order" true
+    (Modality.axis Modality.Possibly = Modality.Partial_order);
+  Alcotest.(check bool) "definitely partial order" true
+    (Modality.axis Modality.Definitely = Modality.Partial_order)
+
+let test_spec () =
+  let p = var ~name:"x" ~loc:0 >? int 0 in
+  let s = Spec.make ~name:"test" ~predicate:p ~modality:Modality.Definitely in
+  Alcotest.(check string) "name" "test" (Spec.name s);
+  Alcotest.(check bool) "class" true (Spec.predicate_class s = `Conjunctive);
+  let rel =
+    Spec.make ~name:"r"
+      ~predicate:(var ~name:"x" ~loc:0 +? var ~name:"y" ~loc:1 >? int 0)
+      ~modality:Modality.Instantaneous
+  in
+  Alcotest.(check bool) "relational class" true
+    (Spec.predicate_class rel = `Relational)
+
+let () =
+  Alcotest.run "psn_predicates"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "arith" `Quick test_eval_arith;
+          Alcotest.test_case "cmp" `Quick test_eval_cmp;
+          Alcotest.test_case "bool ops" `Quick test_eval_bool_ops;
+          Alcotest.test_case "unbound" `Quick test_eval_unbound;
+          Alcotest.test_case "type error" `Quick test_eval_type_error;
+          Alcotest.test_case "sum" `Quick test_sum;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "vars dedup" `Quick test_vars_dedup;
+          Alcotest.test_case "conjunctive vs relational" `Quick
+            test_conjunctive_classification;
+          Alcotest.test_case "nested conjunction" `Quick test_conjunctive_nested;
+          Alcotest.test_case "compound local conjunct" `Quick
+            test_conjunct_multi_var_same_loc;
+          Alcotest.test_case "cross-loc disjunction" `Quick
+            test_disjunction_not_conjunctive_across_locs;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "modality" `Quick test_modality;
+          Alcotest.test_case "spec" `Quick test_spec;
+        ] );
+    ]

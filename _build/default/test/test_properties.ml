@@ -1,0 +1,237 @@
+(* Cross-module property tests: randomized end-to-end invariants that the
+   unit suites cannot express — flooding coverage on random connected
+   overlays, causal-broadcast safety under random reactive traffic,
+   snapshot conservation under random transfer loads, mutual exclusion
+   under random request schedules, and detector determinism. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Graph = Psn_util.Graph
+module Rng = Psn_util.Rng
+module Flood = Psn_network.Flood
+module Causal_broadcast = Psn_middleware.Causal_broadcast
+module Snapshot = Psn_middleware.Snapshot
+module Mutex = Psn_middleware.Mutex
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let ms = Sim_time.of_ms
+
+(* Random connected graph: a ring plus random chords. *)
+let random_connected_graph rng ~n =
+  let g = Graph.ring ~n in
+  for _ = 1 to n do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then Graph.add_edge g u v
+  done;
+  g
+
+let test_flood_covers_random_graphs =
+  qtest ~count:40 "flood: full coverage on random connected overlays"
+    QCheck.(pair int (int_range 3 12))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let engine = Engine.create ~seed:(Int64.of_int seed) () in
+      let g = random_connected_graph rng ~n in
+      let flood =
+        Flood.create engine ~topology:g
+          ~delay:
+            (Psn_sim.Delay_model.bounded_uniform ~min:(ms 1) ~max:(ms 20))
+      in
+      let got = Array.make n 0 in
+      for node = 0 to n - 1 do
+        Flood.set_handler flood node (fun ~origin:_ () ->
+            got.(node) <- got.(node) + 1)
+      done;
+      let src = Rng.int rng n in
+      Flood.flood flood ~src ();
+      Engine.run engine;
+      Array.for_all (fun c -> c <= 1) got
+      && Array.to_list got |> List.filteri (fun i _ -> i <> src)
+         |> List.for_all (fun c -> c = 1)
+      && got.(src) = 0)
+
+(* Causal broadcast safety: random reactive traffic; replies must never
+   be delivered before the message they react to, at any node. *)
+let test_causal_safety_random =
+  qtest ~count:40 "causal broadcast: replies never overtake causes"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let engine = Engine.create ~seed:(Int64.of_int seed) () in
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let n = 4 in
+      (* Message = (id, parent id option). *)
+      let next_id = ref 0 in
+      let delivered_at = Array.make n [] in
+      let ok = ref true in
+      let sys = ref None in
+      let deliver ~dst ~src:_ (id, parent) =
+        (match parent with
+        | Some p ->
+            if not (List.mem p delivered_at.(dst)) then ok := false
+        | None -> ());
+        delivered_at.(dst) <- id :: delivered_at.(dst);
+        (* Random reaction: reply with decreasing probability.  The
+           sender counts its own broadcast as delivered (no callback for
+           self), so record it before sending. *)
+        match !sys with
+        | Some cb when Rng.unit_float rng < 0.25 && !next_id < 60 ->
+            incr next_id;
+            delivered_at.(dst) <- !next_id :: delivered_at.(dst);
+            Causal_broadcast.broadcast cb ~src:dst (!next_id, Some id)
+        | _ -> ()
+      in
+      let cb =
+        Causal_broadcast.create engine ~n
+          ~delay:(Psn_sim.Delay_model.bounded_uniform ~min:(ms 1) ~max:(ms 400))
+          ~deliver ()
+      in
+      sys := Some cb;
+      for src = 0 to n - 1 do
+        incr next_id;
+        delivered_at.(src) <- !next_id :: delivered_at.(src);
+        Causal_broadcast.broadcast cb ~src (!next_id, None)
+      done;
+      Engine.run engine;
+      !ok && Causal_broadcast.buffered cb = 0)
+
+(* Snapshot conservation under random transfer load and snapshot time. *)
+let test_snapshot_conservation_random =
+  qtest ~count:30 "snapshot: conservation under random loads"
+    QCheck.(pair (int_range 0 10_000) (int_range 100 2_000))
+    (fun (seed, snap_ms) ->
+      let engine = Engine.create ~seed:(Int64.of_int seed) () in
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let n = 3 + Rng.int rng 3 in
+      let balances = Array.make n 500 in
+      let result = ref None in
+      let sys =
+        Snapshot.create engine ~n
+          ~delay:(Psn_sim.Delay_model.bounded_uniform ~min:(ms 5) ~max:(ms 80))
+          ~local_state:(fun i -> balances.(i))
+          ~apply:(fun ~dst ~src:_ a -> balances.(dst) <- balances.(dst) + a)
+          ()
+      in
+      Snapshot.on_complete sys (fun s -> result := Some s);
+      for k = 1 to 150 do
+        ignore
+          (Engine.schedule_at engine (ms (15 * k)) (fun () ->
+               let src = Rng.int rng n in
+               let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+               let amount = 1 + Rng.int rng 30 in
+               if balances.(src) >= amount then begin
+                 balances.(src) <- balances.(src) - amount;
+                 Snapshot.send_app sys ~src ~dst amount
+               end))
+      done;
+      ignore
+        (Engine.schedule_at engine (ms snap_ms) (fun () ->
+             Snapshot.initiate sys ~by:(Rng.int rng n)));
+      Engine.run engine;
+      match !result with
+      | None -> false
+      | Some s ->
+          let states = Array.fold_left ( + ) 0 s.Snapshot.states in
+          let channels =
+            Array.fold_left
+              (fun acc row ->
+                Array.fold_left
+                  (fun acc l -> acc + List.fold_left ( + ) 0 l)
+                  acc row)
+              0 s.Snapshot.channels
+          in
+          states + channels = n * 500)
+
+(* Mutual exclusion safety under random request schedules. *)
+let test_mutex_safety_random =
+  qtest ~count:30 "mutex: never two inside, all granted"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let engine = Engine.create ~seed:(Int64.of_int seed) () in
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let n = 3 + Rng.int rng 3 in
+      let mutex =
+        Mutex.create engine ~n
+          ~delay:(Psn_sim.Delay_model.bounded_uniform ~min:(ms 1) ~max:(ms 60))
+      in
+      let inside = ref 0 in
+      let violated = ref false in
+      for who = 0 to n - 1 do
+        let at = ms (1 + Rng.int rng 200) in
+        ignore
+          (Engine.schedule_at engine at (fun () ->
+               Mutex.request mutex ~who ~grant:(fun () ->
+                   incr inside;
+                   if !inside > 1 then violated := true;
+                   ignore
+                     (Engine.schedule_after engine (ms (10 + Rng.int rng 50))
+                        (fun () ->
+                          decr inside;
+                          Mutex.release mutex ~who)))))
+      done;
+      Engine.run engine;
+      (not !violated) && Mutex.grants mutex = n)
+
+(* Detector determinism: identical config + seed => identical outcomes,
+   across clock kinds. *)
+let test_detector_determinism =
+  qtest ~count:12 "runner: bit-identical reruns across clock kinds"
+    QCheck.(int_range 0 1_000)
+    (fun seed ->
+      let clocks =
+        [
+          Psn_clocks.Clock_kind.Strobe_vector;
+          Psn_clocks.Clock_kind.Strobe_scalar;
+          Psn_clocks.Clock_kind.Synced_physical { eps = ms 5 };
+          Psn_clocks.Clock_kind.Logical_scalar;
+        ]
+      in
+      List.for_all
+        (fun clock ->
+          let config =
+            {
+              Psn.Config.default with
+              n = Psn_scenarios.Exhibition_hall.default.Psn_scenarios.Exhibition_hall.doors;
+              clock;
+              horizon = Sim_time.of_sec 600;
+              seed = Int64.of_int seed;
+            }
+          in
+          let a = Psn.Report.summary (Psn_scenarios.Exhibition_hall.run config) in
+          let b = Psn.Report.summary (Psn_scenarios.Exhibition_hall.run config) in
+          a = b)
+        clocks)
+
+(* Hold-back safety: the strobe vector detector with synchronous delivery
+   never misses on slow workloads, whatever the seed. *)
+let test_sync_no_miss =
+  qtest ~count:20 "strobe vector: perfect at delta=0 on slow worlds"
+    QCheck.(int_range 0 1_000)
+    (fun seed ->
+      let config =
+        {
+          Psn.Config.default with
+          n = 4;
+          clock = Psn_clocks.Clock_kind.Strobe_vector;
+          delay = Psn_sim.Delay_model.synchronous;
+          horizon = Sim_time.of_sec 1200;
+          seed = Int64.of_int seed;
+        }
+      in
+      let s = Psn.Report.summary (Psn_scenarios.Exhibition_hall.run config) in
+      s.Psn_detection.Metrics.fp = 0 && s.Psn_detection.Metrics.fn = 0)
+
+let () =
+  Alcotest.run "psn_properties"
+    [
+      ( "cross-module",
+        [
+          test_flood_covers_random_graphs;
+          test_causal_safety_random;
+          test_snapshot_conservation_random;
+          test_mutex_safety_random;
+          test_detector_determinism;
+          test_sync_no_miss;
+        ] );
+    ]

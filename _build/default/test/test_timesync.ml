@@ -1,0 +1,163 @@
+(* Tests for psn_timesync: RBS and TPSN must shrink the skew of drifting
+   clocks, at a message cost. *)
+
+module Engine = Psn_sim.Engine
+module Sim_time = Psn_sim.Sim_time
+module Phys = Psn_clocks.Physical_clock
+module Rbs = Psn_timesync.Rbs
+module Tpsn = Psn_timesync.Tpsn
+module Sync_result = Psn_timesync.Sync_result
+module Rng = Psn_util.Rng
+
+let fresh_clocks ~seed ~n =
+  let rng = Rng.create ~seed () in
+  Array.init n (fun _ ->
+      Phys.create rng ~max_offset:(Sim_time.of_ms 50) ~max_drift_ppm:20.0)
+
+let baseline_eps hw ~now nodes =
+  let r =
+    Sync_result.measure ~protocol:"none" ~messages:0 ~words:0
+      ~duration:Sim_time.zero hw nodes ~now
+  in
+  r.Sync_result.eps_max_s
+
+let test_measure () =
+  let hw = [| Phys.perfect (); Phys.perfect () |] in
+  let r =
+    Sync_result.measure ~protocol:"t" ~messages:1 ~words:2
+      ~duration:Sim_time.zero hw [ 0; 1 ] ~now:(Sim_time.of_sec 1)
+  in
+  Alcotest.(check (float 1e-12)) "perfect clocks agree" 0.0 r.Sync_result.eps_max_s;
+  Alcotest.(check int) "n" 2 r.Sync_result.n
+
+let test_measure_needs_two () =
+  let hw = [| Phys.perfect () |] in
+  Alcotest.check_raises "one node"
+    (Invalid_argument "Sync_result.measure: need at least two nodes") (fun () ->
+      ignore
+        (Sync_result.measure ~protocol:"t" ~messages:0 ~words:0
+           ~duration:Sim_time.zero hw [ 0 ] ~now:Sim_time.zero))
+
+let test_rbs_improves () =
+  let engine = Engine.create ~seed:21L () in
+  let hw = fresh_clocks ~seed:21L ~n:6 in
+  let receivers = List.init 5 (fun i -> i + 1) in
+  let before = baseline_eps hw ~now:Sim_time.zero receivers in
+  let r = Rbs.run engine hw ~cfg:Rbs.default_cfg in
+  Alcotest.(check bool) "skew shrunk >10x" true
+    (r.Sync_result.eps_max_s < before /. 10.0);
+  Alcotest.(check bool) "messages paid" true (r.Sync_result.messages > 0);
+  Alcotest.(check bool) "sub-ms skew" true (r.Sync_result.eps_max_s < 1e-3)
+
+let test_rbs_needs_three () =
+  let engine = Engine.create () in
+  let hw = fresh_clocks ~seed:1L ~n:2 in
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Rbs.run: need a reference plus >= 2 receivers")
+    (fun () -> ignore (Rbs.run engine hw ~cfg:Rbs.default_cfg))
+
+let test_tpsn_improves () =
+  let engine = Engine.create ~seed:22L () in
+  let hw = fresh_clocks ~seed:22L ~n:6 in
+  let nodes = List.init 6 (fun i -> i) in
+  let before = baseline_eps hw ~now:Sim_time.zero nodes in
+  let r = Tpsn.run engine hw ~cfg:Tpsn.default_cfg in
+  Alcotest.(check bool) "skew shrunk >10x" true
+    (r.Sync_result.eps_max_s < before /. 10.0);
+  (* Star topology: one request + one reply per child. *)
+  Alcotest.(check int) "2 msgs per child" 10 r.Sync_result.messages
+
+let test_tpsn_tree_depth_error () =
+  (* A deep line topology accumulates more error than a star. *)
+  let n = 8 in
+  let star =
+    let engine = Engine.create ~seed:23L () in
+    let hw = fresh_clocks ~seed:23L ~n in
+    Tpsn.run engine hw ~cfg:Tpsn.default_cfg
+  in
+  let line =
+    let engine = Engine.create ~seed:23L () in
+    let hw = fresh_clocks ~seed:23L ~n in
+    let g = Psn_util.Graph.create ~n in
+    for i = 0 to n - 2 do
+      Psn_util.Graph.add_edge g i (i + 1)
+    done;
+    Tpsn.run ~topology:g engine hw ~cfg:Tpsn.default_cfg
+  in
+  Alcotest.(check bool) "line worse or equal than star" true
+    (line.Sync_result.eps_rms_s >= star.Sync_result.eps_rms_s -. 1e-9);
+  Alcotest.(check bool) "both still sync" true
+    (line.Sync_result.eps_max_s < 5e-3)
+
+let test_rbs_with_rounds_cost_scales () =
+  let cost beacons =
+    let engine = Engine.create ~seed:24L () in
+    let hw = fresh_clocks ~seed:24L ~n:5 in
+    let r = Rbs.run engine hw ~cfg:{ Rbs.default_cfg with beacons } in
+    r.Sync_result.messages
+  in
+  Alcotest.(check bool) "more beacons cost more" true (cost 10 > cost 2)
+
+(* --- FTSP --- *)
+
+let test_ftsp_improves () =
+  let engine = Engine.create ~seed:25L () in
+  let hw = fresh_clocks ~seed:25L ~n:6 in
+  let nodes = List.init 6 (fun i -> i) in
+  let before = baseline_eps hw ~now:Sim_time.zero nodes in
+  let r = Psn_timesync.Ftsp.run engine hw ~cfg:Psn_timesync.Ftsp.default_cfg in
+  Alcotest.(check bool) "skew shrunk >10x" true
+    (r.Sync_result.eps_max_s < before /. 10.0);
+  Alcotest.(check bool) "flooding costs messages" true (r.Sync_result.messages > 0)
+
+let test_ftsp_multihop_worse () =
+  let n = 8 in
+  let full =
+    let engine = Engine.create ~seed:26L () in
+    let hw = fresh_clocks ~seed:26L ~n in
+    Psn_timesync.Ftsp.run engine hw ~cfg:Psn_timesync.Ftsp.default_cfg
+  in
+  let ring =
+    let engine = Engine.create ~seed:26L () in
+    let hw = fresh_clocks ~seed:26L ~n in
+    Psn_timesync.Ftsp.run
+      ~topology:(Psn_util.Graph.ring ~n)
+      engine hw ~cfg:Psn_timesync.Ftsp.default_cfg
+  in
+  Alcotest.(check bool) "ring (multi-hop) no better than full mesh" true
+    (ring.Sync_result.eps_rms_s >= full.Sync_result.eps_rms_s -. 1e-9);
+  Alcotest.(check bool) "still syncs" true (ring.Sync_result.eps_max_s < 10e-3)
+
+let test_ftsp_needs_two () =
+  let engine = Engine.create () in
+  let hw = fresh_clocks ~seed:1L ~n:1 in
+  Alcotest.check_raises "one node"
+    (Invalid_argument "Ftsp.run: need at least two nodes") (fun () ->
+      ignore (Psn_timesync.Ftsp.run engine hw ~cfg:Psn_timesync.Ftsp.default_cfg))
+
+let () =
+  Alcotest.run "psn_timesync"
+    [
+      ( "measure",
+        [
+          Alcotest.test_case "perfect" `Quick test_measure;
+          Alcotest.test_case "needs two" `Quick test_measure_needs_two;
+        ] );
+      ( "rbs",
+        [
+          Alcotest.test_case "improves skew" `Quick test_rbs_improves;
+          Alcotest.test_case "needs three" `Quick test_rbs_needs_three;
+          Alcotest.test_case "cost scales" `Quick test_rbs_with_rounds_cost_scales;
+        ] );
+      ( "tpsn",
+        [
+          Alcotest.test_case "improves skew" `Quick test_tpsn_improves;
+          Alcotest.test_case "depth hurts" `Quick test_tpsn_tree_depth_error;
+        ] );
+      ( "ftsp",
+        [
+          Alcotest.test_case "improves skew" `Quick test_ftsp_improves;
+          Alcotest.test_case "multi-hop worse" `Quick test_ftsp_multihop_worse;
+          Alcotest.test_case "needs two" `Quick test_ftsp_needs_two;
+        ] );
+    ]
