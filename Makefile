@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples clean
+.PHONY: all build test bench experiments examples trace-demo clean
 
 all: build
 
@@ -27,6 +27,14 @@ examples:
 	dune exec examples/smart_pen.exe
 	dune exec examples/execution_model.exe
 	dune exec examples/middleware_tour.exe
+
+# Sample traces of the smart-office scenario: structured JSONL plus a
+# Chrome trace_event file loadable in Perfetto (ui.perfetto.dev).
+trace-demo:
+	dune exec bin/main.exe -- trace office --horizon 600 --out trace-demo.jsonl
+	dune exec bin/main.exe -- trace office --horizon 600 --format chrome \
+	  --out trace-demo.chrome.json
+	@echo "wrote trace-demo.jsonl and trace-demo.chrome.json"
 
 clean:
 	dune clean

@@ -83,6 +83,19 @@ let engine_event =
       done;
       Psn_sim.Engine.run engine)
 
+(* Twin of [engine_event] with a live trace sink: the pair bounds the
+   tracing overhead (disabled must stay within a few percent of the
+   untraced engine; enabled shows the full recording cost). *)
+let engine_event_traced =
+  Test.make ~name:"engine.schedule+run(100)+trace" (Staged.stage @@ fun () ->
+      let sink = Psn_obs.Trace.create () in
+      let engine = Psn_sim.Engine.create ~tracer:sink () in
+      for i = 1 to 100 do
+        ignore
+          (Psn_sim.Engine.schedule_at engine (Sim_time.of_us i) (fun () -> ()))
+      done;
+      Psn_sim.Engine.run engine)
+
 let predicate_eval =
   let open Psn_predicates.Expr in
   let predicate =
@@ -188,7 +201,10 @@ let groups =
         vector_compare; matrix_receive; hlc_tick;
       ];
     Test.make_grouped ~name:"infra"
-      [ engine_event; predicate_eval; lattice_count; detector_run ];
+      [
+        engine_event; engine_event_traced; predicate_eval; lattice_count;
+        detector_run;
+      ];
     Test.make_grouped ~name:"middleware"
       [ flood_ring; causal_burst; snapshot_round; mutex_round ];
   ]

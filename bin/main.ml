@@ -54,6 +54,36 @@ let clock =
           "Clock kind: strobe-vector, strobe-scalar, logical-scalar, \
            logical-vector, physical, perfect, raw-physical.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL event trace of the run to $(docv). \
+           Forces single-domain execution so the trace order is total.")
+
+(* Install a process-wide sink around [f] and flush it to [path] on the
+   way out (even on exceptions, so partial runs still leave evidence). *)
+let traced_to ~write path f =
+  let sink = Psn_obs.Trace.create () in
+  Psn_obs.Trace.set_default (Some sink);
+  Psn_util.Parallel.set_sequential true;
+  Fun.protect
+    ~finally:(fun () ->
+      Psn_obs.Trace.set_default None;
+      try
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc sink);
+        Fmt.epr "trace: %d events -> %s@." (Psn_obs.Trace.length sink) path
+      with Sys_error msg -> Fmt.epr "trace: cannot write trace: %s@." msg)
+    f
+
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some path -> traced_to ~write:Psn_obs.Export.write_jsonl path f
+
 let config_of ~seed ~horizon_s ~delta_ms ~clock ~n =
   let delay =
     if delta_ms = 0 then Psn_sim.Delay_model.synchronous
@@ -97,7 +127,8 @@ let experiment_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
-  let run quick ids =
+  let run quick trace_file ids =
+    with_trace trace_file @@ fun () ->
     match ids with
     | [] ->
         Psn_experiments.Experiments.print_all ~quick ();
@@ -127,7 +158,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc)
-    Term.(ret (const run $ quick $ ids))
+    Term.(ret (const run $ quick $ trace_file $ ids))
 
 (* scenarios *)
 
@@ -142,7 +173,8 @@ let hall_cmd =
   let visitors =
     Arg.(value & opt int 32 & info [ "visitors" ] ~docv:"V" ~doc:"Visitors.")
   in
-  let run seed horizon_s delta_ms clock doors capacity visitors =
+  let run seed horizon_s delta_ms clock trace_file doors capacity visitors =
+    with_trace trace_file @@ fun () ->
     let cfg =
       { Psn_scenarios.Exhibition_hall.default with doors; capacity; visitors }
     in
@@ -154,8 +186,8 @@ let hall_cmd =
   in
   Cmd.v (Cmd.info "hall" ~doc)
     Term.(
-      const run $ seed $ horizon_s $ delta_ms $ clock $ doors $ capacity
-      $ visitors)
+      const run $ seed $ horizon_s $ delta_ms $ clock $ trace_file $ doors
+      $ capacity $ visitors)
 
 let office_cmd =
   let doc = "Smart office scenario: temp > 30 AND motion." in
@@ -165,7 +197,8 @@ let office_cmd =
   let definitely =
     Arg.(value & flag & info [ "definitely" ] ~doc:"Use the Definitely modality.")
   in
-  let run seed horizon_s delta_ms clock thermostat definitely =
+  let run seed horizon_s delta_ms clock trace_file thermostat definitely =
+    with_trace trace_file @@ fun () ->
     let cfg = { Psn_scenarios.Smart_office.default with thermostat } in
     let config =
       config_of ~seed ~horizon_s ~delta_ms ~clock
@@ -178,7 +211,9 @@ let office_cmd =
     print_report (Psn_scenarios.Smart_office.run ~cfg ~modality config)
   in
   Cmd.v (Cmd.info "office" ~doc)
-    Term.(const run $ seed $ horizon_s $ delta_ms $ clock $ thermostat $ definitely)
+    Term.(
+      const run $ seed $ horizon_s $ delta_ms $ clock $ trace_file $ thermostat
+      $ definitely)
 
 let hospital_cmd =
   let doc = "Hospital ward proximity scenario." in
@@ -188,13 +223,16 @@ let hospital_cmd =
   let visitors =
     Arg.(value & opt int 5 & info [ "visitors" ] ~docv:"V" ~doc:"Visitors.")
   in
-  let run seed horizon_s delta_ms clock patients visitors =
+  let run seed horizon_s delta_ms clock trace_file patients visitors =
+    with_trace trace_file @@ fun () ->
     let cfg = { Psn_scenarios.Hospital.default with patients; visitors } in
     let config = config_of ~seed ~horizon_s ~delta_ms ~clock ~n:patients in
     print_report (Psn_scenarios.Hospital.run ~cfg config)
   in
   Cmd.v (Cmd.info "hospital" ~doc)
-    Term.(const run $ seed $ horizon_s $ delta_ms $ clock $ patients $ visitors)
+    Term.(
+      const run $ seed $ horizon_s $ delta_ms $ clock $ trace_file $ patients
+      $ visitors)
 
 let habitat_cmd =
   let doc = "Habitat duty-cycle coordination scenario." in
@@ -289,6 +327,65 @@ let lattice_cmd =
   Cmd.v (Cmd.info "lattice" ~doc)
     Term.(const run $ seed $ delta_ms $ nodes $ events $ dot $ no_strobes)
 
+(* trace *)
+
+let trace_cmd =
+  let doc =
+    "Run a scenario with structured tracing and write the event trace \
+     (JSONL, or Chrome trace_event JSON for Perfetto / chrome://tracing)."
+  in
+  let scenario =
+    let sc =
+      Arg.enum [ ("office", `Office); ("hall", `Hall); ("hospital", `Hospital) ]
+    in
+    Arg.(
+      value & pos 0 sc `Office
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario: office, hall, or hospital.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "trace.jsonl"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let format =
+    let fc = Arg.enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ] in
+    Arg.(
+      value & opt fc `Jsonl
+      & info [ "format" ] ~docv:"FMT" ~doc:"Trace format: jsonl or chrome.")
+  in
+  let run seed horizon_s delta_ms clock scenario out format =
+    let write =
+      match format with
+      | `Jsonl -> Psn_obs.Export.write_jsonl
+      | `Chrome -> Psn_obs.Export.write_chrome
+    in
+    traced_to ~write out @@ fun () ->
+    match scenario with
+    | `Office ->
+        let cfg = Psn_scenarios.Smart_office.default in
+        let config =
+          config_of ~seed ~horizon_s ~delta_ms ~clock
+            ~n:(Psn_scenarios.Smart_office.n_processes cfg)
+        in
+        print_report (Psn_scenarios.Smart_office.run ~cfg config)
+    | `Hall ->
+        let cfg = Psn_scenarios.Exhibition_hall.default in
+        let config =
+          config_of ~seed ~horizon_s ~delta_ms ~clock ~n:cfg.doors
+        in
+        print_report (Psn_scenarios.Exhibition_hall.run ~cfg config)
+    | `Hospital ->
+        let cfg = Psn_scenarios.Hospital.default in
+        let config =
+          config_of ~seed ~horizon_s ~delta_ms ~clock ~n:cfg.patients
+        in
+        print_report (Psn_scenarios.Hospital.run ~cfg config)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ seed $ horizon_s $ delta_ms $ clock $ scenario $ out $ format)
+
 let main =
   let doc =
     "Execution and time models for pervasive sensor networks: simulator, \
@@ -297,8 +394,8 @@ let main =
   Cmd.group
     (Cmd.info "psn-sim" ~version:"1.0.0" ~doc)
     [
-      list_cmd; experiment_cmd; hall_cmd; office_cmd; hospital_cmd; habitat_cmd;
-      banking_cmd; lattice_cmd;
+      list_cmd; experiment_cmd; trace_cmd; hall_cmd; office_cmd; hospital_cmd;
+      habitat_cmd; banking_cmd; lattice_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,10 @@
-(* Outcome of one detection run: accuracy vs the oracle, plus costs. *)
+(* Outcome of one detection run: accuracy vs the oracle, plus costs.
+
+   [metrics] is the snapshot of the run's whole metrics registry — every
+   layer's counters under its own prefix (net.detector.*, causal.*,
+   engine.*, ...) — so tables can break costs down per layer instead of
+   reading four opaque integers. The integer fields remain as the
+   headline costs every experiment table shares. *)
 
 module Sim_time = Psn_sim.Sim_time
 
@@ -12,16 +18,21 @@ type t = {
   dropped : int;
   sim_events : int;        (* engine events processed *)
   horizon : Sim_time.t;
+  metrics : Psn_obs.Metrics.snapshot;
 }
 
 let summary t = t.summary
 let truth t = t.truth
 let occurrences t = t.occurrences
+let metrics t = t.metrics
 
 (* Words per update: the per-event timestamping overhead E5 tabulates. *)
 let words_per_update t =
   if t.updates = 0 then 0.0 else float_of_int t.words /. float_of_int t.updates
 
 let pp ppf t =
-  Fmt.pf ppf "%a | updates=%d msgs=%d words=%d dropped=%d"
+  Fmt.pf ppf "%a | updates=%d msgs=%d words=%d dropped=%d words/update=%.2f"
     Psn_detection.Metrics.pp t.summary t.updates t.messages t.words t.dropped
+    (words_per_update t)
+
+let pp_metrics ppf t = Psn_obs.Metrics.pp_snapshot ppf t.metrics

@@ -10,10 +10,19 @@ type t = {
   dropped : int;
   sim_events : int;
   horizon : Psn_sim.Sim_time.t;
+  metrics : Psn_obs.Metrics.snapshot;
+      (** per-layer breakdown of the run's whole metrics registry *)
 }
 
 val summary : t -> Psn_detection.Metrics.summary
 val truth : t -> Psn_detection.Ground_truth.interval list
 val occurrences : t -> Psn_detection.Occurrence.t list
+val metrics : t -> Psn_obs.Metrics.snapshot
 val words_per_update : t -> float
+
 val pp : Format.formatter -> t -> unit
+(** One-line headline: accuracy summary plus updates, messages, words,
+    dropped, and words/update. *)
+
+val pp_metrics : Format.formatter -> t -> unit
+(** Multi-line per-layer metric breakdown. *)

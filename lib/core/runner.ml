@@ -142,4 +142,5 @@ let run ?init ?(policy = D.Metrics.As_positive) (config : Config.t) ~spec
     dropped = D.Detector.messages_dropped detector;
     sim_events = Engine.events_processed engine;
     horizon = config.horizon;
+    metrics = Psn_obs.Metrics.snapshot (Engine.metrics engine);
   }

@@ -33,6 +33,15 @@ module Vc = Psn_clocks.Vector_clock
 module Strobe_vector = Psn_clocks.Strobe_vector
 module Expr = Psn_predicates.Expr
 module Value = Psn_world.Value
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
+
+let trace engine ~pid ev =
+  match Engine.tracer engine with
+  | Some s -> Trace.emit s ~time:(Engine.now engine) ~pid ev
+  | None -> ()
+
+let clock_name = "strobe-vector"
 
 type mode = Definitely | Possibly
 
@@ -100,7 +109,16 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
   let participating =
     List.sort_uniq Stdlib.compare (List.map fst conjuncts)
   in
-  let net = Net.create ?loss ~payload_words:(payload_words ~n) engine ~n ~delay in
+  let net =
+    Net.create ?loss ~payload_words:(payload_words ~n) ~label:"detector" engine
+      ~n ~delay
+  in
+  let m = Engine.metrics engine in
+  let c_updates = Metrics.counter m "detector.updates" in
+  let c_occurrences = Metrics.counter m "detector.occurrences" in
+  let h_latency =
+    Metrics.histogram m ~lo:0.0 ~hi:2000.0 ~bins:20 "detector.latency_ms"
+  in
   let clocks = Array.init n (fun me -> Strobe_vector.create ~n ~me) in
   let locals =
     Array.init n (fun i ->
@@ -131,6 +149,12 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
   let self = ref None in
   let fire occ =
     Vec.push occurrences occ;
+    Metrics.incr c_occurrences;
+    Metrics.observe h_latency
+      (Sim_time.to_ms_float
+         (Sim_time.sub occ.Occurrence.detect_time
+            occ.Occurrence.trigger.Observation.sense_time));
+    trace engine ~pid:0 (Trace.Detector_occurrence { verdict = "positive" });
     match !self with Some d -> Detector.notify d occ | None -> ()
   in
   (* Checker state: one queue of closed intervals per participating
@@ -198,7 +222,9 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
   for dst = 0 to n - 1 do
     Net.set_handler net dst (fun ~src:_ msg ->
         match msg with
-        | Strobe stamp -> Strobe_vector.receive_strobe clocks.(dst) stamp
+        | Strobe stamp ->
+            trace engine ~pid:dst (Trace.Clock_receive { clock = clock_name });
+            Strobe_vector.receive_strobe clocks.(dst) stamp
         | Interval r -> if dst = 0 then checker_receive r)
   done;
   let close_interval i hi =
@@ -222,9 +248,14 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
     in
     seqs.(src) <- seqs.(src) + 1;
     Vec.push all_updates u;
+    Metrics.incr c_updates;
+    trace engine ~pid:src
+      (Trace.Detector_update { var = u.Observation.var; seq = u.Observation.seq });
     let l = locals.(src) in
     Hashtbl.replace l.env (Observation.located u) value;
     let stamp = Strobe_vector.tick_and_strobe clocks.(src) in
+    trace engine ~pid:src (Trace.Clock_tick { clock = clock_name });
+    trace engine ~pid:src (Trace.Clock_strobe { clock = clock_name });
     Net.broadcast net ~src (Strobe stamp);
     let now_holds = eval_local l in
     (match (l.holds, now_holds) with
@@ -243,6 +274,8 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
            (fun i l ->
              if l.holds && l.open_lo <> None then begin
                let stamp = Strobe_vector.tick_and_strobe clocks.(i) in
+               trace engine ~pid:i (Trace.Clock_tick { clock = clock_name });
+               trace engine ~pid:i (Trace.Clock_strobe { clock = clock_name });
                Net.broadcast net ~src:i (Strobe stamp);
                close_interval i stamp
              end)

@@ -24,6 +24,14 @@ module Sim_time = Psn_sim.Sim_time
 module Net = Psn_network.Net
 module Vec = Psn_util.Vec
 module Value = Psn_world.Value
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
+
+(* Zero-cost-when-disabled trace hook: one option branch per event. *)
+let trace engine ~pid ev =
+  match Engine.tracer engine with
+  | Some s -> Trace.emit s ~time:(Engine.now engine) ~pid ev
+  | None -> ()
 
 type 'stamp discipline = {
   name : string;
@@ -83,7 +91,7 @@ type 'm transport = {
 }
 
 let net_transport ?loss ~payload_words engine ~n ~delay =
-  let net = Net.create ?loss ~payload_words engine ~n ~delay in
+  let net = Net.create ?loss ~payload_words ~label:"detector" engine ~n ~delay in
   {
     tx_broadcast = (fun ~src msg -> Net.broadcast net ~src msg);
     tx_unicast0 = (fun ~src msg -> if src <> 0 then Net.send net ~src ~dst:0 msg);
@@ -99,7 +107,8 @@ let net_transport ?loss ~payload_words engine ~n ~delay =
 
 let flood_transport ?loss ~payload_words engine ~topology ~delay =
   let flood =
-    Psn_network.Flood.create ?loss ~payload_words engine ~topology ~delay
+    Psn_network.Flood.create ?loss ~payload_words ~label:"detector" engine
+      ~topology ~delay
   in
   let n = Psn_util.Graph.size topology in
   {
@@ -131,6 +140,13 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
         flood_transport ?loss ~payload_words engine ~topology:g ~delay
   in
   let state = Checker_state.create ?init predicate in
+  let m = Engine.metrics engine in
+  let c_updates = Metrics.counter m "detector.updates" in
+  let c_occurrences = Metrics.counter m "detector.occurrences" in
+  let c_borderline = Metrics.counter m "detector.borderline" in
+  let h_latency =
+    Metrics.histogram m ~lo:0.0 ~hi:2000.0 ~bins:20 "detector.latency_ms"
+  in
   let seqs = Array.make n 0 in
   let all_updates = Vec.create ~dummy:Observation.dummy () in
   let occurrences = Vec.create
@@ -142,6 +158,19 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
   let self = ref None in
   let fire occ =
     Vec.push occurrences occ;
+    Metrics.incr c_occurrences;
+    let verdict =
+      match occ.Occurrence.verdict with
+      | Occurrence.Positive -> "positive"
+      | Occurrence.Borderline ->
+          Metrics.incr c_borderline;
+          "borderline"
+    in
+    Metrics.observe h_latency
+      (Sim_time.to_ms_float
+         (Sim_time.sub occ.Occurrence.detect_time
+            occ.Occurrence.trigger.Observation.sense_time));
+    trace engine ~pid:0 (Trace.Detector_occurrence { verdict });
     match !self with Some d -> Detector.notify d occ | None -> ()
   in
   let prune_window now =
@@ -248,6 +277,7 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
   in
   (* Checker receives at process 0; every process updates its clock. *)
   transport.tx_on_receive (fun ~dst (msg : 'a message) ->
+      trace engine ~pid:dst (Trace.Clock_receive { clock = discipline.name });
       discipline.on_receive ~dst msg.stamp;
       if dst = 0 then begin
         pending := { msg; recv_time = Engine.now engine } :: !pending;
@@ -266,13 +296,20 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
     in
     seqs.(src) <- seqs.(src) + 1;
     Vec.push all_updates u;
+    Metrics.incr c_updates;
+    trace engine ~pid:src
+      (Trace.Detector_update { var = u.Observation.var; seq = u.Observation.seq });
     let stamp = discipline.stamp_of_emit ~src in
+    trace engine ~pid:src (Trace.Clock_tick { clock = discipline.name });
     let msg = { update = u; stamp } in
     (* System-wide strobe broadcast (SSC1/SVC1) or, in the causality
        baseline, a unicast to the checker; the sender's own copy is
        local. *)
     if cfg.unicast then transport.tx_unicast0 ~src msg
-    else transport.tx_broadcast ~src msg;
+    else begin
+      trace engine ~pid:src (Trace.Clock_strobe { clock = discipline.name });
+      transport.tx_broadcast ~src msg
+    end;
     if src = 0 then begin
       pending := { msg; recv_time = Engine.now engine } :: !pending;
       ignore (Engine.schedule_after engine cfg.hold flush)

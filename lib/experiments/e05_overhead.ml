@@ -46,7 +46,8 @@ let run ?(quick = false) () =
               Clock_kind.to_string clock;
               string_of_int report.Psn.Report.updates;
               f2 (float_of_int report.Psn.Report.messages /. updates);
-              f2 (float_of_int report.Psn.Report.words /. updates);
+              f2 (Psn.Report.words_per_update report);
+              string_of_int report.Psn.Report.dropped;
             ])
           clocks)
       sizes
@@ -58,7 +59,7 @@ let run ?(quick = false) () =
       "S4.2.2: scalar strobes cost O(1) words per message and vector strobes \
        O(n); causality piggybacking sends fewer messages (unicast) but \
        loses the strobe synchronization";
-    headers = [ "n"; "clock"; "updates"; "msgs/update"; "words/update" ];
+    headers = [ "n"; "clock"; "updates"; "msgs/update"; "words/update"; "dropped" ];
     rows;
     notes =
       "Both strobe rows send n-1 messages per update (broadcast), but \

@@ -38,8 +38,8 @@ let run ?(quick = false) () =
       (fun p ->
         List.map
           (fun kind ->
-            let agg =
-              repeat ~seeds (fun seed ->
+            let reports =
+              repeat_reports ~seeds (fun seed ->
                   let config =
                     {
                       Psn.Config.default with
@@ -51,8 +51,10 @@ let run ?(quick = false) () =
                       seed;
                     }
                   in
-                  Psn.Report.summary (Hall.run ~cfg:scenario_cfg config))
+                  Hall.run ~cfg:scenario_cfg config)
             in
+            let agg = aggregate (List.map Psn.Report.summary reports) in
+            let cost = cost_of_reports reports in
             let errors = agg.fp +. agg.fn in
             [
               Psn_util.Table.fmt_pct ~digits:0 p;
@@ -61,6 +63,7 @@ let run ?(quick = false) () =
               f1 agg.tp;
               f1 agg.fp;
               f1 agg.fn;
+              f1 cost.dropped;
               f2 (errors /. Float.max 1.0 agg.truth);
               f3 agg.recall;
             ])
@@ -74,7 +77,8 @@ let run ?(quick = false) () =
       "S4.2.2: a lost strobe causes wrong detection only in its temporal \
        vicinity; there is no long-term ripple on later detections";
     headers =
-      [ "loss"; "pattern"; "truth"; "tp"; "fp"; "fn"; "err/occur"; "recall" ];
+      [ "loss"; "pattern"; "truth"; "tp"; "fp"; "fn"; "dropped"; "err/occur";
+        "recall" ];
     rows;
     notes =
       "Errors should grow roughly in proportion to the loss rate (each drop \

@@ -60,6 +60,39 @@ let repeat ?(seeds = [ 11L; 23L; 47L ]) f =
   let results = Psn_util.Parallel.map_array f (Array.of_list seeds) in
   aggregate (Array.to_list results)
 
+(* Full reports for several seeds, in seed order. *)
+let repeat_reports ?(seeds = [ 11L; 23L; 47L ]) f =
+  Array.to_list (Psn_util.Parallel.map_array f (Array.of_list seeds))
+
+(* Mean per-run message costs: the columns every cost table should share
+   (messages, words, dropped, words/update) so no experiment silently
+   hides a cost the others surface. *)
+type cost = {
+  messages : float;
+  words : float;
+  dropped : float;
+  updates : float;
+  words_per_update : float;
+}
+
+let cost_of_reports reports =
+  let k = float_of_int (max 1 (List.length reports)) in
+  let sum f =
+    List.fold_left
+      (fun acc (r : Psn.Report.t) -> acc +. float_of_int (f r))
+      0.0 reports
+  in
+  {
+    messages = sum (fun r -> r.Psn.Report.messages) /. k;
+    words = sum (fun r -> r.Psn.Report.words) /. k;
+    dropped = sum (fun r -> r.Psn.Report.dropped) /. k;
+    updates = sum (fun r -> r.Psn.Report.updates) /. k;
+    words_per_update =
+      List.fold_left (fun acc r -> acc +. Psn.Report.words_per_update r) 0.0
+        reports
+      /. k;
+  }
+
 let f1 = Psn_util.Table.fmt_float ~digits:1
 let f2 = Psn_util.Table.fmt_float ~digits:2
 let f3 = Psn_util.Table.fmt_float ~digits:3

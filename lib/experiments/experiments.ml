@@ -31,8 +31,28 @@ let all : entry list =
     { id = "ee"; title = "energy: strobes vs sync"; run = Ee_energy.run };
   ]
 
-let find id =
-  List.find_opt (fun e -> String.equal (String.lowercase_ascii id) e.id) all
+(* Accept zero-padded ids ("e05" = "e5"): strip leading zeros from the
+   numeric suffix, keeping any letter prefix. *)
+let normalize id =
+  let id = String.lowercase_ascii id in
+  let n = String.length id in
+  let k =
+    let rec first_digit i =
+      if i < n && not (id.[i] >= '0' && id.[i] <= '9') then first_digit (i + 1)
+      else i
+    in
+    first_digit 0
+  in
+  let prefix = String.sub id 0 k in
+  let digits = String.sub id k (n - k) in
+  let digits =
+    let m = String.length digits in
+    let rec strip i = if i < m - 1 && digits.[i] = '0' then strip (i + 1) else i in
+    if m = 0 then "" else String.sub digits (strip 0) (m - strip 0)
+  in
+  prefix ^ digits
+
+let find id = List.find_opt (fun e -> String.equal (normalize id) e.id) all
 
 let run_all ?quick () = List.map (fun e -> e.run ?quick ()) all
 

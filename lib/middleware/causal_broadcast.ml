@@ -13,6 +13,13 @@
 
 module Engine = Psn_sim.Engine
 module Net = Psn_network.Net
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
+
+let trace engine ~pid ev =
+  match Engine.tracer engine with
+  | Some s -> Trace.emit s ~time:(Engine.now engine) ~pid ev
+  | None -> ()
 
 type 'a message = {
   origin : int;
@@ -22,6 +29,8 @@ type 'a message = {
 
 type 'a t = {
   n : int;
+  engine : Engine.t;
+  c_delivered : Metrics.counter;
   net : 'a message Net.t;
   delivered : int array array;        (* delivered.(i).(j) *)
   sent : int array;                   (* broadcasts by each origin *)
@@ -48,6 +57,8 @@ let rec drain t =
       (fun (dst, (m : 'a message)) ->
         t.delivered.(dst).(m.origin) <- t.delivered.(dst).(m.origin) + 1;
         t.delivered_total <- t.delivered_total + 1;
+        Metrics.incr t.c_delivered;
+        trace t.engine ~pid:dst (Trace.Mark { name = "causal.deliver" });
         t.deliver ~dst ~src:m.origin m.payload)
       ready;
     (* Deliveries may have unblocked further buffered messages. *)
@@ -59,11 +70,13 @@ let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay ~deliver () =
   let net =
     Net.create ?loss
       ~payload_words:(fun m -> payload_words m.payload + n)
-      engine ~n ~delay
+      ~label:"causal" engine ~n ~delay
   in
   let t =
     {
       n;
+      engine;
+      c_delivered = Metrics.counter (Engine.metrics engine) "causal.delivered";
       net;
       delivered = Array.make_matrix n n 0;
       sent = Array.make n 0;

@@ -69,7 +69,7 @@ let handle t ~dst ~src msg =
 
 let create engine ~n ~delay =
   if n < 2 then invalid_arg "Mutex.create: need at least two processes";
-  let net = Net.create ~payload_words:(fun _ -> 2) engine ~n ~delay in
+  let net = Net.create ~payload_words:(fun _ -> 2) ~label:"mutex" engine ~n ~delay in
   let t =
     {
       n;

@@ -44,7 +44,7 @@ let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay ~hw ~init =
   let net =
     Net.create ?loss
       ~payload_words:(fun v -> payload_words v.value + (2 * n) + 1)
-      engine ~n ~delay
+      ~label:"replica" engine ~n ~delay
   in
   let blank _ =
     { value = init; vv = Array.make n 0; wall = Array.make n Sim_time.zero;

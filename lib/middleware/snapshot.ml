@@ -17,6 +17,13 @@
 
 module Engine = Psn_sim.Engine
 module Net = Psn_network.Net
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
+
+let trace engine ~pid ev =
+  match Engine.tracer engine with
+  | Some s -> Trace.emit s ~time:(Engine.now engine) ~pid ev
+  | None -> ()
 
 type 'app msg =
   | App of 'app
@@ -29,6 +36,9 @@ type ('state, 'app) snapshot = {
 
 type ('state, 'app) t = {
   n : int;
+  engine : Engine.t;
+  c_records : Metrics.counter;
+  c_completed : Metrics.counter;
   net : 'app msg Net.t;
   local_state : int -> 'state;
   apply : dst:int -> src:int -> 'app -> unit;
@@ -44,6 +54,8 @@ type ('state, 'app) t = {
 (* Process p records its local state and emits markers (CL rule). *)
 let record t p =
   t.recorded.(p) <- true;
+  Metrics.incr t.c_records;
+  trace t.engine ~pid:p (Trace.Mark { name = "snapshot.record" });
   t.snap_states.(p) <- Some (t.local_state p);
   (* Start recording every incoming channel of p. *)
   for src = 0 to t.n - 1 do
@@ -69,6 +81,8 @@ let check_complete t =
           | None -> assert false)
     in
     let channels = Array.map (Array.map List.rev) t.snap_channels in
+    Metrics.incr t.c_completed;
+    trace t.engine ~pid:Trace.engine_pid (Trace.Mark { name = "snapshot.complete" });
     t.on_complete { states; channels }
   end
 
@@ -89,10 +103,17 @@ let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay ~local_state
     ~apply () =
   if n < 2 then invalid_arg "Snapshot.create: need at least two processes";
   let words = function App a -> payload_words a | Marker -> 1 in
-  let net = Net.create ?loss ~fifo:true ~payload_words:words engine ~n ~delay in
+  let net =
+    Net.create ?loss ~fifo:true ~payload_words:words ~label:"snapshot" engine
+      ~n ~delay
+  in
+  let m = Engine.metrics engine in
   let t =
     {
       n;
+      engine;
+      c_records = Metrics.counter m "snapshot.records";
+      c_completed = Metrics.counter m "snapshot.completed";
       net;
       local_state;
       apply;

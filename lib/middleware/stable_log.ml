@@ -60,7 +60,7 @@ let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay () =
   let words m =
     (n * n) + (match m.entry with Some (_, p) -> 1 + payload_words p | None -> 0)
   in
-  let net = Net.create ?loss ~payload_words:words engine ~n ~delay in
+  let net = Net.create ?loss ~payload_words:words ~label:"stable-log" engine ~n ~delay in
   let t =
     {
       n;

@@ -95,7 +95,7 @@ let handle t ~dst ~src:_ msg =
 
 let create ?loss engine ~n ~delay ~on_terminate =
   if n < 2 then invalid_arg "Termination.create: need at least two processes";
-  let net = Net.create ?loss ~payload_words:(fun _ -> 2) engine ~n ~delay in
+  let net = Net.create ?loss ~payload_words:(fun _ -> 2) ~label:"termination" engine ~n ~delay in
   let t =
     {
       n;

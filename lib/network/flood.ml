@@ -26,13 +26,14 @@ type 'a t = {
   seqs : int array;
 }
 
-let create ?loss ?(payload_words = fun _ -> 1) engine ~topology ~delay =
+let create ?loss ?(payload_words = fun _ -> 1) ?(label = "flood") engine
+    ~topology ~delay =
   let n = Graph.size topology in
   if n <= 0 then invalid_arg "Flood.create: empty topology";
   let net =
     Net.create ?loss ~topology
       ~payload_words:(fun m -> payload_words m.payload + 2)
-      engine ~n ~delay
+      ~label engine ~n ~delay
   in
   let t =
     {

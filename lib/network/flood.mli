@@ -5,11 +5,12 @@
 type 'a t
 
 val create :
-  ?loss:Psn_sim.Loss_model.t -> ?payload_words:('a -> int) ->
+  ?loss:Psn_sim.Loss_model.t -> ?payload_words:('a -> int) -> ?label:string ->
   Psn_sim.Engine.t -> topology:Psn_util.Graph.t ->
   delay:Psn_sim.Delay_model.t -> 'a t
 (** The topology is read at every hop, so later mutations (churn) affect
-    in-flight floods. *)
+    in-flight floods. [label] (default ["flood"]) names the underlying
+    medium in metrics and trace events. *)
 
 val set_handler : 'a t -> int -> (origin:int -> 'a -> unit) -> unit
 (** Called once per node per flood (duplicates suppressed). *)

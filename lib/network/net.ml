@@ -6,18 +6,18 @@
    independently); the loss model drops messages before delivery.  The
    overlay may be restricted to a topology graph, in which case unicast to
    a non-neighbor fails loudly and broadcast reaches neighbors only —
-   flooding, if needed, is a protocol concern, not a medium concern. *)
+   flooding, if needed, is a protocol concern, not a medium concern.
+
+   Costs are kept in the engine's metrics registry under
+   [net.<label>.*], so a run snapshot breaks traffic down by layer
+   (detector strobes vs middleware markers vs application data); [label]
+   also tags the trace events as the message kind. *)
 
 module Engine = Psn_sim.Engine
 module Sim_time = Psn_sim.Sim_time
 module Graph = Psn_util.Graph
-
-type 'a stats = {
-  mutable sent : int;        (* transmissions attempted (per receiver) *)
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable words : int;       (* abstract payload words transmitted *)
-}
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
 
 type 'a t = {
   engine : Engine.t;
@@ -28,19 +28,26 @@ type 'a t = {
   handlers : (src:int -> 'a -> unit) option array;
   payload_words : 'a -> int;
   topology : Graph.t option;
-  stats : 'a stats;
+  label : string;
+  c_sent : Metrics.counter;       (* transmissions attempted (per receiver) *)
+  c_delivered : Metrics.counter;
+  c_dropped : Metrics.counter;
+  c_words : Metrics.counter;      (* abstract payload words transmitted *)
+  h_delay : Metrics.histogram;    (* sampled per-message delay, ms *)
   fifo : Sim_time.t array array option;
       (* per-(src,dst) last scheduled delivery time: when present, a later
          send is never delivered before an earlier one on the same channel
          (FIFO channels, as Chandy–Lamport requires) *)
 }
 
-let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1) engine
-    ~n ~delay =
+let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1)
+    ?(label = "net") engine ~n ~delay =
   if n <= 0 then invalid_arg "Net.create: n must be positive";
   (match topology with
   | Some g when Graph.size g <> n -> invalid_arg "Net.create: topology size mismatch"
   | _ -> ());
+  let m = Engine.metrics engine in
+  let metric suffix = Printf.sprintf "net.%s.%s" label suffix in
   {
     engine;
     n;
@@ -50,12 +57,18 @@ let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1) engine
     handlers = Array.make n None;
     payload_words;
     topology;
-    stats = { sent = 0; delivered = 0; dropped = 0; words = 0 };
+    label;
+    c_sent = Metrics.counter m (metric "sent");
+    c_delivered = Metrics.counter m (metric "delivered");
+    c_dropped = Metrics.counter m (metric "dropped");
+    c_words = Metrics.counter m (metric "words");
+    h_delay = Metrics.histogram m ~lo:0.0 ~hi:1000.0 ~bins:20 (metric "delay_ms");
     fifo = (if fifo then Some (Array.make_matrix n n Sim_time.zero) else None);
   }
 
 let size t = t.n
 let delay_model t = t.delay
+let label t = t.label
 
 let set_handler t dst handler =
   if dst < 0 || dst >= t.n then invalid_arg "Net.set_handler: dst out of range";
@@ -67,12 +80,25 @@ let check_link t src dst =
   | Some g -> Graph.has_edge g src dst
 
 let transmit t ~src ~dst payload =
-  t.stats.sent <- t.stats.sent + 1;
-  t.stats.words <- t.stats.words + t.payload_words payload;
-  if Psn_sim.Loss_model.drops t.loss t.rng then
-    t.stats.dropped <- t.stats.dropped + 1
+  let words = t.payload_words payload in
+  Metrics.incr t.c_sent;
+  Metrics.incr ~by:words t.c_words;
+  (match Engine.tracer t.engine with
+  | Some s ->
+      Trace.emit s ~time:(Engine.now t.engine) ~pid:src
+        (Trace.Net_send { src; dst; words; kind = t.label })
+  | None -> ());
+  if Psn_sim.Loss_model.drops t.loss t.rng then begin
+    Metrics.incr t.c_dropped;
+    match Engine.tracer t.engine with
+    | Some s ->
+        Trace.emit s ~time:(Engine.now t.engine) ~pid:dst
+          (Trace.Net_drop { src; dst; kind = t.label })
+    | None -> ()
+  end
   else begin
     let d = Psn_sim.Delay_model.sample t.delay t.rng in
+    Metrics.observe t.h_delay (Sim_time.to_ms_float d);
     let at = Sim_time.add (Engine.now t.engine) d in
     let at =
       match t.fifo with
@@ -85,7 +111,12 @@ let transmit t ~src ~dst payload =
     in
     ignore
       (Engine.schedule_at t.engine at (fun () ->
-           t.stats.delivered <- t.stats.delivered + 1;
+           Metrics.incr t.c_delivered;
+           (match Engine.tracer t.engine with
+           | Some s ->
+               Trace.emit s ~time:(Engine.now t.engine) ~pid:dst
+                 (Trace.Net_deliver { src; dst; kind = t.label })
+           | None -> ());
            match t.handlers.(dst) with
            | Some handler -> handler ~src payload
            | None -> ()))
@@ -110,9 +141,9 @@ let broadcast t ~src payload =
       done
   | Some g -> List.iter (fun dst -> transmit t ~src ~dst payload) (Graph.neighbors g src)
 
-let sent t = t.stats.sent
-let delivered t = t.stats.delivered
-let dropped t = t.stats.dropped
-let words_transmitted t = t.stats.words
+let sent t = Metrics.counter_value t.c_sent
+let delivered t = Metrics.counter_value t.c_delivered
+let dropped t = Metrics.counter_value t.c_dropped
+let words_transmitted t = Metrics.counter_value t.c_words
 
 let pending t = Engine.pending t.engine

@@ -5,14 +5,18 @@ type 'a t
 
 val create :
   ?loss:Psn_sim.Loss_model.t -> ?topology:Psn_util.Graph.t -> ?fifo:bool ->
-  ?payload_words:('a -> int) -> Psn_sim.Engine.t -> n:int ->
+  ?payload_words:('a -> int) -> ?label:string -> Psn_sim.Engine.t -> n:int ->
   delay:Psn_sim.Delay_model.t -> 'a t
 (** [payload_words] sizes payloads for the overhead accounting of E5.
     [fifo] makes each (src, dst) channel deliver in send order (required
-    by Chandy–Lamport snapshots); default is unordered delivery. *)
+    by Chandy–Lamport snapshots); default is unordered delivery.
+    [label] (default ["net"]) names this medium in metrics
+    ([net.<label>.sent] etc. in the engine's registry) and tags its trace
+    events as the message kind, giving per-layer traffic breakdowns. *)
 
 val size : 'a t -> int
 val delay_model : 'a t -> Psn_sim.Delay_model.t
+val label : 'a t -> string
 val set_handler : 'a t -> int -> (src:int -> 'a -> unit) -> unit
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit

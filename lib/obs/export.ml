@@ -1,0 +1,128 @@
+(* Trace exporters.
+
+   JSONL: one object per record with a stable field order — cheap to
+   grep, cheap to diff, and the determinism tests compare these bytes.
+
+   Chrome trace_event: the "JSON Object Format" variant understood by
+   Perfetto and chrome://tracing. Every record becomes an instant event
+   ("ph":"i") on its process's track; sim-time nanoseconds become the
+   format's microseconds with three decimals, so nothing is rounded
+   away. *)
+
+let args_of_event ev =
+  match (ev : Trace.event) with
+  | Engine_schedule { at } -> [ ("at_ns", Printf.sprintf "%Ld" at) ]
+  | Engine_fire | Engine_cancel -> []
+  | Net_send { src; dst; words; kind } ->
+      [
+        ("src", string_of_int src);
+        ("dst", string_of_int dst);
+        ("words", string_of_int words);
+        ("kind", Printf.sprintf "%S" kind);
+      ]
+  | Net_deliver { src; dst; kind } | Net_drop { src; dst; kind } ->
+      [
+        ("src", string_of_int src);
+        ("dst", string_of_int dst);
+        ("kind", Printf.sprintf "%S" kind);
+      ]
+  | Clock_tick { clock } | Clock_receive { clock } | Clock_strobe { clock } ->
+      [ ("clock", Printf.sprintf "%S" clock) ]
+  | Detector_update { var; seq } ->
+      [ ("var", Printf.sprintf "%S" var); ("update_seq", string_of_int seq) ]
+  | Detector_occurrence { verdict } ->
+      [ ("verdict", Printf.sprintf "%S" verdict) ]
+  | Mark _ -> []
+
+(* The args above pre-render values; keys are plain identifiers, and the
+   only string values pass through %S, whose escaping coincides with JSON
+   for the identifiers and labels used here. *)
+let add_args buf args =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      Buffer.add_string buf k;
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf v)
+    args
+
+let type_name ev =
+  match (ev : Trace.event) with Mark _ -> "mark" | ev -> Trace.event_name ev
+
+let jsonl_record buf (r : Trace.record) =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"t_ns\":%Ld,\"pid\":%d,\"type\":\"%s\"" r.seq
+       r.time r.pid (type_name r.event));
+  (match r.event with
+  | Mark { name } ->
+      Buffer.add_string buf ",\"name\":";
+      Json.escape_to_buffer buf name
+  | _ -> ());
+  add_args buf (args_of_event r.event);
+  Buffer.add_string buf "}\n"
+
+let jsonl_to_buffer buf sink = Trace.iter (jsonl_record buf) sink
+
+let jsonl_string sink =
+  let buf = Buffer.create 4096 in
+  jsonl_to_buffer buf sink;
+  Buffer.contents buf
+
+let write_jsonl oc sink =
+  let buf = Buffer.create 4096 in
+  jsonl_to_buffer buf sink;
+  Buffer.output_buffer oc buf
+
+(* --- Chrome trace_event ------------------------------------------------ *)
+
+(* Track id: engine events ([pid] = -1) on chrome pid 0, process i on
+   chrome pid i+1, so every pid is non-negative as the format requires. *)
+let chrome_pid pid = pid + 1
+
+let chrome_to_buffer buf sink =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  (* Name the tracks: one metadata event per distinct pid, in order. *)
+  let pids = Hashtbl.create 16 in
+  Trace.iter (fun r -> Hashtbl.replace pids r.Trace.pid ()) sink;
+  let sorted_pids =
+    List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) pids [])
+  in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n"
+  in
+  List.iter
+    (fun pid ->
+      let name = if pid = Trace.engine_pid then "engine" else Printf.sprintf "proc %d" pid in
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (chrome_pid pid) name))
+    sorted_pids;
+  Trace.iter
+    (fun (r : Trace.record) ->
+      sep ();
+      let ts_us = Printf.sprintf "%Ld.%03Ld" (Int64.div r.time 1000L)
+          (Int64.rem r.time 1000L) in
+      Buffer.add_string buf "{\"name\":";
+      Json.escape_to_buffer buf (Trace.event_name r.event);
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%d"
+           ts_us (chrome_pid r.pid) r.seq);
+      add_args buf (args_of_event r.event);
+      Buffer.add_string buf "}}")
+    sink;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let chrome_string sink =
+  let buf = Buffer.create 4096 in
+  chrome_to_buffer buf sink;
+  Buffer.contents buf
+
+let write_chrome oc sink =
+  let buf = Buffer.create 4096 in
+  chrome_to_buffer buf sink;
+  Buffer.output_buffer oc buf

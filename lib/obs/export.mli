@@ -1,0 +1,19 @@
+(** Trace exporters: JSONL and Chrome [trace_event] format.
+
+    Both are deterministic byte-for-byte given the same sink contents, so
+    traces from equal seeds diff clean. The Chrome export loads in
+    Perfetto / [chrome://tracing]: processes map to tracks ([pid]), and
+    simulated nanoseconds map to trace microseconds. *)
+
+val jsonl_to_buffer : Buffer.t -> Trace.sink -> unit
+(** One JSON object per record, one record per line, in emission order. *)
+
+val jsonl_string : Trace.sink -> string
+val write_jsonl : out_channel -> Trace.sink -> unit
+
+val chrome_to_buffer : Buffer.t -> Trace.sink -> unit
+(** A complete [{"traceEvents":[...]}] document: instant events on one
+    track per process, with process-name metadata. *)
+
+val chrome_string : Trace.sink -> string
+val write_chrome : out_channel -> Trace.sink -> unit

@@ -1,0 +1,27 @@
+(** Minimal JSON tree, printer, and parser.
+
+    Just enough for the observability layer — metric snapshots and trace
+    exports — without an external dependency. Printing is deterministic
+    (fields in the order given, floats via ["%.17g"] so doubles
+    round-trip); the parser accepts exactly the standard grammar. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Numbers without [.], [e], or [E] parse as [Int]; others as [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append a quoted, escaped JSON string literal. *)

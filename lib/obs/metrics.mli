@@ -1,0 +1,65 @@
+(** Registry of named counters, gauges, and histograms.
+
+    A registry is created per run (the engine owns one), so metrics never
+    leak across runs. Instruments are get-or-create by name: the handle
+    returned is a direct mutable cell, so the hot path pays one field
+    update, not a name lookup. Snapshots are sorted by name and serialize
+    to/from JSON losslessly. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or create. Raises [Invalid_argument] if the name is already
+    registered as a different instrument kind. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> ?lo:float -> ?hi:float -> ?bins:int -> string -> histogram
+(** Fixed-range histogram backed by [Psn_util.Stats.histogram]; defaults
+    [lo=0., hi=1000., bins=20]. Bounds are fixed at first creation; later
+    get-or-create calls ignore them. *)
+
+val observe : histogram -> float -> unit
+
+(** {2 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      lo : float;
+      hi : float;
+      counts : int array;
+      underflow : int;
+      overflow : int;
+    }
+
+type snapshot = (string * value) list
+(** Sorted by name. *)
+
+val snapshot : t -> snapshot
+
+val reset : t -> unit
+(** Zero every instrument, keeping registrations (and histogram bounds). *)
+
+val empty_snapshot : snapshot
+
+val find : snapshot -> string -> value option
+val get_counter : snapshot -> string -> int
+(** 0 when absent or not a counter. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val snapshot_to_json : snapshot -> string
+val snapshot_of_json : string -> (snapshot, string) result
+(** [snapshot_of_json (snapshot_to_json s) = Ok s]. *)

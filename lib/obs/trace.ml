@@ -1,0 +1,75 @@
+(* Structured trace sink.
+
+   A sink is a growable array of typed records; emission is an O(1)
+   append plus a sequence-number bump. Everything user-facing (export,
+   filtering, pretty names) lives in [Export]; this module only captures.
+
+   Time is int64 nanoseconds rather than [Psn_sim.Sim_time.t] because
+   [Psn_sim] depends on this library (the engine carries the sink), so
+   the dependency cannot point the other way. The representations are
+   identical. *)
+
+type event =
+  | Engine_schedule of { at : int64 }
+  | Engine_fire
+  | Engine_cancel
+  | Net_send of { src : int; dst : int; words : int; kind : string }
+  | Net_deliver of { src : int; dst : int; kind : string }
+  | Net_drop of { src : int; dst : int; kind : string }
+  | Clock_tick of { clock : string }
+  | Clock_receive of { clock : string }
+  | Clock_strobe of { clock : string }
+  | Detector_update of { var : string; seq : int }
+  | Detector_occurrence of { verdict : string }
+  | Mark of { name : string }
+
+type record = { seq : int; time : int64; pid : int; event : event }
+
+let engine_pid = -1
+
+let dummy_record = { seq = 0; time = 0L; pid = 0; event = Engine_fire }
+
+type sink = {
+  mutable next_seq : int;
+  records : record Psn_util.Vec.t;
+}
+
+let create () = { next_seq = 0; records = Psn_util.Vec.create ~dummy:dummy_record () }
+
+let emit sink ~time ~pid event =
+  let seq = sink.next_seq in
+  sink.next_seq <- seq + 1;
+  Psn_util.Vec.push sink.records { seq; time; pid; event }
+
+let length sink = Psn_util.Vec.length sink.records
+
+let clear sink =
+  sink.next_seq <- 0;
+  Psn_util.Vec.clear sink.records
+
+let iter f sink = Psn_util.Vec.iter f sink.records
+let records sink = Psn_util.Vec.to_list sink.records
+
+let event_name = function
+  | Engine_schedule _ -> "engine.schedule"
+  | Engine_fire -> "engine.fire"
+  | Engine_cancel -> "engine.cancel"
+  | Net_send _ -> "net.send"
+  | Net_deliver _ -> "net.deliver"
+  | Net_drop _ -> "net.drop"
+  | Clock_tick _ -> "clock.tick"
+  | Clock_receive _ -> "clock.receive"
+  | Clock_strobe _ -> "clock.strobe"
+  | Detector_update _ -> "detector.update"
+  | Detector_occurrence _ -> "detector.occurrence"
+  | Mark { name } -> name
+
+(* Process-wide default, picked up by [Engine.create]. *)
+let default_sink : sink option ref = ref None
+let set_default s = default_sink := s
+let default () = !default_sink
+
+let with_default s f =
+  let saved = !default_sink in
+  default_sink := Some s;
+  Fun.protect ~finally:(fun () -> default_sink := saved) f

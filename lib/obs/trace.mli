@@ -1,0 +1,61 @@
+(** Structured trace sink: typed events from every layer of a run.
+
+    Each record carries the simulated time (integer nanoseconds, mirroring
+    [Psn_sim.Sim_time] without depending on it — [Psn_sim] sits above this
+    library), the emitting process id, and a monotonically increasing trace
+    sequence number. Runs are deterministic, so with a fixed seed the trace
+    is a reproducible artifact: identical seeds must yield identical traces.
+
+    The sink is zero-cost when disabled: instrumented layers hold a
+    [sink option] and skip all work on [None]. *)
+
+type event =
+  | Engine_schedule of { at : int64 }  (** event queued for time [at] *)
+  | Engine_fire                        (** queued event popped and executed *)
+  | Engine_cancel                      (** a handle was cancelled *)
+  | Net_send of { src : int; dst : int; words : int; kind : string }
+  | Net_deliver of { src : int; dst : int; kind : string }
+  | Net_drop of { src : int; dst : int; kind : string }
+  | Clock_tick of { clock : string }     (** local clock ticked at a sense event *)
+  | Clock_receive of { clock : string }  (** receiver clock reacted to a stamp *)
+  | Clock_strobe of { clock : string }   (** stamp broadcast system-wide *)
+  | Detector_update of { var : string; seq : int }
+  | Detector_occurrence of { verdict : string }
+  | Mark of { name : string }
+      (** middleware milestones (causal delivery, snapshot markers, ...) *)
+
+type record = { seq : int; time : int64; pid : int; event : event }
+
+val engine_pid : int
+(** Pseudo process id (-1) for engine-level events, which belong to the
+    simulation substrate rather than to any process. *)
+
+type sink
+
+val create : unit -> sink
+
+val emit : sink -> time:int64 -> pid:int -> event -> unit
+(** Append a record; the sink assigns the next sequence number. *)
+
+val length : sink -> int
+val clear : sink -> unit
+val iter : (record -> unit) -> sink -> unit
+val records : sink -> record list
+
+val event_name : event -> string
+(** Dotted layer-qualified name, e.g. ["net.send"] or ["engine.fire"]. *)
+
+(** {2 Process-wide default sink}
+
+    Layers that create their own engines deep inside a run (scenarios,
+    experiment sweeps) pick the default sink up at engine creation, so a
+    CLI flag can enable tracing without threading a value through every
+    constructor. Not domain-safe: callers that enable a default sink must
+    keep the run single-domain (see [Psn_util.Parallel.set_sequential]). *)
+
+val set_default : sink option -> unit
+val default : unit -> sink option
+
+val with_default : sink -> (unit -> 'a) -> 'a
+(** [with_default s f] installs [s], runs [f], and restores the previous
+    default even on exceptions. *)

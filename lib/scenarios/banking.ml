@@ -89,7 +89,7 @@ let run cfg =
   let clocks =
     Array.init 2 (fun _ -> Physical_clock.synced_within clock_rng ~eps:cfg.eps)
   in
-  let net = Net.create ~payload_words:(fun _ -> 3) engine ~n:2 ~delay:cfg.delay in
+  let net = Net.create ~payload_words:(fun _ -> 3) ~label:"app" engine ~n:2 ~delay:cfg.delay in
   let seqs = Array.make 2 0 in
   let updates = ref [] in
   (* Online checker state at process 0: recent password pulse timestamps

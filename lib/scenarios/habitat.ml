@@ -56,8 +56,8 @@ let run cfg =
   let engine = Engine.create ~seed:cfg.seed () in
   let rng = Engine.scenario_rng engine in
   let net =
-    Net.create ~loss:cfg.loss ~payload_words:(fun _ -> 1) engine ~n:cfg.nodes
-      ~delay:cfg.delay
+    Net.create ~loss:cfg.loss ~payload_words:(fun _ -> 1) ~label:"app" engine
+      ~n:cfg.nodes ~delay:cfg.delay
   in
   let events = ref 0 in
   let coverage_sum = ref 0.0 in

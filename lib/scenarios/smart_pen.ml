@@ -72,7 +72,7 @@ let run ~mode cfg =
   let n = cfg.rooms + (match mode with Smart -> 1 | Dumb -> 0) in
   let pen_proc = cfg.rooms (* valid only in Smart mode *) in
   let clocks = Array.init n (fun me -> Vc.create ~n ~me) in
-  let net = Net.create engine ~n ~delay:cfg.delay in
+  let net = Net.create ~label:"app" engine ~n ~delay:cfg.delay in
   for dst = 0 to n - 1 do
     Net.set_handler net dst (fun ~src:_ stamp ->
         ignore (Vc.receive clocks.(dst) stamp))

@@ -3,18 +3,27 @@
    Events are closures keyed by (time, sequence number); the sequence
    number makes simultaneous events fire in scheduling order, which keeps
    runs fully deterministic.  Cancellation is lazy: a cancelled handle's
-   closure is skipped when popped. *)
+   closure is skipped when popped.
 
-type handle = { mutable cancelled : bool }
+   Observability: the engine owns the run's metrics registry and an
+   optional trace sink (picked up from [Psn_obs.Trace.default] at
+   creation, so a CLI flag enables tracing without threading a value
+   through every constructor).  With no sink installed the hooks cost one
+   branch per event. *)
 
-type scheduled = {
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
+
+type handle = { mutable cancelled : bool; owner : t }
+
+and scheduled = {
   time : Sim_time.t;
-  seq : int;
+  s_seq : int;
   action : unit -> unit;
   h : handle;
 }
 
-type t = {
+and t = {
   mutable now : Sim_time.t;
   mutable seq : int;
   mutable processed : int;
@@ -24,13 +33,19 @@ type t = {
       (* independent stream for scenario/world randomness, so protocol
          construction (which draws from [rng]) cannot perturb the world:
          the same seed gives the same world under every clock kind *)
+  mutable tracer : Trace.sink option;
+  metrics : Metrics.t;
+  c_scheduled : Metrics.counter;
+  c_fired : Metrics.counter;
+  c_cancelled : Metrics.counter;
 }
 
 let compare_scheduled a b =
   let c = Sim_time.compare a.time b.time in
-  if c <> 0 then c else Stdlib.compare a.seq b.seq
+  if c <> 0 then c else Stdlib.compare a.s_seq b.s_seq
 
-let create ?(seed = 42L) () =
+let create ?(seed = 42L) ?tracer () =
+  let metrics = Metrics.create () in
   {
     now = Sim_time.zero;
     seq = 0;
@@ -38,6 +53,11 @@ let create ?(seed = 42L) () =
     queue = Psn_util.Heap.create ~cmp:compare_scheduled ();
     rng = Psn_util.Rng.create ~seed ();
     aux_rng = Psn_util.Rng.create ~seed:(Int64.add seed 0x5DEECE66DL) ();
+    tracer = (match tracer with Some _ as s -> s | None -> Trace.default ());
+    metrics;
+    c_scheduled = Metrics.counter metrics "engine.scheduled";
+    c_fired = Metrics.counter metrics "engine.fired";
+    c_cancelled = Metrics.counter metrics "engine.cancelled";
   }
 
 let now t = t.now
@@ -46,12 +66,22 @@ let scenario_rng t = t.aux_rng
 let events_processed t = t.processed
 let pending t = Psn_util.Heap.length t.queue
 
+let tracer t = t.tracer
+let set_tracer t s = t.tracer <- s
+let metrics t = t.metrics
+
 let schedule_at t time action =
   if Sim_time.(time < t.now) then
     invalid_arg "Engine.schedule_at: time is in the past";
-  let h = { cancelled = false } in
+  let h = { cancelled = false; owner = t } in
   t.seq <- t.seq + 1;
-  Psn_util.Heap.add t.queue { time; seq = t.seq; action; h };
+  Metrics.incr t.c_scheduled;
+  (match t.tracer with
+  | Some s ->
+      Trace.emit s ~time:t.now ~pid:Trace.engine_pid
+        (Trace.Engine_schedule { at = time })
+  | None -> ());
+  Psn_util.Heap.add t.queue { time; s_seq = t.seq; action; h };
   h
 
 let schedule_after t delay action =
@@ -59,7 +89,15 @@ let schedule_after t delay action =
     invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (Sim_time.add t.now delay) action
 
-let cancel h = h.cancelled <- true
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    Metrics.incr h.owner.c_cancelled;
+    match h.owner.tracer with
+    | Some s ->
+        Trace.emit s ~time:h.owner.now ~pid:Trace.engine_pid Trace.Engine_cancel
+    | None -> ()
+  end
 
 let cancelled h = h.cancelled
 
@@ -71,6 +109,10 @@ let step t =
       t.now <- ev.time;
       if not ev.h.cancelled then begin
         t.processed <- t.processed + 1;
+        Metrics.incr t.c_fired;
+        (match t.tracer with
+        | Some s -> Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire
+        | None -> ());
         ev.action ()
       end;
       true
@@ -100,7 +142,7 @@ let run ?until t =
 let schedule_periodic ?until t ~start ~period action =
   if Sim_time.(period <= Sim_time.zero) then
     invalid_arg "Engine.schedule_periodic: period must be positive";
-  let master = { cancelled = false } in
+  let master = { cancelled = false; owner = t } in
   let rec fire () =
     if not master.cancelled then begin
       let keep_going = action () in

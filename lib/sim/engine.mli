@@ -6,9 +6,20 @@
 type t
 type handle
 
-val create : ?seed:int64 -> unit -> t
+val create : ?seed:int64 -> ?tracer:Psn_obs.Trace.sink -> unit -> t
+(** When [tracer] is omitted, the process-wide [Psn_obs.Trace.default]
+    sink (if any) is picked up, so deeply nested engine creations trace
+    without plumbing. *)
+
 val now : t -> Sim_time.t
 val rng : t -> Psn_util.Rng.t
+
+val tracer : t -> Psn_obs.Trace.sink option
+val set_tracer : t -> Psn_obs.Trace.sink option -> unit
+
+val metrics : t -> Psn_obs.Metrics.t
+(** Per-run metrics registry; instrumented layers register their counters
+    here so one snapshot covers the whole stack. *)
 
 val scenario_rng : t -> Psn_util.Rng.t
 (** Independent stream for world/scenario randomness: protocol-side draws

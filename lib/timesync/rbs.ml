@@ -39,7 +39,7 @@ let default_cfg =
 let run engine hw ~cfg =
   let n = Array.length hw in
   if n < 3 then invalid_arg "Rbs.run: need a reference plus >= 2 receivers";
-  let net = Net.create ~payload_words engine ~n ~delay:cfg.delay in
+  let net = Net.create ~payload_words ~label:"rbs" engine ~n ~delay:cfg.delay in
   let start = Engine.now engine in
   let base = 1 in
   (* readings.(i).(s): receiver i's local reading of beacon s, ns. *)

@@ -46,7 +46,7 @@ let run ?topology engine hw ~cfg =
     (fun i p -> if p < 0 then invalid_arg (Printf.sprintf "Tpsn.run: node %d unreachable" i))
     parent;
   let depth = Graph.bfs_dist topo 0 in
-  let net = Net.create ~payload_words ~topology:topo engine ~n ~delay:cfg.delay in
+  let net = Net.create ~payload_words ~topology:topo ~label:"tpsn" engine ~n ~delay:cfg.delay in
   let start = Engine.now engine in
   (* Parents answer requests; children apply the offset estimate. *)
   let pending = Array.make n cfg.rounds in

@@ -7,9 +7,20 @@
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Global single-domain switch: tracing into a process-wide sink is not
+   domain-safe, so the CLI flips this before running with --trace. Runs
+   stay deterministic either way (results come back in input order). *)
+let sequential_only = ref false
+
+let set_sequential b = sequential_only := b
+let sequential () = !sequential_only
+
 let map_array ?domains f xs =
   let n = Array.length xs in
-  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  let d =
+    if !sequential_only then 1
+    else match domains with Some d -> max 1 d | None -> default_domains ()
+  in
   if n = 0 then [||]
   else if d = 1 || n = 1 then Array.map f xs
   else begin

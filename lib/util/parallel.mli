@@ -6,6 +6,13 @@
 val default_domains : unit -> int
 (** Recommended worker count, leaving one core for the main domain. *)
 
+val set_sequential : bool -> unit
+(** Force every map onto the calling domain. Required while a process-wide
+    trace sink is installed (the sink is not domain-safe); results are
+    identical either way, only wall-clock changes. *)
+
+val sequential : unit -> bool
+
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 

@@ -1,0 +1,142 @@
+(* Tests for the observability layer: trace sink, metrics registry, and
+   exporters.  The load-bearing property is determinism — with a fixed
+   seed the JSONL trace must be byte-identical across runs, which is what
+   makes a trace a reviewable artifact rather than a log. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Engine = Psn_sim.Engine
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
+module Export = Psn_obs.Export
+module Json = Psn_obs.Json
+module Office = Psn_scenarios.Smart_office
+
+let traced_office_run () =
+  let sink = Trace.create () in
+  Trace.with_default sink (fun () ->
+      let cfg = Office.default in
+      let config =
+        {
+          Psn.Config.default with
+          n = Office.n_processes cfg;
+          clock = Psn_clocks.Clock_kind.Strobe_vector;
+          delay =
+            Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 10)
+              ~max:(Sim_time.of_ms 100);
+          horizon = Sim_time.of_sec 600;
+          seed = 11L;
+        }
+      in
+      ignore (Office.run ~cfg config));
+  sink
+
+let test_trace_deterministic () =
+  let a = Export.jsonl_string (traced_office_run ()) in
+  let b = Export.jsonl_string (traced_office_run ()) in
+  Alcotest.(check bool) "non-empty" true (String.length a > 0);
+  Alcotest.(check string) "byte-identical across equal seeds" a b
+
+let test_trace_covers_layers () =
+  let sink = traced_office_run () in
+  let names = Hashtbl.create 16 in
+  Trace.iter (fun r -> Hashtbl.replace names (Trace.event_name r.event) ()) sink;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (Hashtbl.mem names name))
+    [ "engine.schedule"; "engine.fire"; "net.send"; "net.deliver";
+      "clock.strobe"; "detector.update" ]
+
+let test_disabled_sink_no_events () =
+  (* No default sink installed: the engine holds [None] and the untouched
+     sink must stay empty after a full run. *)
+  let sink = Trace.create () in
+  let engine = Engine.create ~seed:7L () in
+  Alcotest.(check bool) "engine untraced" true (Engine.tracer engine = None);
+  for i = 1 to 50 do
+    ignore (Engine.schedule_at engine (Sim_time.of_us i) (fun () -> ()))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "no events recorded" 0 (Trace.length sink)
+
+let test_engine_trace_events () =
+  let sink = Trace.create () in
+  let engine = Engine.create ~seed:7L ~tracer:sink () in
+  let h = Engine.schedule_at engine (Sim_time.of_us 5) (fun () -> ()) in
+  ignore (Engine.schedule_at engine (Sim_time.of_us 1) (fun () -> ()));
+  Engine.cancel h;
+  Engine.run engine;
+  let count name =
+    let k = ref 0 in
+    Trace.iter (fun r -> if Trace.event_name r.event = name then incr k) sink;
+    !k
+  in
+  Alcotest.(check int) "schedules" 2 (count "engine.schedule");
+  Alcotest.(check int) "cancels" 1 (count "engine.cancel");
+  Alcotest.(check int) "fires" 1 (count "engine.fire")
+
+let test_metrics_snapshot_roundtrip () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "net.sent" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  let g = Metrics.gauge m "queue.depth" in
+  Metrics.set g 3.5;
+  let h = Metrics.histogram m ~lo:0.0 ~hi:100.0 ~bins:10 "delay_ms" in
+  List.iter (Metrics.observe h) [ -1.0; 5.0; 55.0; 250.0 ];
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "counter" 42 (Metrics.get_counter s "net.sent");
+  (match Metrics.snapshot_of_json (Metrics.snapshot_to_json s) with
+  | Ok s' -> Alcotest.(check bool) "round-trip" true (s = s')
+  | Error e -> Alcotest.fail ("parse error: " ^ e));
+  Metrics.reset m;
+  Alcotest.(check int) "reset zeroes" 0
+    (Metrics.get_counter (Metrics.snapshot m) "net.sent")
+
+let test_report_carries_metrics () =
+  let sink = traced_office_run () in
+  ignore sink;
+  let cfg = Office.default in
+  let config =
+    { Psn.Config.default with n = Office.n_processes cfg; seed = 23L }
+  in
+  let report = Office.run ~cfg config in
+  let m = Psn.Report.metrics report in
+  Alcotest.(check bool) "metrics snapshot non-empty" true (m <> []);
+  Alcotest.(check bool) "engine fired events" true
+    (Metrics.get_counter m "engine.fired" > 0)
+
+let test_chrome_export_parses () =
+  let sink = traced_office_run () in
+  match Json.of_string (Export.chrome_string sink) with
+  | Error e -> Alcotest.fail ("chrome export unparsable: " ^ e)
+  | Ok doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.List events) ->
+          Alcotest.(check bool) "has events" true (List.length events > 0)
+      | _ -> Alcotest.fail "missing traceEvents array")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "deterministic jsonl" `Quick
+            test_trace_deterministic;
+          Alcotest.test_case "covers layers" `Quick test_trace_covers_layers;
+          Alcotest.test_case "disabled sink is silent" `Quick
+            test_disabled_sink_no_events;
+          Alcotest.test_case "engine events" `Quick test_engine_trace_events;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "snapshot json round-trip" `Quick
+            test_metrics_snapshot_roundtrip;
+          Alcotest.test_case "report carries metrics" `Quick
+            test_report_carries_metrics;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace parses" `Quick
+            test_chrome_export_parses;
+        ] );
+    ]
