@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples trace-demo clean
+.PHONY: all build test bench bench-json experiments examples trace-demo clean
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Microbenchmarks only (no experiment tables), written as JSON
+# (schema psn-bench/1, see DESIGN.md). BENCH_PR2.json in the repo root
+# is a committed snapshot of this output.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_PR2.json
 
 # Full (slow) experiment profiles — the numbers in EXPERIMENTS.md.
 experiments:

@@ -192,21 +192,84 @@ let mutex_round =
       done;
       Psn_sim.Engine.run engine)
 
-let groups =
+(* --- PR2 event-core subjects ------------------------------------------- *)
+
+let noop () = ()
+
+let engine_create =
+  Test.make ~name:"engine.create" (Staged.stage @@ fun () ->
+      ignore (Sys.opaque_identity (Psn_sim.Engine.create ())))
+
+(* Fast-path twin of [engine_event]: fire-and-forget scheduling, no
+   cancellation handles. *)
+let engine_event_unit =
+  Test.make ~name:"engine.schedule_unit+run(100)" (Staged.stage @@ fun () ->
+      let engine = Psn_sim.Engine.create () in
+      for i = 1 to 100 do
+        Psn_sim.Engine.schedule_at_unit engine (Sim_time.of_us i) noop
+      done;
+      Psn_sim.Engine.run engine)
+
+(* Steady-state queue churn: one add + one pop against [k] pending
+   events, so the heap depth under test stays constant. *)
+let queue_add_pop ~label k =
+  let q = Psn_sim.Event_queue.create ~dummy:noop () in
+  for i = 0 to k - 1 do
+    Psn_sim.Event_queue.add q ~time_ns:i noop
+  done;
+  let t = ref k in
+  Test.make ~name:(Printf.sprintf "queue.add+pop(%s pending)" label)
+    (Staged.stage @@ fun () ->
+      incr t;
+      Psn_sim.Event_queue.add q ~time_ns:!t noop;
+      let (_ : unit -> unit) = Sys.opaque_identity (Psn_sim.Event_queue.pop_exn q) in
+      ())
+
+let queue_1k = queue_add_pop ~label:"1k" 1_000
+let queue_100k = queue_add_pop ~label:"100k" 100_000
+
+let net_broadcast =
+  Test.make ~name:"net.broadcast(n=16)" (Staged.stage @@ fun () ->
+      let engine = Psn_sim.Engine.create () in
+      let net =
+        Psn_network.Net.create engine ~n:16
+          ~delay:Psn_sim.Delay_model.synchronous
+      in
+      for i = 0 to 15 do
+        Psn_network.Net.set_handler net i (fun ~src:_ () -> ())
+      done;
+      Psn_network.Net.broadcast net ~src:0 ();
+      Psn_sim.Engine.run engine)
+
+(* Dispatch latency of the persistent domain pool: tiny payload, so the
+   handshake (publish job, wake workers, join) dominates. *)
+let pool_dispatch =
+  let xs = Array.init 16 (fun i -> i) in
+  Test.make ~name:"pool.dispatch(16)" (Staged.stage @@ fun () ->
+      ignore
+        (Sys.opaque_identity
+           (Psn_util.Parallel.map_array ~domains:2 (fun x -> x + 1) xs)))
+
+(* Named subject groups; names in reports are "group/subject". *)
+let subjects =
   [
-    Test.make_grouped ~name:"clocks"
+    ( "clocks",
       [
         lamport_tick; lamport_receive; vector_tick; vector_receive;
         strobe_scalar_tick; strobe_vector_tick; strobe_vector_receive;
         vector_compare; matrix_receive; hlc_tick;
-      ];
-    Test.make_grouped ~name:"infra"
+      ] );
+    ( "infra",
       [
         engine_event; engine_event_traced; predicate_eval; lattice_count;
         detector_run;
-      ];
-    Test.make_grouped ~name:"middleware"
-      [ flood_ring; causal_burst; snapshot_round; mutex_round ];
+      ] );
+    ("middleware", [ flood_ring; causal_burst; snapshot_round; mutex_round ]);
+    ( "event_core",
+      [
+        engine_create; engine_event_unit; queue_1k; queue_100k; net_broadcast;
+        pool_dispatch;
+      ] );
   ]
 
 let benchmark test =
@@ -222,32 +285,99 @@ let analyze raw =
   in
   Analyze.all ols Instance.monotonic_clock raw
 
-let run_microbenches () =
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Run the (optionally filtered) subjects and return [(name, ns/op)]
+   rows sorted by name; estimates that failed to converge come back as
+   [None]. *)
+let run_microbenches ?only () =
+  let keep group t =
+    match only with
+    | None -> true
+    | Some s -> contains (group ^ "/" ^ Test.name t) s
+  in
+  let results = ref [] in
+  List.iter
+    (fun (group, tests) ->
+      match List.filter (keep group) tests with
+      | [] -> ()
+      | tests ->
+          let analyzed = analyze (benchmark (Test.make_grouped ~name:group tests)) in
+          Hashtbl.iter
+            (fun name ols ->
+              let est =
+                match Analyze.OLS.estimates ols with
+                | Some (e :: _) -> Some e
+                | _ -> None
+              in
+              results := (name, est) :: !results)
+            analyzed)
+    subjects;
+  List.sort compare !results
+
+let print_rows rows =
   print_endline "== E10: clock and infrastructure microbenchmarks ==";
   print_endline
     "claim: implied scaling - strobe/clock operations are cheap enough for\n\
      sensor-node firmware; vector ops scale with n\n";
-  let rows = ref [] in
-  List.iter
-    (fun group ->
-      let results = analyze (benchmark group) in
-      Hashtbl.iter
-        (fun name ols ->
-          let est =
-            match Analyze.OLS.estimates ols with
-            | Some (e :: _) -> Printf.sprintf "%.1f" e
-            | _ -> "n/a"
-          in
-          rows := [ name; est ] :: !rows)
-        results)
-    groups;
-  let rows = List.sort compare !rows in
+  let rows =
+    List.map
+      (fun (name, est) ->
+        [
+          name;
+          (match est with Some e -> Printf.sprintf "%.1f" e | None -> "n/a");
+        ])
+      rows
+  in
   Psn_util.Table.print ~headers:[ "operation"; "ns/op" ] ~rows ();
   print_newline ()
 
+(* Schema "psn-bench/1" (documented in DESIGN.md): one object mapping
+   "group/subject" to its OLS ns/op estimate (null when the fit failed). *)
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"psn-bench/1\",\n";
+  output_string oc "  \"unit\": \"ns/op\",\n";
+  output_string oc "  \"subjects\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      let v = match est with Some e -> Printf.sprintf "%.1f" e | None -> "null" in
+      Printf.fprintf oc "    %S: %s%s\n" name v (if i < n - 1 then "," else ""))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d subjects)\n" path n
+
 let () =
-  let quick =
-    match Sys.getenv_opt "PSN_BENCH_FULL" with Some _ -> false | None -> true
+  let json = ref None and only = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | "--only" :: s :: rest ->
+        only := Some s;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: bench [--only SUBSTR] [--json FILE]; unknown argument %S\n"
+          arg;
+        exit 2
   in
-  run_microbenches ();
-  Psn_experiments.Experiments.print_all ~quick ()
+  parse (List.tl (Array.to_list Sys.argv));
+  let rows = run_microbenches ?only:!only () in
+  print_rows rows;
+  (match !json with Some path -> write_json path rows | None -> ());
+  (* The claim-table part of the default run; skipped in micro-only
+     invocations (--only / --json) so `make bench-json` stays fast. *)
+  if !json = None && !only = None then begin
+    let quick =
+      match Sys.getenv_opt "PSN_BENCH_FULL" with Some _ -> false | None -> true
+    in
+    Psn_experiments.Experiments.print_all ~quick ()
+  end

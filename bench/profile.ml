@@ -1,0 +1,19 @@
+(* Raw-loop driver for profilers: repeats the engine.schedule+run(100)
+   subject without the bechamel harness, so sampling profilers see only
+   the code under test.
+
+     dune exec bench/profile.exe -- 1000000
+
+   runs 10^8 events in ~10 s of pure scheduling and dispatch. *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100_000 in
+  for _ = 1 to n do
+    let engine = Psn_sim.Engine.create () in
+    for i = 1 to 100 do
+      ignore
+        (Psn_sim.Engine.schedule_at engine (Psn_sim.Sim_time.of_us i)
+           (fun () -> ()))
+    done;
+    Psn_sim.Engine.run engine
+  done

@@ -268,8 +268,7 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
   in
   (* At the horizon, close any still-open intervals so occurrences in
      progress are not lost. *)
-  ignore
-    (Engine.schedule_at engine horizon (fun () ->
+  Engine.schedule_at_unit engine horizon (fun () ->
          Array.iteri
            (fun i l ->
              if l.holds && l.open_lo <> None then begin
@@ -279,7 +278,7 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
                Net.broadcast net ~src:i (Strobe stamp);
                close_interval i stamp
              end)
-           locals));
+           locals);
   let t =
     {
       Detector.emit;

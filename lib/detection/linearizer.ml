@@ -281,7 +281,7 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
       discipline.on_receive ~dst msg.stamp;
       if dst = 0 then begin
         pending := { msg; recv_time = Engine.now engine } :: !pending;
-        ignore (Engine.schedule_after engine cfg.hold flush)
+        Engine.schedule_after_unit engine cfg.hold flush
       end);
   let emit ~src ~var value =
     if src < 0 || src >= n then invalid_arg "Detector.emit: src out of range";
@@ -312,7 +312,7 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
     end;
     if src = 0 then begin
       pending := { msg; recv_time = Engine.now engine } :: !pending;
-      ignore (Engine.schedule_after engine cfg.hold flush)
+      Engine.schedule_after_unit engine cfg.hold flush
     end
   in
   let t =

@@ -39,11 +39,10 @@ let setup ~trials ~period ~w ~l engine detector =
   for k = 0 to trials - 1 do
     let base = Sim_time.scale period (float_of_int (k + 1)) in
     let at dt var value =
-      ignore
-        (Psn_sim.Engine.schedule_at engine (Sim_time.add base dt) (fun () ->
+      Psn_sim.Engine.schedule_at_unit engine (Sim_time.add base dt) (fun () ->
              Detector.emit detector
                ~src:(if String.equal var "a" then 0 else 1)
-               ~var (Value.Bool value)))
+               ~var (Value.Bool value))
     in
     at Sim_time.zero "a" true;
     at (Sim_time.sub w l) "b" true;

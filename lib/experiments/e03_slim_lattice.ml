@@ -40,15 +40,14 @@ let strobe_run ~seed ~n ~events_per_proc ~rate ~delta () =
     let rec next () =
       if !count < events_per_proc then begin
         let gap = Psn_util.Rng.exponential rng ~mean:(1.0 /. rate) in
-        ignore
-          (Engine.schedule_after engine (Sim_time.of_sec_float gap) (fun () ->
+        Engine.schedule_after_unit engine (Sim_time.of_sec_float gap) (fun () ->
                incr count;
                let stamp = Strobe_vector.tick_and_strobe clocks.(i) in
                stamps.(i) := stamp :: !(stamps.(i));
                (match net with
                | Some net -> Net.broadcast net ~src:i stamp
                | None -> ());
-               next ()))
+               next ())
       end
     in
     next ()

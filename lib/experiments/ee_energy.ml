@@ -76,8 +76,7 @@ let run_regime ~regime ~rate ~seed =
   for node = 0 to n - 1 do
     let rec next () =
       let gap = Psn_util.Rng.exponential rng ~mean:(1.0 /. rate) in
-      ignore
-        (Engine.schedule_after engine (Sim_time.of_sec_float gap) (fun () ->
+      Engine.schedule_after_unit engine (Sim_time.of_sec_float gap) (fun () ->
              if Sim_time.( < ) (Engine.now engine) horizon then begin
                (match regime with
                | `Strobe -> Duty_mac.broadcast mac ~src:node update_words
@@ -85,7 +84,7 @@ let run_regime ~regime ~rate ~seed =
                    if node <> 0 then
                      Duty_mac.send mac ~src:node ~dst:0 update_words);
                next ()
-             end))
+             end)
     in
     next ()
   done;

@@ -14,8 +14,7 @@ let actuate ?(delay = Psn_sim.Delay_model.synchronous) process world ~obj ~attr
   let engine = Process.engine process in
   let rng = Engine.rng engine in
   let d = Psn_sim.Delay_model.sample delay rng in
-  ignore
-    (Engine.schedule_after engine d (fun () ->
+  Engine.schedule_after_unit engine d (fun () ->
          ignore
            (Process.log_event process (Exec_event.Actuate { obj; attr; value }));
-         World.set_attr world obj attr value))
+         World.set_attr world obj attr value)

@@ -92,14 +92,13 @@ let send t ~src ~dst payload =
   let arrival = Sim_time.add now d in
   let deliver_at = next_awake t dst ~at:arrival in
   Stats.add t.delay_stats (Sim_time.to_sec_float (Sim_time.sub deliver_at now));
-  ignore
-    (Engine.schedule_at t.engine deliver_at (fun () ->
+  Engine.schedule_at_unit t.engine deliver_at (fun () ->
          (match t.energy with
          | Some e -> Energy.charge_rx e dst ~words
          | None -> ());
          match t.handlers.(dst) with
          | Some handler -> handler ~src payload
-         | None -> ()))
+         | None -> ())
 
 let broadcast t ~src payload =
   for dst = 0 to t.n - 1 do

@@ -109,8 +109,7 @@ let transmit t ~src ~dst payload =
           last.(src).(dst) <- at;
           at
     in
-    ignore
-      (Engine.schedule_at t.engine at (fun () ->
+    Engine.schedule_at_unit t.engine at (fun () ->
            Metrics.incr t.c_delivered;
            (match Engine.tracer t.engine with
            | Some s ->
@@ -119,7 +118,7 @@ let transmit t ~src ~dst payload =
            | None -> ());
            match t.handlers.(dst) with
            | Some handler -> handler ~src payload
-           | None -> ()))
+           | None -> ())
   end
 
 let send t ~src ~dst payload =

@@ -21,7 +21,7 @@ let attach ?(latency = Psn_sim.Delay_model.synchronous) engine world ~filter
   World.subscribe world (fun change ->
       if filter change then begin
         let d = Psn_sim.Delay_model.sample latency rng in
-        ignore (Engine.schedule_after engine d (fun () -> callback change))
+        Engine.schedule_after_unit engine d (fun () -> callback change)
       end)
 
 (* Range-based sensor at a fixed position: senses changes of objects

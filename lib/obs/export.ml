@@ -11,7 +11,7 @@
 
 let args_of_event ev =
   match (ev : Trace.event) with
-  | Engine_schedule { at } -> [ ("at_ns", Printf.sprintf "%Ld" at) ]
+  | Engine_schedule { at } -> [ ("at_ns", Printf.sprintf "%d" at) ]
   | Engine_fire | Engine_cancel -> []
   | Net_send { src; dst; words; kind } ->
       [
@@ -51,7 +51,7 @@ let type_name ev =
 
 let jsonl_record buf (r : Trace.record) =
   Buffer.add_string buf
-    (Printf.sprintf "{\"seq\":%d,\"t_ns\":%Ld,\"pid\":%d,\"type\":\"%s\"" r.seq
+    (Printf.sprintf "{\"seq\":%d,\"t_ns\":%d,\"pid\":%d,\"type\":\"%s\"" r.seq
        r.time r.pid (type_name r.event));
   (match r.event with
   | Mark { name } ->
@@ -104,8 +104,7 @@ let chrome_to_buffer buf sink =
   Trace.iter
     (fun (r : Trace.record) ->
       sep ();
-      let ts_us = Printf.sprintf "%Ld.%03Ld" (Int64.div r.time 1000L)
-          (Int64.rem r.time 1000L) in
+      let ts_us = Printf.sprintf "%d.%03d" (r.time / 1000) (r.time mod 1000) in
       Buffer.add_string buf "{\"name\":";
       Json.escape_to_buffer buf (Trace.event_name r.event);
       Buffer.add_string buf

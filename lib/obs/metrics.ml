@@ -44,6 +44,7 @@ let counter t name =
   | _ -> assert false
 
 let incr ?(by = 1) c = c.c <- c.c + by
+let tick c = c.c <- c.c + 1
 let counter_value c = c.c
 
 let gauge t name =

@@ -18,6 +18,11 @@ val counter : t -> string -> counter
     registered as a different instrument kind. *)
 
 val incr : ?by:int -> counter -> unit
+
+val tick : counter -> unit
+(** [incr] by one without the optional-argument dispatch; for
+    instrumented hot loops. *)
+
 val counter_value : counter -> int
 
 val gauge : t -> string -> gauge

@@ -4,13 +4,13 @@
    append plus a sequence-number bump. Everything user-facing (export,
    filtering, pretty names) lives in [Export]; this module only captures.
 
-   Time is int64 nanoseconds rather than [Psn_sim.Sim_time.t] because
+   Time is integer nanoseconds rather than [Psn_sim.Sim_time.t] because
    [Psn_sim] depends on this library (the engine carries the sink), so
    the dependency cannot point the other way. The representations are
    identical. *)
 
 type event =
-  | Engine_schedule of { at : int64 }
+  | Engine_schedule of { at : int }
   | Engine_fire
   | Engine_cancel
   | Net_send of { src : int; dst : int; words : int; kind : string }
@@ -23,11 +23,11 @@ type event =
   | Detector_occurrence of { verdict : string }
   | Mark of { name : string }
 
-type record = { seq : int; time : int64; pid : int; event : event }
+type record = { seq : int; time : int; pid : int; event : event }
 
 let engine_pid = -1
 
-let dummy_record = { seq = 0; time = 0L; pid = 0; event = Engine_fire }
+let dummy_record = { seq = 0; time = 0; pid = 0; event = Engine_fire }
 
 type sink = {
   mutable next_seq : int;

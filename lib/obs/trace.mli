@@ -10,7 +10,7 @@
     [sink option] and skip all work on [None]. *)
 
 type event =
-  | Engine_schedule of { at : int64 }  (** event queued for time [at] *)
+  | Engine_schedule of { at : int }  (** event queued for time [at] *)
   | Engine_fire                        (** queued event popped and executed *)
   | Engine_cancel                      (** a handle was cancelled *)
   | Net_send of { src : int; dst : int; words : int; kind : string }
@@ -24,7 +24,7 @@ type event =
   | Mark of { name : string }
       (** middleware milestones (causal delivery, snapshot markers, ...) *)
 
-type record = { seq : int; time : int64; pid : int; event : event }
+type record = { seq : int; time : int; pid : int; event : event }
 
 val engine_pid : int
 (** Pseudo process id (-1) for engine-level events, which belong to the
@@ -34,7 +34,7 @@ type sink
 
 val create : unit -> sink
 
-val emit : sink -> time:int64 -> pid:int -> event -> unit
+val emit : sink -> time:int -> pid:int -> event -> unit
 (** Append a record; the sink assigns the next sequence number. *)
 
 val length : sink -> int

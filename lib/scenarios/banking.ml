@@ -125,11 +125,9 @@ let run cfg =
   in
   let pulse ~src ~var ~at ~duration =
     if Sim_time.( < ) at cfg.horizon then begin
-      ignore
-        (Engine.schedule_at engine at (fun () -> emit ~src ~var (Value.Bool true)));
-      ignore
-        (Engine.schedule_at engine (Sim_time.add at duration) (fun () ->
-             emit ~src ~var (Value.Bool false)))
+      Engine.schedule_at_unit engine at (fun () -> emit ~src ~var (Value.Bool true));
+      Engine.schedule_at_unit engine (Sim_time.add at duration) (fun () ->
+             emit ~src ~var (Value.Bool false))
     end
   in
   (* Legitimate sessions. *)

@@ -85,8 +85,7 @@ let run cfg =
   let mean_gap_s = 3600.0 /. cfg.event_rate_per_hour in
   let rec schedule_next () =
     let gap = Psn_util.Rng.exponential rng ~mean:mean_gap_s in
-    ignore
-      (Engine.schedule_after engine (Sim_time.of_sec_float gap) (fun () ->
+    Engine.schedule_after_unit engine (Sim_time.of_sec_float gap) (fun () ->
            if Sim_time.( < ) (Engine.now engine) cfg.horizon then begin
              let id = !events in
              incr events;
@@ -100,14 +99,13 @@ let run cfg =
              wake_time := Sim_time.add !wake_time cfg.event_duration;
              Net.broadcast net ~src:origin (Wake { event_id = id });
              (* Tally once the phenomenon has passed. *)
-             ignore
-               (Engine.schedule_at engine until (fun () ->
+             Engine.schedule_at_unit engine until (fun () ->
                     let k = Psn_util.Bitset.cardinal set in
                     coverage_sum :=
                       !coverage_sum +. (float_of_int k /. float_of_int cfg.nodes);
-                    if k = cfg.nodes then incr full));
+                    if k = cfg.nodes then incr full);
              schedule_next ()
-           end))
+           end)
   in
   schedule_next ();
   Engine.run ~until:cfg.horizon engine;

@@ -112,9 +112,8 @@ let run ~mode cfg =
       let next_room =
         (room + 1 + Psn_util.Rng.int rng (cfg.rooms - 1)) mod cfg.rooms
       in
-      ignore
-        (Engine.schedule_after engine (Sim_time.of_sec_float dwell) (fun () ->
-             hop (remaining - 1) next_room))
+      Engine.schedule_after_unit engine (Sim_time.of_sec_float dwell) (fun () ->
+             hop (remaining - 1) next_room)
     end
   in
   hop cfg.hops 0;

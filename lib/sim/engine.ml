@@ -5,29 +5,37 @@
    runs fully deterministic.  Cancellation is lazy: a cancelled handle's
    closure is skipped when popped.
 
+   The queue is the monomorphic [Event_queue] (flat int key planes, no
+   comparator closure, no option on pop).  Two scheduling paths feed it:
+   [schedule_at]/[schedule_after] allocate a cancellation handle, while
+   the [_unit] variants are the fire-and-forget fast path — no handle,
+   the payload is the caller's closure wrapped in a single [Fast]
+   constructor.  A handle tracks whether its event is pending, fired, or
+   cancelled, so cancelling after the fact is a no-op and the cancelled
+   metric counts real cancellations only.
+
    Observability: the engine owns the run's metrics registry and an
    optional trace sink (picked up from [Psn_obs.Trace.default] at
    creation, so a CLI flag enables tracing without threading a value
-   through every constructor).  With no sink installed the hooks cost one
-   branch per event. *)
+   through every constructor).  The tracer branch is hoisted out of the
+   [run] drain loop: the untraced loop never tests the option, so with
+   no sink installed the per-event overhead is zero rather than a branch. *)
 
 module Trace = Psn_obs.Trace
 module Metrics = Psn_obs.Metrics
 
-type handle = { mutable cancelled : bool; owner : t }
+type hstate = Pending | Fired | Cancelled
 
-and scheduled = {
-  time : Sim_time.t;
-  s_seq : int;
-  action : unit -> unit;
-  h : handle;
-}
+type handle = { mutable state : hstate; action : unit -> unit; owner : t }
+
+and ev =
+  | Fast of (unit -> unit)  (* no-cancel fast path *)
+  | Tracked of handle       (* one block: handle doubles as the payload *)
 
 and t = {
   mutable now : Sim_time.t;
-  mutable seq : int;
   mutable processed : int;
-  queue : scheduled Psn_util.Heap.t;
+  queue : ev Event_queue.t;
   rng : Psn_util.Rng.t;
   aux_rng : Psn_util.Rng.t;
       (* independent stream for scenario/world randomness, so protocol
@@ -40,17 +48,14 @@ and t = {
   c_cancelled : Metrics.counter;
 }
 
-let compare_scheduled a b =
-  let c = Sim_time.compare a.time b.time in
-  if c <> 0 then c else Stdlib.compare a.s_seq b.s_seq
+let noop () = ()
 
 let create ?(seed = 42L) ?tracer () =
   let metrics = Metrics.create () in
   {
     now = Sim_time.zero;
-    seq = 0;
     processed = 0;
-    queue = Psn_util.Heap.create ~cmp:compare_scheduled ();
+    queue = Event_queue.create ~dummy:(Fast noop) ();
     rng = Psn_util.Rng.create ~seed ();
     aux_rng = Psn_util.Rng.create ~seed:(Int64.add seed 0x5DEECE66DL) ();
     tracer = (match tracer with Some _ as s -> s | None -> Trace.default ());
@@ -64,24 +69,26 @@ let now t = t.now
 let rng t = t.rng
 let scenario_rng t = t.aux_rng
 let events_processed t = t.processed
-let pending t = Psn_util.Heap.length t.queue
+let pending t = Event_queue.length t.queue
 
 let tracer t = t.tracer
 let set_tracer t s = t.tracer <- s
 let metrics t = t.metrics
 
+let[@inline] trace_schedule t time =
+  match t.tracer with
+  | Some s ->
+      Trace.emit s ~time:t.now ~pid:Trace.engine_pid
+        (Trace.Engine_schedule { at = Sim_time.to_ns time })
+  | None -> ()
+
 let schedule_at t time action =
   if Sim_time.(time < t.now) then
     invalid_arg "Engine.schedule_at: time is in the past";
-  let h = { cancelled = false; owner = t } in
-  t.seq <- t.seq + 1;
-  Metrics.incr t.c_scheduled;
-  (match t.tracer with
-  | Some s ->
-      Trace.emit s ~time:t.now ~pid:Trace.engine_pid
-        (Trace.Engine_schedule { at = time })
-  | None -> ());
-  Psn_util.Heap.add t.queue { time; s_seq = t.seq; action; h };
+  let h = { state = Pending; action; owner = t } in
+  Metrics.tick t.c_scheduled;
+  trace_schedule t time;
+  Event_queue.add t.queue ~time_ns:(Sim_time.to_ns time) (Tracked h);
   h
 
 let schedule_after t delay action =
@@ -89,46 +96,131 @@ let schedule_after t delay action =
     invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t (Sim_time.add t.now delay) action
 
+let schedule_at_unit t time action =
+  if Sim_time.(time < t.now) then
+    invalid_arg "Engine.schedule_at_unit: time is in the past";
+  Metrics.tick t.c_scheduled;
+  trace_schedule t time;
+  Event_queue.add t.queue ~time_ns:(Sim_time.to_ns time) (Fast action)
+
+let schedule_after_unit t delay action =
+  if Sim_time.is_negative delay then
+    invalid_arg "Engine.schedule_after_unit: negative delay";
+  schedule_at_unit t (Sim_time.add t.now delay) action
+
 let cancel h =
-  if not h.cancelled then begin
-    h.cancelled <- true;
-    Metrics.incr h.owner.c_cancelled;
-    match h.owner.tracer with
-    | Some s ->
-        Trace.emit s ~time:h.owner.now ~pid:Trace.engine_pid Trace.Engine_cancel
-    | None -> ()
+  match h.state with
+  | Pending ->
+      h.state <- Cancelled;
+      Metrics.tick h.owner.c_cancelled;
+      (match h.owner.tracer with
+      | Some s ->
+          Trace.emit s ~time:h.owner.now ~pid:Trace.engine_pid
+            Trace.Engine_cancel
+      | None -> ())
+  | Fired | Cancelled -> ()
+
+let cancelled h = match h.state with Cancelled -> true | Pending | Fired -> false
+
+(* Run one event; [false] when the queue is empty.  [Sim_time.t] is an
+   int of nanoseconds, so the popped key assigns to [now] directly. *)
+let step t =
+  if Event_queue.is_empty t.queue then false
+  else begin
+    let tns = Event_queue.min_time_ns t.queue in
+    let ev = Event_queue.pop_exn t.queue in
+    t.now <- tns;
+    (match ev with
+    | Fast action ->
+        t.processed <- t.processed + 1;
+        Metrics.tick t.c_fired;
+        (match t.tracer with
+        | Some s ->
+            Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire
+        | None -> ());
+        action ()
+    | Tracked h -> (
+        match h.state with
+        | Pending ->
+            h.state <- Fired;
+            t.processed <- t.processed + 1;
+            Metrics.tick t.c_fired;
+            (match t.tracer with
+            | Some s ->
+                Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire
+            | None -> ());
+            h.action ()
+        | Fired | Cancelled -> ()));
+    true
   end
 
-let cancelled h = h.cancelled
+(* The two drain loops differ only in the per-fire trace emission; the
+   untraced one is the hot loop of every experiment and never tests the
+   tracer option.  [limit_ns = max_int] means "no horizon". *)
 
-(* Run one event; [false] when the queue is empty. *)
-let step t =
-  match Psn_util.Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.now <- ev.time;
-      if not ev.h.cancelled then begin
-        t.processed <- t.processed + 1;
-        Metrics.incr t.c_fired;
-        (match t.tracer with
-        | Some s -> Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire
-        | None -> ());
-        ev.action ()
-      end;
-      true
+let drain_untraced t limit_ns =
+  let q = t.queue in
+  let running = ref true in
+  while !running do
+    if Event_queue.is_empty q then running := false
+    else begin
+      let tns = Event_queue.min_time_ns q in
+      if tns > limit_ns then running := false
+      else begin
+        t.now <- tns;
+        match Event_queue.pop_exn q with
+        | Fast action ->
+            t.processed <- t.processed + 1;
+            Metrics.tick t.c_fired;
+            action ()
+        | Tracked h -> (
+            match h.state with
+            | Pending ->
+                h.state <- Fired;
+                t.processed <- t.processed + 1;
+                Metrics.tick t.c_fired;
+                h.action ()
+            | Fired | Cancelled -> ())
+      end
+    end
+  done
+
+let drain_traced t s limit_ns =
+  let q = t.queue in
+  let running = ref true in
+  while !running do
+    if Event_queue.is_empty q then running := false
+    else begin
+      let tns = Event_queue.min_time_ns q in
+      if tns > limit_ns then running := false
+      else begin
+        t.now <- tns;
+        match Event_queue.pop_exn q with
+        | Fast action ->
+            t.processed <- t.processed + 1;
+            Metrics.tick t.c_fired;
+            Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire;
+            action ()
+        | Tracked h -> (
+            match h.state with
+            | Pending ->
+                h.state <- Fired;
+                t.processed <- t.processed + 1;
+                Metrics.tick t.c_fired;
+                Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire;
+                h.action ()
+            | Fired | Cancelled -> ())
+      end
+    end
+  done
 
 let run ?until t =
-  let continue () =
-    match until with
-    | None -> true
-    | Some limit -> (
-        match Psn_util.Heap.peek t.queue with
-        | None -> false
-        | Some ev -> Sim_time.(ev.time <= limit))
+  let limit_ns =
+    match until with None -> max_int | Some limit -> Sim_time.to_ns limit
   in
-  while (not (Psn_util.Heap.is_empty t.queue)) && continue () do
-    ignore (step t)
-  done;
+  (match t.tracer with
+  | None -> drain_untraced t limit_ns
+  | Some s -> drain_traced t s limit_ns);
   match until with
   | Some limit when Sim_time.(t.now < limit) ->
       (* Advance the clock to the horizon so observers agree on the final
@@ -138,23 +230,27 @@ let run ?until t =
   | _ -> ()
 
 (* Schedule [action] every [period] until it returns [false] or [until]
-   (when given) is passed.  Returns a handle cancelling future firings. *)
+   (when given) is passed.  Returns a handle cancelling future firings.
+   The per-firing events go through the fire-and-forget fast path; the
+   master handle alone carries the cancellation state. *)
 let schedule_periodic ?until t ~start ~period action =
   if Sim_time.(period <= Sim_time.zero) then
     invalid_arg "Engine.schedule_periodic: period must be positive";
-  let master = { cancelled = false; owner = t } in
+  let master = { state = Pending; action = noop; owner = t } in
   let rec fire () =
-    if not master.cancelled then begin
+    match master.state with
+    | Cancelled -> ()
+    | Pending | Fired -> begin
       let keep_going = action () in
       let next = Sim_time.add t.now period in
       let within_horizon =
         match until with None -> true | Some limit -> Sim_time.(next <= limit)
       in
-      if keep_going && within_horizon then ignore (schedule_at t next fire)
+      if keep_going && within_horizon then schedule_at_unit t next fire
     end
   in
   let within_horizon =
     match until with None -> true | Some limit -> Sim_time.(start <= limit)
   in
-  if within_horizon then ignore (schedule_at t start fire);
+  if within_horizon then schedule_at_unit t start fire;
   master

@@ -15,7 +15,11 @@ val now : t -> Sim_time.t
 val rng : t -> Psn_util.Rng.t
 
 val tracer : t -> Psn_obs.Trace.sink option
+
 val set_tracer : t -> Psn_obs.Trace.sink option -> unit
+(** The tracer branch is hoisted out of the event drain loop, so a sink
+    installed from inside a callback takes effect at the next [run] or
+    [step] call, not mid-drain. *)
 
 val metrics : t -> Psn_obs.Metrics.t
 (** Per-run metrics registry; instrumented layers register their counters
@@ -33,8 +37,29 @@ val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
 (** Raises if the time is before [now]. *)
 
 val schedule_after : t -> Sim_time.t -> (unit -> unit) -> handle
+
+val schedule_at_unit : t -> Sim_time.t -> (unit -> unit) -> unit
+(** Fire-and-forget fast path: like [schedule_at] but without allocating
+    a cancellation handle — the event cannot be cancelled and is not
+    individually observable before it fires.  Semantics are otherwise
+    identical (same FIFO tie-break seq space, same scheduled/fired
+    metrics and trace events), so [ignore (schedule_at t at f)] and
+    [schedule_at_unit t at f] produce byte-identical runs.  Use it for
+    every event whose handle would be ignored: message deliveries,
+    detector flushes, world ticks.  Raises if the time is before [now]. *)
+
+val schedule_after_unit : t -> Sim_time.t -> (unit -> unit) -> unit
+(** [schedule_at_unit] at [now + delay]; raises on negative delay. *)
+
 val cancel : handle -> unit
+(** Cancelling a pending event marks it and counts it in the
+    [engine.cancelled] metric; the closure is skipped when its slot pops.
+    Cancelling a handle whose event already fired — or was already
+    cancelled — is a no-op, so the metric counts real cancellations
+    only. *)
+
 val cancelled : handle -> bool
+(** [true] only when [cancel] took effect before the event fired. *)
 
 val step : t -> bool
 (** Process one event; [false] when the queue is empty. *)

@@ -1,26 +1,37 @@
 (* Simulated time as integer nanoseconds.
 
    Integer time keeps event ordering exact and platform-independent; all
-   user-facing durations go through the unit constructors below. *)
+   user-facing durations go through the unit constructors below.
 
-type t = int64
+   The representation is a native immediate [int] (63-bit on 64-bit
+   platforms: ±146 years of nanoseconds), not a boxed [int64]: times are
+   the hottest values in the system — every event key, every delay
+   sample, every [Engine.now] read — and an immediate representation
+   makes time arithmetic allocation-free and lets the event queue keep
+   its keys in flat unboxed arrays. *)
 
-let zero = 0L
-let compare = Int64.compare
-let equal = Int64.equal
-let ( < ) a b = compare a b < 0
-let ( <= ) a b = compare a b <= 0
-let ( > ) a b = compare a b > 0
-let ( >= ) a b = compare a b >= 0
-let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
-let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+type t = int
 
-let add = Int64.add
-let sub = Int64.sub
+let zero = 0
+
+(* The [int] annotations matter: without them these compile to the
+   polymorphic comparison primitives (a C call through [compare_val] per
+   use), with them to single machine compares. *)
+let compare (a : int) (b : int) = Int.compare a b
+let equal (a : int) (b : int) = Int.equal a b
+let ( < ) (a : int) b = Stdlib.( < ) a b
+let ( <= ) (a : int) b = Stdlib.( <= ) a b
+let ( > ) (a : int) b = Stdlib.( > ) a b
+let ( >= ) (a : int) b = Stdlib.( >= ) a b
+let min (a : int) b = if Stdlib.( <= ) a b then a else b
+let max (a : int) b = if Stdlib.( >= ) a b then a else b
+
+let add = ( + )
+let sub = ( - )
 
 let of_ns ns =
   if Stdlib.( < ) ns 0 then invalid_arg "Sim_time.of_ns: negative";
-  Int64.of_int ns
+  ns
 
 let of_us us = of_ns (us * 1_000)
 let of_ms ms = of_ns (ms * 1_000_000)
@@ -28,21 +39,21 @@ let of_sec s = of_ns (s * 1_000_000_000)
 
 let of_sec_float s =
   if Stdlib.( < ) s 0.0 then invalid_arg "Sim_time.of_sec_float: negative";
-  Int64.of_float (s *. 1e9)
+  int_of_float (s *. 1e9)
 
-let to_ns t = Int64.to_int t
-let to_sec_float t = Int64.to_float t /. 1e9
-let to_ms_float t = Int64.to_float t /. 1e6
+let to_ns t = t
+let to_sec_float t = float_of_int t /. 1e9
+let to_ms_float t = float_of_int t /. 1e6
 
-let is_negative t = Stdlib.( < ) (Int64.compare t 0L) 0
+let is_negative (t : int) = Stdlib.( < ) t 0
 
 (* Scale a duration by a float factor, e.g. jitter multipliers. *)
 let scale t k =
   if Stdlib.( < ) k 0.0 then invalid_arg "Sim_time.scale: negative factor";
-  Int64.of_float (Int64.to_float t *. k)
+  int_of_float (float_of_int t *. k)
 
 let pp ppf t =
-  let ns = Int64.to_float t in
+  let ns = float_of_int t in
   if Stdlib.( < ) ns 1e3 then Fmt.pf ppf "%.0fns" ns
   else if Stdlib.( < ) ns 1e6 then Fmt.pf ppf "%.1fus" (ns /. 1e3)
   else if Stdlib.( < ) ns 1e9 then Fmt.pf ppf "%.1fms" (ns /. 1e6)

@@ -1,6 +1,10 @@
-(** Simulated time: integer nanoseconds since the start of the run. *)
+(** Simulated time: integer nanoseconds since the start of the run.
 
-type t = int64
+    The representation is an immediate native [int] (63-bit: ±146 years
+    of nanoseconds), so time arithmetic never allocates and times pack
+    into flat unboxed arrays (the event queue's key planes). *)
+
+type t = int
 
 val zero : t
 val compare : t -> t -> int

@@ -88,10 +88,9 @@ let run ?topology engine hw ~cfg =
     let at =
       Sim_time.add start (Sim_time.scale cfg.round_interval (float_of_int (r + 1)))
     in
-    ignore
-      (Engine.schedule_at engine at (fun () ->
+    Engine.schedule_at_unit engine at (fun () ->
            let root_time_ns = read_ns hw.(0) ~now:(Engine.now engine) in
-           Psn_network.Flood.flood flood ~src:0 { round = r; root_time_ns }))
+           Psn_network.Flood.flood flood ~src:0 { round = r; root_time_ns })
   done;
   Engine.run engine;
   let now = Engine.now engine in

@@ -96,12 +96,12 @@ let run engine hw ~cfg =
      stall the round forever. *)
   for s = 0 to cfg.beacons - 1 do
     let at = Sim_time.add start (Sim_time.scale cfg.beacon_interval (float_of_int (s + 1))) in
-    ignore (Engine.schedule_at engine at (fun () -> Net.broadcast net ~src:0 (Beacon { seq = s })))
+    Engine.schedule_at_unit engine at (fun () -> Net.broadcast net ~src:0 (Beacon { seq = s }))
   done;
   let deadline =
     Sim_time.add start (Sim_time.scale cfg.beacon_interval (float_of_int (cfg.beacons + 3)))
   in
-  ignore (Engine.schedule_at engine deadline finish);
+  Engine.schedule_at_unit engine deadline finish;
   Engine.run engine;
   let now = Engine.now engine in
   let nodes = List.init (n - 1) (fun i -> i + 1) in

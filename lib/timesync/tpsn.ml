@@ -80,10 +80,9 @@ let run ?topology engine hw ~cfg =
     let at =
       Sim_time.add start (Sim_time.scale cfg.level_interval (float_of_int depth.(i)))
     in
-    ignore
-      (Engine.schedule_at engine at (fun () ->
+    Engine.schedule_at_unit engine at (fun () ->
            let t1_ns = read_ns hw.(i) ~now:(Engine.now engine) in
-           Net.send net ~src:i ~dst:parent.(i) (Request { t1_ns })))
+           Net.send net ~src:i ~dst:parent.(i) (Request { t1_ns }))
   done;
   Engine.run engine;
   let now = Engine.now engine in

@@ -1,26 +1,34 @@
 (* Binary min-heap over an explicit comparison function.
 
-   Backs the simulation event queue, so [add]/[pop] are the hot path of
-   every experiment; the implementation keeps the classic array layout with
-   sift-up/sift-down and no allocation beyond amortized array growth. *)
+   Generic utility heap (the simulation engine uses the monomorphic
+   [Psn_sim.Event_queue] instead); the implementation keeps the classic
+   array layout with sift-up/sift-down and no allocation beyond amortized
+   array growth.
+
+   Like [Vec], construction takes a [dummy] element used to fill unused
+   slots.  [pop] moves the last element to the root and must clear the
+   vacated slot with it — leaving the old reference in place would keep
+   every popped payload (closures, in the engine days of this module)
+   reachable from the backing array until overwritten by a later [add]. *)
 
 type 'a t = {
   cmp : 'a -> 'a -> int;
+  dummy : 'a;
   mutable data : 'a array;
   mutable len : int;
 }
 
-let create ~cmp () = { cmp; data = [||]; len = 0 }
+let create ~cmp ~dummy () = { cmp; dummy; data = [||]; len = 0 }
 
 let length t = t.len
 
 let is_empty t = t.len = 0
 
-let grow t x =
+let grow t =
   let cap = Array.length t.data in
-  if cap = 0 then t.data <- Array.make 16 x
+  if cap = 0 then t.data <- Array.make 16 t.dummy
   else begin
-    let data = Array.make (2 * cap) t.data.(0) in
+    let data = Array.make (2 * cap) t.dummy in
     Array.blit t.data 0 data 0 t.len;
     t.data <- data
   end
@@ -49,7 +57,7 @@ let rec sift_down t i =
   end
 
 let add t x =
-  if t.len = Array.length t.data then grow t x;
+  if t.len = Array.length t.data then grow t;
   t.data.(t.len) <- x;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
@@ -65,13 +73,18 @@ let pop t =
       t.data.(0) <- t.data.(t.len);
       sift_down t 0
     end;
+    (* Clear the vacated slot so neither the moved element nor the popped
+       one is retained by the backing array. *)
+    t.data.(t.len) <- t.dummy;
     Some top
   end
 
-let clear t = t.len <- 0
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
 
-let of_list ~cmp xs =
-  let t = create ~cmp () in
+let of_list ~cmp ~dummy xs =
+  let t = create ~cmp ~dummy () in
   List.iter (add t) xs;
   t
 

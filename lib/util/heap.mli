@@ -1,10 +1,13 @@
 (** Binary min-heap over an explicit comparison.
 
-    Backs the discrete-event simulation queue. *)
+    Generic utility heap; the simulation engine's event queue is the
+    monomorphic [Psn_sim.Event_queue].  As with [Vec], [dummy] fills
+    unused slots of the backing array so popped elements are not
+    retained. *)
 
 type 'a t
 
-val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+val create : cmp:('a -> 'a -> int) -> dummy:'a -> unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 val add : 'a t -> 'a -> unit
@@ -13,10 +16,12 @@ val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element.  The vacated slot is cleared
+    (overwritten with [dummy]), so the heap never retains a popped
+    payload. *)
 
 val clear : 'a t -> unit
-val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val of_list : cmp:('a -> 'a -> int) -> dummy:'a -> 'a list -> 'a t
 
 val drain : 'a t -> 'a list
 (** Empty the heap, returning its elements in ascending order. *)

@@ -1,10 +1,24 @@
-(** Deterministic parallel map over OCaml 5 domains.
+(** Deterministic parallel map over a persistent pool of OCaml 5 domains.
 
     Tasks must be independent (no shared mutable state); results come back
-    in input order, so parallel and sequential runs are indistinguishable. *)
+    in input order, so parallel and sequential runs are indistinguishable.
+
+    Worker domains are spawned lazily on the first parallel map and then
+    reused for the life of the process (the pool grows when a call asks
+    for more domains than exist, and is joined at exit), so repeated maps
+    pay dispatch latency, not domain-spawn latency.  Work is distributed
+    as fixed-size chunks pulled off a shared atomic index; the calling
+    domain participates.  An exception in any task is re-raised on the
+    calling domain.  A map issued from inside a pool worker (or while
+    another map is driving the pool) runs sequentially instead of
+    deadlocking. *)
 
 val default_domains : unit -> int
 (** Recommended worker count, leaving one core for the main domain. *)
+
+val set_default_domains : int option -> unit
+(** Override what [default_domains] reports (and so what maps without
+    [?domains] use); [None] restores auto-detection. *)
 
 val set_sequential : bool -> unit
 (** Force every map onto the calling domain. Required while a process-wide

@@ -74,8 +74,7 @@ let create engine world =
               let sent_at = Engine.now engine in
               t.seq <- t.seq + 1;
               let seq = t.seq in
-              ignore
-                (Engine.schedule_after engine d (fun () ->
+              Engine.schedule_after_unit engine d (fun () ->
                      let tx =
                        {
                          seq;
@@ -96,7 +95,7 @@ let create engine world =
                      t.delivering <- true;
                      Fun.protect
                        ~finally:(fun () -> t.delivering <- false)
-                       (fun () -> ch.effect world tx)))
+                       (fun () -> ch.effect world tx))
             end)
           t.channels);
   t

@@ -18,12 +18,11 @@ let poisson_updates engine world rng ~obj ~attr ~rate_per_sec ~value ~until =
   let mean = 1.0 /. rate_per_sec in
   let rec next () =
     let wait = Rng.exponential rng ~mean in
-    ignore
-      (Engine.schedule_after engine (Sim_time.of_sec_float wait) (fun () ->
+    Engine.schedule_after_unit engine (Sim_time.of_sec_float wait) (fun () ->
            if Sim_time.( < ) (Engine.now engine) until then begin
              World.set_attr world obj attr (value rng);
              next ()
-           end))
+           end)
   in
   next ()
 
@@ -60,12 +59,11 @@ let toggle_bool engine world rng ~obj ~attr ~init ~mean_true_s ~mean_false_s
   let rec flip state =
     let mean = if state then mean_true_s else mean_false_s in
     let wait = Rng.exponential rng ~mean in
-    ignore
-      (Engine.schedule_after engine (Sim_time.of_sec_float wait) (fun () ->
+    Engine.schedule_after_unit engine (Sim_time.of_sec_float wait) (fun () ->
            if Sim_time.( < ) (Engine.now engine) until then begin
              let state = not state in
              World.set_attr world obj attr (Value.Bool state);
              flip state
-           end))
+           end)
   in
   flip init

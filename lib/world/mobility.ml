@@ -52,12 +52,11 @@ let random_waypoint engine world rng ~obj ~cfg ~until =
         if elapsed >= travel_s || Sim_time.( >= ) (Engine.now engine) until then begin
           World_object.set_pos o target;
           let pause = Rng.float rng cfg.pause_max in
-          ignore
-            (Engine.schedule_after engine (Sim_time.of_sec_float pause) choose_leg)
+          Engine.schedule_after_unit engine (Sim_time.of_sec_float pause) choose_leg
         end
         else begin
           World_object.set_pos o (Vec2.lerp start target (elapsed /. travel_s));
-          ignore (Engine.schedule_after engine cfg.tick move)
+          Engine.schedule_after_unit engine cfg.tick move
         end
       in
       move ()
@@ -85,8 +84,7 @@ let room_walk engine world rng ~obj ~rooms ~start_room ~cfg ~until =
   let rec dwell room =
     if Sim_time.( < ) (Engine.now engine) until then begin
       let wait = Rng.exponential rng ~mean:cfg.dwell_mean in
-      ignore
-        (Engine.schedule_after engine (Sim_time.of_sec_float wait) (fun () ->
+      Engine.schedule_after_unit engine (Sim_time.of_sec_float wait) (fun () ->
              if Sim_time.( < ) (Engine.now engine) until then begin
                match Rooms.doors_from rooms room with
                | [] -> dwell room
@@ -99,7 +97,7 @@ let room_walk engine world rng ~obj ~rooms ~start_room ~cfg ~until =
                    | None -> ());
                    World.set_attr world obj cfg.room_attr (Value.Int next);
                    dwell next
-             end))
+             end)
     end
   in
   dwell start_room

@@ -151,6 +151,20 @@ let test_aggregate () =
   Alcotest.(check (float 1e-9)) "precision avg" 1.0 agg.Exp_common.precision;
   Alcotest.(check (float 1e-9)) "tp avg" 0.0 agg.Exp_common.tp
 
+(* The persistent domain pool must be invisible in results: the same
+   experiment rendered sequentially and through the pool (forced on,
+   whatever this machine's core count) must be byte-identical. *)
+let test_pooled_table_identical () =
+  let render () =
+    Exp_common.render (Psn_experiments.E01_accuracy_vs_delta.run ~quick:true ())
+  in
+  Psn_util.Parallel.set_default_domains (Some 1);
+  let seq = render () in
+  Psn_util.Parallel.set_default_domains (Some 4);
+  let pooled = render () in
+  Psn_util.Parallel.set_default_domains None;
+  Alcotest.(check string) "pooled table byte-identical to sequential" seq pooled
+
 let () =
   Alcotest.run "psn_experiments"
     [
@@ -171,5 +185,7 @@ let () =
           Alcotest.test_case "e9 policy ordering" `Quick test_e9_policy_ordering;
           Alcotest.test_case "em modal bracketing" `Quick test_em_modal_bracketing;
           Alcotest.test_case "ea latency monotone" `Quick test_ea_latency_grows;
+          Alcotest.test_case "pooled table identical" `Quick
+            test_pooled_table_identical;
         ] );
     ]

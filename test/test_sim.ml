@@ -95,6 +95,71 @@ let test_engine_cancel () =
   Alcotest.(check bool) "not fired" false !fired;
   Alcotest.(check int) "not counted" 0 (Engine.events_processed engine)
 
+(* Fast-path twin of the ordering tests: the [_unit] variants must share
+   the seq space (FIFO ties across both paths), the processed count, and
+   the scheduled metric with the handle path. *)
+let test_engine_schedule_unit () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  Engine.schedule_at_unit engine (Sim_time.of_ms 2) (fun () -> order := 2 :: !order);
+  Engine.schedule_at_unit engine (Sim_time.of_ms 1) (fun () -> order := 1 :: !order);
+  Engine.schedule_after_unit engine (Sim_time.of_ms 3) (fun () ->
+      order := 3 :: !order);
+  Engine.run engine;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check int) "processed" 3 (Engine.events_processed engine);
+  let scheduled =
+    Psn_obs.Metrics.counter (Engine.metrics engine) "engine.scheduled"
+  in
+  Alcotest.(check int) "scheduled metric" 3
+    (Psn_obs.Metrics.counter_value scheduled)
+
+let test_engine_unit_fifo_interleaved () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  let at = Sim_time.of_ms 1 in
+  ignore (Engine.schedule_at engine at (fun () -> order := "a" :: !order));
+  Engine.schedule_at_unit engine at (fun () -> order := "b" :: !order);
+  ignore (Engine.schedule_at engine at (fun () -> order := "c" :: !order));
+  Engine.run engine;
+  Alcotest.(check (list string)) "FIFO across both scheduling paths"
+    [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_engine_unit_past_raises () =
+  let engine = Engine.create () in
+  Engine.schedule_at_unit engine (Sim_time.of_ms 10) (fun () -> ());
+  Engine.run engine;
+  Alcotest.check_raises "past"
+    (Invalid_argument "Engine.schedule_at_unit: time is in the past")
+    (fun () -> Engine.schedule_at_unit engine (Sim_time.of_ms 5) (fun () -> ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after_unit: negative delay")
+    (fun () ->
+      Engine.schedule_after_unit engine (Sim_time.sub Sim_time.zero (Sim_time.of_ms 1))
+        (fun () -> ()))
+
+(* Cancelling after the event fired must be a no-op: no flag flip, no
+   [engine.cancelled] count.  Double-cancel counts once. *)
+let test_engine_cancel_after_fire () =
+  let engine = Engine.create () in
+  let cancelled =
+    Psn_obs.Metrics.counter (Engine.metrics engine) "engine.cancelled"
+  in
+  let h = Engine.schedule_at engine (Sim_time.of_ms 1) (fun () -> ()) in
+  Engine.run engine;
+  Engine.cancel h;
+  Alcotest.(check bool) "not marked cancelled" false (Engine.cancelled h);
+  Alcotest.(check int) "metric untouched" 0
+    (Psn_obs.Metrics.counter_value cancelled);
+  let h2 = Engine.schedule_at engine (Sim_time.of_ms 2) (fun () -> ()) in
+  Engine.cancel h2;
+  Engine.cancel h2;
+  Alcotest.(check int) "real cancellation counted once" 1
+    (Psn_obs.Metrics.counter_value cancelled);
+  Engine.run engine;
+  Alcotest.(check int) "only first event processed" 1
+    (Engine.events_processed engine)
+
 let test_engine_past_raises () =
   let engine = Engine.create () in
   ignore (Engine.schedule_at engine (Sim_time.of_ms 10) (fun () -> ()));
@@ -273,6 +338,68 @@ let test_loss_pp_smoke () =
       Alcotest.(check bool) "prints" true (String.length (Fmt.str "%a" Loss_model.pp m) > 0))
     models
 
+(* Differential test: [Event_queue] against the generic [Psn_util.Heap]
+   over the same random push/pop sequence.  Times are drawn from a tiny
+   range so most keys collide and the FIFO seq tie-break carries the
+   ordering; payloads carry a cancelled flag that both sides skip on pop,
+   mirroring the engine's lazy cancellation. *)
+let test_queue_differential =
+  qtest ~count:100 "event_queue: differential vs reference heap" QCheck.int
+    (fun seed ->
+      let module Q = Psn_sim.Event_queue in
+      let module H = Psn_util.Heap in
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let cancelled = Hashtbl.create 16 in
+      let q = Q.create ~dummy:(-1) () in
+      let href =
+        H.create
+          ~cmp:(fun (t1, s1, _) (t2, s2, _) ->
+            if t1 <> t2 then compare t1 t2 else compare s1 s2)
+          ~dummy:(0, 0, 0) ()
+      in
+      let seq = ref 0 and id = ref 0 in
+      let ok = ref true in
+      let push () =
+        let t = Rng.int rng 8 in
+        let x = !id in
+        incr id;
+        if Rng.int rng 5 = 0 then Hashtbl.replace cancelled x ();
+        Q.add q ~time_ns:t x;
+        H.add href (t, !seq, x);
+        incr seq
+      in
+      (* Pop one *live* element from each side, skipping cancelled ids
+         exactly as the engine drain does. *)
+      let rec pop_live_q () =
+        if Q.is_empty q then None
+        else
+          let t = Q.min_time_ns q in
+          let x = Q.pop_exn q in
+          if Hashtbl.mem cancelled x then pop_live_q () else Some (t, x)
+      in
+      let rec pop_live_ref () =
+        match H.pop href with
+        | None -> None
+        | Some (t, _, x) ->
+            if Hashtbl.mem cancelled x then pop_live_ref () else Some (t, x)
+      in
+      let check_pop () =
+        match (pop_live_q (), pop_live_ref ()) with
+        | None, None -> ()
+        | Some (tq, xq), Some (tr, xr) ->
+            if tq <> tr || xq <> xr then ok := false
+        | _ -> ok := false
+      in
+      for _ = 1 to 400 do
+        if Rng.int rng 3 < 2 then push () else check_pop ()
+      done;
+      while not (Q.is_empty q) do
+        check_pop ()
+      done;
+      (* Reference may still hold cancelled-only residue. *)
+      (match pop_live_ref () with Some _ -> ok := false | None -> ());
+      !ok)
+
 let test_engine_pending () =
   let engine = Engine.create () in
   Alcotest.(check int) "empty" 0 (Engine.pending engine);
@@ -320,7 +447,15 @@ let () =
           Alcotest.test_case "now advances" `Quick test_engine_now_advances;
           Alcotest.test_case "schedule_after" `Quick test_engine_schedule_after;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "schedule_at_unit" `Quick test_engine_schedule_unit;
+          Alcotest.test_case "unit fifo interleaved" `Quick
+            test_engine_unit_fifo_interleaved;
+          Alcotest.test_case "unit past raises" `Quick
+            test_engine_unit_past_raises;
+          Alcotest.test_case "cancel after fire" `Quick
+            test_engine_cancel_after_fire;
           Alcotest.test_case "past raises" `Quick test_engine_past_raises;
+          test_queue_differential;
           Alcotest.test_case "horizon" `Quick test_engine_horizon;
           Alcotest.test_case "step" `Quick test_engine_step;
           Alcotest.test_case "periodic" `Quick test_engine_periodic;

@@ -174,11 +174,11 @@ let test_vec_set () =
 
 let test_heap_sorts =
   qtest "heap: drain is sorted" QCheck.(list int) (fun l ->
-      let h = Heap.of_list ~cmp:compare l in
+      let h = Heap.of_list ~cmp:compare ~dummy:0 l in
       Heap.drain h = List.sort compare l)
 
 let test_heap_peek_pop () =
-  let h = Heap.create ~cmp:compare () in
+  let h = Heap.create ~cmp:compare ~dummy:0 () in
   Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
   Heap.add h 5;
   Heap.add h 1;
@@ -191,8 +191,25 @@ let test_heap_peek_pop () =
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
 let test_heap_custom_cmp () =
-  let h = Heap.of_list ~cmp:(fun a b -> compare b a) [ 1; 5; 3 ] in
+  let h = Heap.of_list ~cmp:(fun a b -> compare b a) ~dummy:0 [ 1; 5; 3 ] in
   Alcotest.(check (option int)) "max-heap pop" (Some 5) (Heap.pop h)
+
+(* Regression: [pop] must clear the vacated slot; before the fix, the
+   backing array kept the moved element reachable after the pop, so a
+   popped payload could never be collected while the heap lived. *)
+let test_heap_pop_releases () =
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) ~dummy:(0, "") () in
+  let weak = Weak.create 1 in
+  (* Allocate the payload in a separate function so no local keeps it
+     alive after the pops. *)
+  (let payload = (1, String.make 64 'x') in
+   Weak.set weak 0 (Some payload);
+   Heap.add h payload;
+   Heap.add h (2, "keep"));
+  ignore (Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check weak 0);
+  Alcotest.(check int) "survivor still queued" 1 (Heap.length h)
 
 (* --- Stats --- *)
 
@@ -381,6 +398,44 @@ let test_parallel_empty () =
   Alcotest.(check (array int)) "empty" [||]
     (Parallel.map_array (fun x -> x) [||])
 
+(* The pool persists between maps: repeated dispatches must all produce
+   input-order results (this exercises the generation handshake rather
+   than a fresh spawn/join per call). *)
+let test_parallel_pool_reuse () =
+  for round = 1 to 20 do
+    let a =
+      Parallel.map_array ~domains:4 (fun i -> (i * round) + 1)
+        (Array.init 100 (fun i -> i))
+    in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.init 100 (fun i -> (i * round) + 1))
+      a
+  done
+
+let test_parallel_exception () =
+  Alcotest.check_raises "task exception reaches caller" Exit (fun () ->
+      ignore
+        (Parallel.map_array ~domains:4
+           (fun i -> if i = 37 then raise Exit else i)
+           (Array.init 64 (fun i -> i))));
+  (* The pool must still be usable after a failed job. *)
+  let a = Parallel.init ~domains:4 16 (fun i -> i + 1) in
+  Alcotest.(check (array int)) "pool alive after exn"
+    (Array.init 16 (fun i -> i + 1))
+    a
+
+let test_parallel_nested () =
+  (* A map inside a pooled task must not deadlock; it runs sequentially. *)
+  let a =
+    Parallel.map_array ~domains:2
+      (fun i ->
+        Array.fold_left ( + ) 0 (Parallel.init ~domains:2 4 (fun j -> i + j)))
+      (Array.init 8 (fun i -> i))
+  in
+  let expected = Array.init 8 (fun i -> (4 * i) + 6) in
+  Alcotest.(check (array int)) "nested map" expected a
+
 let () =
   Alcotest.run "psn_util"
     [
@@ -414,6 +469,7 @@ let () =
           test_heap_sorts;
           Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
           Alcotest.test_case "custom cmp" `Quick test_heap_custom_cmp;
+          Alcotest.test_case "pop releases slot" `Quick test_heap_pop_releases;
         ] );
       ( "stats",
         [
@@ -449,5 +505,8 @@ let () =
           test_parallel_matches_sequential;
           Alcotest.test_case "init" `Quick test_parallel_init;
           Alcotest.test_case "empty" `Quick test_parallel_empty;
+          Alcotest.test_case "pool reuse" `Quick test_parallel_pool_reuse;
+          Alcotest.test_case "exception" `Quick test_parallel_exception;
+          Alcotest.test_case "nested" `Quick test_parallel_nested;
         ] );
     ]
