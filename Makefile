@@ -14,10 +14,13 @@ bench:
 	dune exec bench/main.exe
 
 # Microbenchmarks only (no experiment tables), written as JSON
-# (schema psn-bench/1, see DESIGN.md). BENCH_PR2.json in the repo root
-# is a committed snapshot of this output.
+# (schema psn-bench/1, see DESIGN.md). BENCH_PR3.json in the repo root
+# is a committed snapshot of this output (BENCH_PR2.json is the PR 2
+# snapshot, kept for before/after comparison); includes the PR 3
+# lattice subjects (lattice.count(4x6), lattice.count_generic(3x4),
+# modal.definitely(3x4)).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR2.json
+	dune exec bench/main.exe -- --json BENCH_PR3.json
 
 # Full (slow) experiment profiles — the numbers in EXPERIMENTS.md.
 experiments:

@@ -111,15 +111,18 @@ let predicate_eval =
   Test.make ~name:"predicate.eval(8 doors)" (Staged.stage @@ fun () ->
       ignore (eval_bool ~env:(Hashtbl.find_opt tbl) predicate))
 
+(* Independent (no communication) stamps: the worst case where every one
+   of the (k+1)^n cuts is consistent. *)
+let independent_stamps ~n ~k =
+  Array.init n (fun i ->
+      Array.init k (fun e ->
+          let v = Array.make n 0 in
+          v.(i) <- e + 1;
+          v))
+
 let lattice_count =
   (* 3 processes x 4 events, no communication: 125 cuts. *)
-  let stamps =
-    Array.init 3 (fun i ->
-        Array.init 4 (fun k ->
-            let v = Array.make 3 0 in
-            v.(i) <- k + 1;
-            v))
-  in
+  let stamps = independent_stamps ~n:3 ~k:4 in
   Test.make ~name:"lattice.count(3x4)" (Staged.stage @@ fun () ->
       ignore (Psn_lattice.Lattice.count_consistent stamps))
 
@@ -250,6 +253,29 @@ let pool_dispatch =
         (Sys.opaque_identity
            (Psn_util.Parallel.map_array ~domains:2 (fun x -> x + 1) xs)))
 
+(* --- PR3 packed-lattice subjects ---------------------------------------- *)
+
+(* Larger free lattice: 2401 cuts, exercises wide frontiers. *)
+let lattice_count_4x6 =
+  let stamps = independent_stamps ~n:4 ~k:6 in
+  Test.make ~name:"lattice.count(4x6)" (Staged.stage @@ fun () ->
+      ignore (Psn_lattice.Lattice.count_consistent stamps))
+
+(* The generic array-cut walk on the same 3x4 execution: the packed
+   engine's speedup is lattice.count(3x4) against this subject. *)
+let lattice_count_generic =
+  let stamps = independent_stamps ~n:3 ~k:4 in
+  Test.make ~name:"lattice.count_generic(3x4)" (Staged.stage @@ fun () ->
+      ignore (Psn_lattice.Lattice.count_consistent_generic stamps))
+
+(* Fused Definitely over the free 3x4 lattice with φ = ⊤ only: the walk
+   sweeps all 124 non-top cuts before concluding [Some true]. *)
+let modal_definitely =
+  let stamps = independent_stamps ~n:3 ~k:4 in
+  let holds (c : int array) = c.(0) = 4 && c.(1) = 4 && c.(2) = 4 in
+  Test.make ~name:"modal.definitely(3x4)" (Staged.stage @@ fun () ->
+      ignore (Psn_lattice.Modal.definitely stamps ~holds))
+
 (* Named subject groups; names in reports are "group/subject". *)
 let subjects =
   [
@@ -270,6 +296,7 @@ let subjects =
         engine_create; engine_event_unit; queue_1k; queue_100k; net_broadcast;
         pool_dispatch;
       ] );
+    ("lattice", [ lattice_count_4x6; lattice_count_generic; modal_definitely ]);
   ]
 
 let benchmark test =

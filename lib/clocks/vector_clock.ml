@@ -48,7 +48,16 @@ let leq a b =
   let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
   go 0
 
-let equal a b = a = b
+(* Monomorphic int loop — [=] on stamps would go through the polymorphic
+   comparator on every happened-before test. *)
+let equal (a : stamp) (b : stamp) =
+  a == b
+  ||
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
 let happened_before a b = leq a b && not (equal a b)
 

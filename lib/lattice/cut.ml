@@ -12,7 +12,17 @@ let top lens = Array.copy lens
 
 let copy = Array.copy
 
-let equal (a : t) b = a = b
+(* Monomorphic: the polymorphic [=] walks the runtime representation
+   through a C call per comparison; an int loop is branch-predictable
+   and inlineable. *)
+let equal (a : t) (b : t) =
+  a == b
+  ||
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
 let leq a b =
   let n = Array.length a in

@@ -16,11 +16,16 @@
    messages approximate a single time axis: no communication at all makes
    every cut consistent (O(p^n) states); strobing at each relevant event
    with Δ = 0 collapses it to a single chain of n·p + 1 cuts ("slim
-   lattice postulate"). *)
+   lattice postulate").
 
-type verdict =
-  | Exact of int
-  | At_least of int  (* hit the exploration cap *)
+   Two walk engines sit behind the public functions: the packed-cut
+   engine ([Packed]) whenever the full lattice size fits in a tagged int
+   — a cut is one immediate int under a mixed-radix encoding, the BFS
+   runs allocation-free over flat int frontiers — and this file's
+   generic array-cut walk as the overflow fallback and the differential
+   -test oracle.  Both visit the same cuts in the same order. *)
+
+type verdict = Packed.verdict = Exact of int | At_least of int
 
 type stamps = int array array array
 (* stamps.(i).(k): vector stamp of process i's (k+1)-th event *)
@@ -67,7 +72,9 @@ let extension_consistent (stamps : stamps) (cut : Cut.t) i =
   comp 0
 
 (* Walk the sublattice of consistent cuts; [visit] sees each exactly once.
-   Returns the verdict on the total count under the cap. *)
+   Returns the verdict on the total count under the cap.  This is the
+   generic array-cut engine — [Packed] reproduces its visit order
+   exactly; keep them in sync. *)
 let walk ?(cap = 2_000_000) (stamps : stamps) visit =
   let l = lens stamps in
   let n = Array.length stamps in
@@ -100,15 +107,34 @@ let walk ?(cap = 2_000_000) (stamps : stamps) visit =
   done;
   if !capped then At_least !count else Exact !count
 
-let count_consistent ?cap stamps =
+(* --- generic engine, exposed as the differential-test oracle --- *)
+
+let count_consistent_generic ?cap stamps =
   validate stamps;
   walk ?cap stamps (fun _ -> ())
 
-let consistent_cuts ?cap stamps =
+let consistent_cuts_generic ?cap stamps =
   validate stamps;
   let acc = ref [] in
   let verdict = walk ?cap stamps (fun c -> acc := Cut.copy c :: !acc) in
   (List.rev !acc, verdict)
+
+(* --- public entry points: packed when possible, generic otherwise --- *)
+
+let count_consistent ?cap ?(parallel = false) stamps =
+  validate stamps;
+  match Packed.plan_of_stamps stamps with
+  | Some plan -> Packed.count plan ?cap ~parallel ()
+  | None -> walk ?cap stamps (fun _ -> ())
+
+let consistent_cuts ?cap ?(parallel = false) stamps =
+  validate stamps;
+  match Packed.plan_of_stamps stamps with
+  | Some plan -> Packed.cuts plan ?cap ~parallel ()
+  | None ->
+      let acc = ref [] in
+      let verdict = walk ?cap stamps (fun c -> acc := Cut.copy c :: !acc) in
+      (List.rev !acc, verdict)
 
 (* Total cuts in the full (unconstrained) lattice: Π (len_i + 1). *)
 let total_cuts stamps =
@@ -116,14 +142,22 @@ let total_cuts stamps =
 
 (* Whether the consistent cuts form a single chain — the Δ = 0 linear
    order of §4.2.4. *)
-let is_chain ?cap stamps =
-  let cuts, verdict = consistent_cuts ?cap stamps in
-  let sorted = List.sort (fun a b -> Stdlib.compare (Cut.level a) (Cut.level b)) cuts in
+let is_chain_generic ?cap stamps =
+  let cuts, verdict = consistent_cuts_generic ?cap stamps in
+  let sorted =
+    List.sort (fun a b -> compare (Cut.level a : int) (Cut.level b)) cuts
+  in
   let rec pairwise = function
     | a :: (b :: _ as rest) -> Cut.leq a b && pairwise rest
     | [ _ ] | [] -> true
   in
   match verdict with Exact _ -> pairwise sorted | At_least _ -> false
+
+let is_chain ?cap stamps =
+  validate stamps;
+  match Packed.plan_of_stamps stamps with
+  | Some plan -> Packed.is_chain plan ?cap ()
+  | None -> is_chain_generic ?cap stamps
 
 let verdict_count = function Exact n -> n | At_least n -> n
 
@@ -142,6 +176,10 @@ let to_dot ?(max_nodes = 500) ?label stamps =
   let name c =
     "\"" ^ String.concat "," (List.map string_of_int (Array.to_list c)) ^ "\""
   in
+  (* Membership test for edge targets: hash the enumerated cuts once
+     instead of a linear scan per candidate successor. *)
+  let members = Hashtbl.create (2 * List.length cuts) in
+  List.iter (fun c -> Hashtbl.replace members c ()) cuts;
   List.iter
     (fun c ->
       let extra =
@@ -159,7 +197,7 @@ let to_dot ?(max_nodes = 500) ?label stamps =
     (fun c ->
       List.iter
         (fun (_, succ) ->
-          if is_consistent stamps succ && List.exists (Cut.equal succ) cuts then
+          if is_consistent stamps succ && Hashtbl.mem members succ then
             Buffer.add_string buf
               (Printf.sprintf "  %s -> %s;\n" (name c) (name succ)))
         (Cut.successors ~lens:l c))

@@ -1,7 +1,14 @@
 (** The sublattice of consistent global states of a finite execution,
-    derived from per-event vector stamps. *)
+    derived from per-event vector stamps.
 
-type verdict = Exact of int | At_least of int
+    Counting and enumeration run on the packed-cut engine ([Packed]:
+    cuts as immediate mixed-radix ints, allocation-free BFS) whenever
+    the full lattice size Π (eventsᵢ + 1) fits in a tagged int, and fall
+    back to the generic array-cut walk otherwise.  Both engines visit
+    the same cuts in the same order; the [_generic] variants force the
+    fallback and serve as the differential-test oracle. *)
+
+type verdict = Packed.verdict = Exact of int | At_least of int
 
 type stamps = int array array array
 (** [stamps.(i).(k)]: vector stamp of process i's (k+1)-th event. Own
@@ -15,12 +22,22 @@ val extension_consistent : stamps -> Cut.t -> int -> bool
 (** Whether extending a consistent cut with process [i]'s next event stays
     consistent (O(n); used by incremental lattice walks). *)
 
-val count_consistent : ?cap:int -> stamps -> verdict
+val count_consistent : ?cap:int -> ?parallel:bool -> stamps -> verdict
 (** Size of the consistent sublattice, exploring at most [cap] cuts
-    (default 2,000,000). *)
+    (default 2,000,000).  [parallel] (default false) expands BFS levels
+    in chunks on the [Psn_util.Parallel] domain pool with deterministic
+    merge order — the result is identical, only wall-clock changes. *)
 
-val consistent_cuts : ?cap:int -> stamps -> Cut.t list * verdict
+val consistent_cuts : ?cap:int -> ?parallel:bool -> stamps -> Cut.t list * verdict
 (** Enumerate consistent cuts (breadth-first by level). *)
+
+val count_consistent_generic : ?cap:int -> stamps -> verdict
+(** The generic array-cut walk, regardless of packability (the
+    differential-test oracle for the packed engine). *)
+
+val consistent_cuts_generic : ?cap:int -> stamps -> Cut.t list * verdict
+
+val is_chain_generic : ?cap:int -> stamps -> bool
 
 val total_cuts : stamps -> int
 (** Size of the unconstrained lattice: Π (events_i + 1) — the paper's

@@ -49,7 +49,10 @@ let explore ?(cap = 2_000_000) (stamps : Lattice.stamps) ~admit visit =
   done;
   !capped
 
-let possibly ?cap (stamps : Lattice.stamps) ~holds : verdict =
+(* Generic-engine modalities, kept as the differential-test oracle for
+   the fused packed walks below. *)
+
+let possibly_generic ?cap (stamps : Lattice.stamps) ~holds : verdict =
   let found = ref false in
   let capped =
     explore ?cap stamps ~admit:(fun _ -> not !found) (fun cut ->
@@ -57,7 +60,7 @@ let possibly ?cap (stamps : Lattice.stamps) ~holds : verdict =
   in
   if !found then Some true else if capped then None else Some false
 
-let definitely ?cap (stamps : Lattice.stamps) ~holds : verdict =
+let definitely_generic ?cap (stamps : Lattice.stamps) ~holds : verdict =
   (* Walk only ¬φ cuts; Definitely fails iff ⊤ is reachable that way
      (including the degenerate single-cut execution where ⊥ = ⊤). *)
   let l = Lattice.lens stamps in
@@ -69,6 +72,23 @@ let definitely ?cap (stamps : Lattice.stamps) ~holds : verdict =
       (fun cut -> if Cut.equal cut top then escaped := true)
   in
   if !escaped then Some false else if capped then None else Some true
+
+(* Public modalities: fused into the packed walk when the execution is
+   packable (early exit at the first φ-cut / the first ⊤ escape), generic
+   otherwise.  NB the packed engine hands [holds] a scratch cut reused
+   between calls — predicates must not retain it. *)
+
+let possibly ?cap ?(parallel = false) (stamps : Lattice.stamps) ~holds : verdict
+    =
+  match Packed.plan_of_stamps stamps with
+  | Some plan -> Packed.possibly plan ?cap ~parallel ~holds ()
+  | None -> possibly_generic ?cap stamps ~holds
+
+let definitely ?cap ?(parallel = false) (stamps : Lattice.stamps) ~holds :
+    verdict =
+  match Packed.plan_of_stamps stamps with
+  | Some plan -> Packed.definitely plan ?cap ~parallel ~holds ()
+  | None -> definitely_generic ?cap stamps ~holds
 
 (* Convenience: evaluate a predicate over located variables at a cut,
    given each process's update sequence (variable name, value). *)

@@ -5,9 +5,26 @@ type verdict = bool option
 (** [None] = the exploration cap was hit. *)
 
 val possibly :
-  ?cap:int -> Lattice.stamps -> holds:(Cut.t -> bool) -> verdict
+  ?cap:int -> ?parallel:bool -> Lattice.stamps -> holds:(Cut.t -> bool) ->
+  verdict
+(** Fused into the packed walk when the execution is packable: stops at
+    the first φ-cut.  The cut array handed to [holds] may be a scratch
+    buffer reused between calls — copy it if it must be retained.
+    [parallel] fans the consistency checks of each BFS level out over
+    the domain pool ([holds] itself always runs on the calling domain);
+    verdicts are identical either way. *)
 
 val definitely :
+  ?cap:int -> ?parallel:bool -> Lattice.stamps -> holds:(Cut.t -> bool) ->
+  verdict
+(** Fused: walks ¬φ-cuts only, stops as soon as ⊤ escapes (or every
+    path is blocked).  Same scratch-buffer caveat as [possibly]. *)
+
+val possibly_generic :
+  ?cap:int -> Lattice.stamps -> holds:(Cut.t -> bool) -> verdict
+(** The generic array-cut implementation (differential-test oracle). *)
+
+val definitely_generic :
   ?cap:int -> Lattice.stamps -> holds:(Cut.t -> bool) -> verdict
 
 val cut_env :

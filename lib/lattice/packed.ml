@@ -1,0 +1,547 @@
+(* Packed-cut lattice engine.
+
+   The generic walk in [Lattice] represents every cut as a fresh [int
+   array], hashes cuts with the polymorphic hasher, and queues boxed
+   arrays — fine as a reference implementation, but allocation and
+   pointer chasing dominate the walk.  When the full lattice size
+   Π (lenᵢ + 1) fits in a tagged 63-bit int (every experiment and test
+   in this repo today), a cut can instead be a single immediate int
+   under a mixed-radix encoding:
+
+       code(c) = Σᵢ c.(i) · strideᵢ      strideᵢ = Π_{i' < i} (len_{i'} + 1)
+
+   so successor-by-one-event of process i is [code + strideᵢ] — no
+   allocation, no write barrier, and the visited table is either a
+   plain [Bytes] indexed by code (dense case) or an open-addressing int
+   hash set (sparse case), never the polymorphic hasher.
+
+   The per-event vector stamps are flattened into one contiguous int
+   plane so the consistency check walks cache-local memory instead of
+   chasing [array array array] pointers.
+
+   The walk itself is a level-synchronous BFS over a flat int frontier:
+   each frontier entry is [n + 1] ints — the packed code followed by the
+   decoded components (carried along so no division is needed on the hot
+   path).  Sequential expansion fuses candidate generation, visited
+   dedup, and the append into the next frontier in one pass.  The
+   opt-in parallel mode instead fans the candidate generation (the
+   O(n²) consistency checks) out over the PR-2 [Psn_util.Parallel]
+   domain pool in frontier-order chunks and merges/dedups sequentially
+   in chunk order — the same candidate sequence, so the parallel walk
+   builds exactly the same frontiers as the sequential one.
+
+   The dedup may mark a candidate visited before its consistency check:
+   extension consistency is intrinsic to the extended cut (given a
+   consistent parent, the extension is consistent iff the new event's
+   prerequisites lie inside it, and any parent of the same cut yields
+   the same verdict), so blacklisting an inconsistent candidate is safe.
+
+   Visit order is identical to the generic FIFO walk in [Lattice]: the
+   queue there drains level by level, successors are generated per cut
+   in process order and deduplicated at first generation — precisely
+   this engine's frontier order.  The differential tests in
+   test/test_lattice.ml pin the equivalence (counts, verdicts, cut
+   sequences, and cap behaviour). *)
+
+type stamps = int array array array
+
+type verdict = Exact of int | At_least of int
+
+let default_cap = 2_000_000
+
+type plan = {
+  n : int;  (* processes *)
+  lens : int array;  (* events per process *)
+  stride : int array;  (* mixed-radix place values *)
+  total : int;  (* Π (lens.(i) + 1) — full lattice size *)
+  top_code : int;  (* total - 1: the cut including every event *)
+  plane : int array;  (* stamps flattened: component j of event (i,k) at
+                         (ev_base.(i) + k) * n + j *)
+  ev_base : int array;  (* event-row base of process i in [plane] *)
+}
+
+(* Above this, the dense [Bytes] visited table would cost more memory
+   than the open-addressing int set; measured behaviour is identical
+   either way. *)
+let dense_limit = 1 lsl 22
+
+(* [None] when Π (lenᵢ + 1) would overflow a 63-bit int — the caller
+   falls back to the generic array-cut walk (which caps anyway: such a
+   lattice has ≥ 2⁶² cuts). *)
+let plan_of_stamps (stamps : stamps) : plan option =
+  let n = Array.length stamps in
+  let lens = Array.map Array.length stamps in
+  let stride = Array.make n 0 in
+  let total = ref 1 in
+  let overflow = ref false in
+  for i = 0 to n - 1 do
+    stride.(i) <- !total;
+    let radix = lens.(i) + 1 in
+    if !total > max_int / radix then overflow := true
+    else total := !total * radix
+  done;
+  if !overflow then None
+  else begin
+    let ev_base = Array.make n 0 in
+    let events = ref 0 in
+    for i = 0 to n - 1 do
+      ev_base.(i) <- !events;
+      events := !events + lens.(i)
+    done;
+    let plane = Array.make (max 1 (!events * n)) 0 in
+    Array.iteri
+      (fun i evs ->
+        Array.iteri
+          (fun k v ->
+            let off = (ev_base.(i) + k) * n in
+            for j = 0 to n - 1 do
+              plane.(off + j) <- v.(j)
+            done)
+          evs)
+      stamps;
+    Some
+      {
+        n;
+        lens;
+        stride;
+        total = !total;
+        top_code = !total - 1;
+        plane;
+        ev_base;
+      }
+  end
+
+(* --- growable flat int buffer (frontiers and candidate lists) --- *)
+
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create cap = { a = Array.make (max cap 16) 0; len = 0 }
+  let clear t = t.len <- 0
+
+  let ensure t extra =
+    let need = t.len + extra in
+    if need > Array.length t.a then begin
+      let cap = ref (Array.length t.a) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let a = Array.make !cap 0 in
+      Array.blit t.a 0 a 0 t.len;
+      t.a <- a
+    end
+end
+
+(* --- visited table: dense byte plane or open-addressing int set --- *)
+
+type visited =
+  | Dense of Bytes.t
+  | Sparse of sparse
+
+and sparse = { mutable keys : int array; mutable mask : int; mutable size : int }
+
+let visited_create total =
+  if total <= dense_limit then Dense (Bytes.make total '\000')
+  else Sparse { keys = Array.make 4096 (-1); mask = 4095; size = 0 }
+
+(* Fibonacci hashing on the code; [land mask] keeps the slot in range
+   whatever the sign of the multiply's wrapped result. *)
+let[@inline] sparse_start code mask = ((code * 0x2545F4914F6CDD1D) lsr 17) land mask
+
+let sparse_grow s =
+  let old = s.keys in
+  let cap = 2 * Array.length old in
+  let keys = Array.make cap (-1) in
+  let mask = cap - 1 in
+  Array.iter
+    (fun code ->
+      if code >= 0 then begin
+        let i = ref (sparse_start code mask) in
+        while keys.(!i) >= 0 do
+          i := (!i + 1) land mask
+        done;
+        keys.(!i) <- code
+      end)
+    old;
+  s.keys <- keys;
+  s.mask <- mask
+
+(* Mark [code] visited; [true] iff it was not already. *)
+let visited_add visited code =
+  match visited with
+  | Dense b ->
+      Bytes.unsafe_get b code = '\000'
+      && begin
+           Bytes.unsafe_set b code '\001';
+           true
+         end
+  | Sparse s ->
+      if 2 * (s.size + 1) >= Array.length s.keys then sparse_grow s;
+      let keys = s.keys and mask = s.mask in
+      let i = ref (sparse_start code mask) in
+      let k = ref (Array.unsafe_get keys !i) in
+      while !k >= 0 && !k <> code do
+        i := (!i + 1) land mask;
+        k := Array.unsafe_get keys !i
+      done;
+      !k <> code
+      && begin
+           Array.unsafe_set keys !i code;
+           s.size <- s.size + 1;
+           true
+         end
+
+(* --- frontier expansion --- *)
+
+(* Consistency of the single-event extension of the entry at [o] by
+   process [i] whose next event index is [ci]: the new event's stamp
+   must lie componentwise inside the extended cut (own component
+   excepted). *)
+let[@inline] extension_ok plan (src : int array) o i ci =
+  let n = plan.n in
+  let off = (Array.unsafe_get plan.ev_base i + ci) * n in
+  let plane = plan.plane in
+  let ok = ref true in
+  let j = ref 0 in
+  while !ok && !j < n do
+    if
+      !j <> i
+      && Array.unsafe_get plane (off + !j) > Array.unsafe_get src (o + 1 + !j)
+    then ok := false;
+    incr j
+  done;
+  !ok
+
+(* Append the successor entry (parent at [src.(o)], process [i] advanced
+   to [ci + 1], packed code [code']) to [nx]. *)
+let[@inline] append_successor plan (src : int array) o i ci code' (nx : Ibuf.t) =
+  let n = plan.n in
+  Ibuf.ensure nx (n + 1);
+  let b = nx.Ibuf.a and q = nx.Ibuf.len in
+  Array.unsafe_set b q code';
+  for t = 0 to n - 1 do
+    Array.unsafe_set b (q + 1 + t) (Array.unsafe_get src (o + 1 + t))
+  done;
+  Array.unsafe_set b (q + 1 + i) (ci + 1);
+  nx.Ibuf.len <- q + n + 1
+
+(* Fused sequential expansion of one frontier entry: generate, dedup,
+   and append unseen consistent successors to [nx] in one pass. *)
+let expand_entry plan visited (src : int array) o (nx : Ibuf.t) =
+  let n = plan.n in
+  let lens = plan.lens and stride = plan.stride in
+  let code = Array.unsafe_get src o in
+  for i = 0 to n - 1 do
+    let ci = Array.unsafe_get src (o + 1 + i) in
+    if ci < Array.unsafe_get lens i then begin
+      let code' = code + Array.unsafe_get stride i in
+      if visited_add visited code' && extension_ok plan src o i ci then
+        append_successor plan src o i ci code' nx
+    end
+  done
+
+(* Candidate generation only (no dedup): used by the parallel path,
+   where workers must not touch the visited table.  Emits consistent
+   successors in (entry, process) order. *)
+let push_candidates plan (src : int array) o (out : Ibuf.t) =
+  let n = plan.n in
+  let lens = plan.lens and stride = plan.stride in
+  let code = Array.unsafe_get src o in
+  for i = 0 to n - 1 do
+    let ci = Array.unsafe_get src (o + 1 + i) in
+    if
+      ci < Array.unsafe_get lens i
+      && extension_ok plan src o i ci
+    then append_successor plan src o i ci (code + Array.unsafe_get stride i) out
+  done
+
+(* Below this many frontier entries the domain-pool dispatch costs more
+   than the consistency checks it spreads. *)
+let par_threshold = 128
+
+(* Parallel candidate generation: the frontier splits into
+   index-contiguous chunks mapped on the domain pool; chunk outputs
+   concatenate in chunk order, giving the same candidate sequence as a
+   sequential scan. *)
+let generate_parallel plan (f : Ibuf.t) (cand : Ibuf.t) =
+  let esz = plan.n + 1 in
+  let entries = f.Ibuf.len / esz in
+  let d = Psn_util.Parallel.default_domains () in
+  let nchunks = max 1 (min entries (d * 4)) in
+  let per = (entries + nchunks - 1) / nchunks in
+  let chunks =
+    Array.init nchunks (fun c -> (c * per, min entries ((c + 1) * per)))
+  in
+  let parts =
+    Psn_util.Parallel.map_array
+      (fun (lo, hi) ->
+        let out = Ibuf.create (max 16 ((hi - lo) * esz)) in
+        for e = lo to hi - 1 do
+          push_candidates plan f.Ibuf.a (e * esz) out
+        done;
+        (out.Ibuf.a, out.Ibuf.len))
+      chunks
+  in
+  Array.iter
+    (fun (a, len) ->
+      Ibuf.ensure cand len;
+      Array.blit a 0 cand.Ibuf.a cand.Ibuf.len len;
+      cand.Ibuf.len <- cand.Ibuf.len + len)
+    parts
+
+(* Expand a whole frontier level into [nx].  [cand] is the reusable
+   scratch of the parallel path.  Sequential and parallel paths build
+   byte-identical next frontiers. *)
+let expand_level plan visited ~parallel (f : Ibuf.t) (nx : Ibuf.t)
+    (cand : Ibuf.t) =
+  let esz = plan.n + 1 in
+  Ibuf.clear nx;
+  if (not parallel) || f.Ibuf.len / esz < par_threshold then begin
+    let o = ref 0 in
+    while !o < f.Ibuf.len do
+      expand_entry plan visited f.Ibuf.a !o nx;
+      o := !o + esz
+    done
+  end
+  else begin
+    Ibuf.clear cand;
+    generate_parallel plan f cand;
+    let p = ref 0 in
+    while !p < cand.Ibuf.len do
+      if visited_add visited (Array.unsafe_get cand.Ibuf.a !p) then begin
+        Ibuf.ensure nx esz;
+        Array.blit cand.Ibuf.a !p nx.Ibuf.a nx.Ibuf.len esz;
+        nx.Ibuf.len <- nx.Ibuf.len + esz
+      end;
+      p := !p + esz
+    done
+  end
+
+let seed_bottom plan (f : Ibuf.t) =
+  let esz = plan.n + 1 in
+  Ibuf.ensure f esz;
+  Array.fill f.Ibuf.a 0 esz 0;
+  f.Ibuf.len <- esz
+
+(* --- walk drivers --- *)
+
+(* Count-only walk: no per-cut callback at all — the cap check is
+   per-level arithmetic.  Mirrors the generic cap semantics: the walk
+   reports [At_least cap] as soon as the cap-th cut is visited, even if
+   nothing was left to explore. *)
+let count plan ?(cap = default_cap) ?(parallel = false) () =
+  let frontier = ref (Ibuf.create 64) in
+  let next = ref (Ibuf.create 64) in
+  let cand = Ibuf.create 16 in
+  seed_bottom plan !frontier;
+  let visited = visited_create plan.total in
+  ignore (visited_add visited 0);
+  let esz = plan.n + 1 in
+  let count = ref 0 in
+  let capped = ref false in
+  while !frontier.Ibuf.len > 0 && not !capped do
+    let f = !frontier in
+    let entries = f.Ibuf.len / esz in
+    if !count + entries >= cap then begin
+      count := cap;
+      capped := true
+    end
+    else begin
+      count := !count + entries;
+      expand_level plan visited ~parallel f !next cand;
+      let tmp = !frontier in
+      frontier := !next;
+      next := tmp
+    end
+  done;
+  if !capped then At_least !count else Exact !count
+
+(* Visiting walk: [visit buf off] sees each consistent cut exactly once,
+   in the generic walk's order (entry = code :: components). *)
+let walk plan ?(cap = default_cap) ?(parallel = false) visit =
+  let frontier = ref (Ibuf.create 64) in
+  let next = ref (Ibuf.create 64) in
+  let cand = Ibuf.create 16 in
+  seed_bottom plan !frontier;
+  let visited = visited_create plan.total in
+  ignore (visited_add visited 0);
+  let esz = plan.n + 1 in
+  let count = ref 0 in
+  let capped = ref false in
+  while !frontier.Ibuf.len > 0 && not !capped do
+    let f = !frontier in
+    let o = ref 0 in
+    while (not !capped) && !o < f.Ibuf.len do
+      visit f.Ibuf.a !o;
+      incr count;
+      if !count >= cap then capped := true;
+      o := !o + esz
+    done;
+    if !capped then f.Ibuf.len <- 0
+    else begin
+      expand_level plan visited ~parallel f !next cand;
+      let tmp = !frontier in
+      frontier := !next;
+      next := tmp
+    end
+  done;
+  if !capped then At_least !count else Exact !count
+
+(* Enumerate in visit order; each cut is a fresh array (the public
+   [Lattice.consistent_cuts] contract). *)
+let cuts plan ?cap ?parallel () =
+  let n = plan.n in
+  let acc = ref [] in
+  let verdict =
+    walk plan ?cap ?parallel (fun buf o -> acc := Array.sub buf (o + 1) n :: !acc)
+  in
+  (List.rev !acc, verdict)
+
+(* The consistent cuts form a chain iff every BFS level holds exactly
+   one cut (the sublattice always reaches ⊤, and a single level-(k+1)
+   cut is a superset of the single level-k cut).  Matches the generic
+   [is_chain]: any level with two cuts has an incomparable pair, and a
+   capped walk reports [false]. *)
+let is_chain plan ?(cap = default_cap) () =
+  let frontier = ref (Ibuf.create 64) in
+  let next = ref (Ibuf.create 64) in
+  let cand = Ibuf.create 16 in
+  seed_bottom plan !frontier;
+  let visited = visited_create plan.total in
+  ignore (visited_add visited 0);
+  let esz = plan.n + 1 in
+  let count = ref 0 in
+  let result = ref true in
+  let continue = ref true in
+  while !continue && !frontier.Ibuf.len > 0 do
+    let f = !frontier in
+    incr count;
+    if f.Ibuf.len > esz || !count >= cap then begin
+      (* two same-level cuts are incomparable; a capped walk is [false]
+         just as the generic [At_least] verdict is *)
+      result := false;
+      continue := false
+    end
+    else begin
+      expand_level plan visited ~parallel:false f !next cand;
+      let tmp = !frontier in
+      frontier := !next;
+      next := tmp
+    end
+  done;
+  !result
+
+(* --- fused modalities (Cooper–Marzullo over the packed walk) --- *)
+
+exception Early of bool
+
+(* Possibly(φ): walk every consistent cut, stop at the first φ-cut.
+   The scratch cut handed to [holds] is reused between calls. *)
+let possibly plan ?cap ?parallel ~holds () : bool option =
+  let n = plan.n in
+  let scratch = Array.make n 0 in
+  match
+    walk plan ?cap ?parallel (fun buf o ->
+        Array.blit buf (o + 1) scratch 0 n;
+        if holds scratch then raise_notrace (Early true))
+  with
+  | Exact _ -> Some false
+  | At_least _ -> None
+  | exception Early _ -> Some true
+
+(* Definitely(φ): walk only ¬φ-cuts; Definitely fails iff ⊤ is reachable
+   from ⊥ through ¬φ-cuts only (including the degenerate ⊥ = ⊤ case).
+   φ-cuts are pruned as candidates merge into the next frontier — so the
+   walk dies out early once every path is blocked — and reaching ⊤ stops
+   it immediately with [Some false].  [holds] always runs on the calling
+   domain, also in parallel mode. *)
+let definitely plan ?(cap = default_cap) ?(parallel = false) ~holds () :
+    bool option =
+  let n = plan.n in
+  let esz = n + 1 in
+  let scratch = Array.make n 0 in
+  let holds_entry buf o =
+    Array.blit buf (o + 1) scratch 0 n;
+    holds scratch
+  in
+  let frontier = ref (Ibuf.create 64) in
+  let next = ref (Ibuf.create 64) in
+  let cand = Ibuf.create 64 in
+  seed_bottom plan !frontier;
+  if holds_entry !frontier.Ibuf.a 0 then
+    (* ⊥ satisfies φ: every observation starts there *)
+    Some true
+  else begin
+    let visited = visited_create plan.total in
+    ignore (visited_add visited 0);
+    let count = ref 0 in
+    let capped = ref false in
+    (* Expand one level, keeping only ¬φ successors.  Parallel mode
+       generates consistency-checked candidates on the pool, then
+       dedups and filters sequentially — same frontier, same order. *)
+    let expand_filtered (f : Ibuf.t) (nx : Ibuf.t) =
+      Ibuf.clear nx;
+      if (not parallel) || f.Ibuf.len / esz < par_threshold then begin
+        let o = ref 0 in
+        while !o < f.Ibuf.len do
+          let src = f.Ibuf.a in
+          let code = Array.unsafe_get src !o in
+          for i = 0 to n - 1 do
+            let ci = Array.unsafe_get src (!o + 1 + i) in
+            if ci < Array.unsafe_get plan.lens i then begin
+              let code' = code + Array.unsafe_get plan.stride i in
+              if
+                visited_add visited code'
+                && extension_ok plan src !o i ci
+              then begin
+                append_successor plan src !o i ci code' nx;
+                (* evaluate φ on the entry just appended; drop it again
+                   if φ holds (the cut is a blocked path) *)
+                let q = nx.Ibuf.len - esz in
+                if holds_entry nx.Ibuf.a q then nx.Ibuf.len <- q
+              end
+            end
+          done;
+          o := !o + esz
+        done
+      end
+      else begin
+        Ibuf.clear cand;
+        generate_parallel plan f cand;
+        let p = ref 0 in
+        while !p < cand.Ibuf.len do
+          if
+            visited_add visited (Array.unsafe_get cand.Ibuf.a !p)
+            && not (holds_entry cand.Ibuf.a !p)
+          then begin
+            Ibuf.ensure nx esz;
+            Array.blit cand.Ibuf.a !p nx.Ibuf.a nx.Ibuf.len esz;
+            nx.Ibuf.len <- nx.Ibuf.len + esz
+          end;
+          p := !p + esz
+        done
+      end
+    in
+    match
+      while !frontier.Ibuf.len > 0 && not !capped do
+        let f = !frontier in
+        let o = ref 0 in
+        while (not !capped) && !o < f.Ibuf.len do
+          if Array.unsafe_get f.Ibuf.a !o = plan.top_code then
+            raise_notrace (Early false);
+          incr count;
+          if !count >= cap then capped := true;
+          o := !o + esz
+        done;
+        if !capped then f.Ibuf.len <- 0
+        else begin
+          expand_filtered f !next;
+          let tmp = !frontier in
+          frontier := !next;
+          next := tmp
+        end
+      done
+    with
+    | () -> if !capped then None else Some true
+    | exception Early _ -> Some false
+  end

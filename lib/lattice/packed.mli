@@ -1,0 +1,49 @@
+(** Packed-cut lattice engine: allocation-free consistent-cut walks.
+
+    When the full lattice size Π (lenᵢ + 1) fits in a tagged 63-bit int,
+    a cut is a single immediate int under a mixed-radix encoding and the
+    BFS runs over flat int frontiers with a monomorphic visited table —
+    no per-cut allocation.  [Lattice] and [Modal] dispatch here and fall
+    back to the generic array-cut walk when [plan_of_stamps] declines.
+
+    Visit order, counts, verdicts, and cap behaviour are identical to
+    the generic walk (pinned by differential tests). *)
+
+type stamps = int array array array
+
+type verdict = Exact of int | At_least of int
+
+type plan
+(** Precomputed stride/radix planes and the flattened stamp plane for
+    one execution. *)
+
+val plan_of_stamps : stamps -> plan option
+(** [None] when the full lattice size would overflow a 63-bit int; the
+    caller must use the generic walk.  Assumes validated stamps. *)
+
+val count : plan -> ?cap:int -> ?parallel:bool -> unit -> verdict
+(** Size of the consistent sublattice.  [parallel] fans candidate
+    generation out over [Psn_util.Parallel] per BFS level (deterministic:
+    chunk outputs merge in frontier order, so the result — and every
+    visit sequence — is byte-identical to the sequential walk). *)
+
+val cuts : plan -> ?cap:int -> ?parallel:bool -> unit -> Cut.t list * verdict
+(** Enumerate consistent cuts in BFS (level) order; fresh arrays. *)
+
+val is_chain : plan -> ?cap:int -> unit -> bool
+(** Whether the consistent cuts are totally ordered; [false] when the
+    exploration would cap. *)
+
+val possibly :
+  plan -> ?cap:int -> ?parallel:bool -> holds:(Cut.t -> bool) -> unit ->
+  bool option
+(** Fused Possibly(φ): stops at the first φ-cut.  The cut array passed
+    to [holds] is a scratch buffer reused between calls — copy it if it
+    must outlive the call.  [None] = capped before an answer. *)
+
+val definitely :
+  plan -> ?cap:int -> ?parallel:bool -> holds:(Cut.t -> bool) -> unit ->
+  bool option
+(** Fused Definitely(φ): walks ¬φ-cuts only and stops as soon as ⊤
+    escapes (or every path is blocked).  Same scratch-buffer caveat as
+    [possibly]. *)

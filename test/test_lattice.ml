@@ -163,37 +163,129 @@ let test_lattice_validate () =
        false
      with Invalid_argument _ -> true)
 
+(* Random partial knowledge: each event merges a random earlier snapshot
+   of another process before ticking — strobe-like executions whose
+   lattices range from the full product to near-chains. *)
+let random_stamps ~seed ~n ~k =
+  let rng = Psn_util.Rng.create ~seed:(Int64.of_int seed) () in
+  let clocks = Array.init n (fun _ -> Array.make n 0) in
+  let stamps = Array.init n (fun _ -> Array.make k [||]) in
+  let published = Array.init n (fun i -> [ Array.copy clocks.(i) ]) in
+  for round = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      if Psn_util.Rng.bool rng then begin
+        let j = Psn_util.Rng.int rng n in
+        match published.(j) with
+        | s :: _ ->
+            Array.iteri
+              (fun idx x -> if x > clocks.(i).(idx) then clocks.(i).(idx) <- x)
+              s
+        | [] -> ()
+      end;
+      clocks.(i).(i) <- clocks.(i).(i) + 1;
+      stamps.(i).(round) <- Array.copy clocks.(i);
+      published.(i) <- Array.copy clocks.(i) :: published.(i)
+    done
+  done;
+  stamps
+
 (* Property: pruning never drops below the chain size nor exceeds the
    product, on random strobe-like executions. *)
 let test_lattice_bounds =
   qtest ~count:50 "lattice: chain <= consistent <= product" QCheck.int
     (fun seed ->
-      let rng = Psn_util.Rng.create ~seed:(Int64.of_int seed) () in
       let n = 3 and k = 3 in
-      (* Random partial knowledge: each event merges a random earlier
-         snapshot of another process before ticking. *)
-      let clocks = Array.init n (fun _ -> Array.make n 0) in
-      let stamps = Array.init n (fun _ -> Array.make k [||]) in
-      let published = Array.init n (fun i -> [ Array.copy clocks.(i) ]) in
-      for round = 0 to k - 1 do
-        for i = 0 to n - 1 do
-          if Psn_util.Rng.bool rng then begin
-            let j = Psn_util.Rng.int rng n in
-            match published.(j) with
-            | s :: _ ->
-                Array.iteri
-                  (fun idx x -> if x > clocks.(i).(idx) then clocks.(i).(idx) <- x)
-                  s
-            | [] -> ()
-          end;
-          clocks.(i).(i) <- clocks.(i).(i) + 1;
-          stamps.(i).(round) <- Array.copy clocks.(i);
-          published.(i) <- Array.copy clocks.(i) :: published.(i)
-        done
-      done;
+      let stamps = random_stamps ~seed ~n ~k in
       match Lattice.count_consistent stamps with
       | Lattice.Exact c -> c >= (n * k) + 1 && c <= Lattice.total_cuts stamps
       | Lattice.At_least _ -> false)
+
+(* --- packed engine vs generic array-cut oracle --- *)
+
+let same_verdict a b =
+  match (a, b) with
+  | Lattice.Exact x, Lattice.Exact y | Lattice.At_least x, Lattice.At_least y ->
+      x = y
+  | _ -> false
+
+let same_cuts xs ys =
+  List.length xs = List.length ys && List.for_all2 Cut.equal xs ys
+
+(* The packed walk must reproduce the generic walk bit for bit: same
+   counts, same verdicts, same cut sequence — with and without caps. *)
+let packed_matches_generic ?cap stamps =
+  let pc = Lattice.count_consistent ?cap stamps in
+  let gc = Lattice.count_consistent_generic ?cap stamps in
+  let pcuts, pv = Lattice.consistent_cuts ?cap stamps in
+  let gcuts, gv = Lattice.consistent_cuts_generic ?cap stamps in
+  same_verdict pc gc && same_verdict pv gv && same_cuts pcuts gcuts
+  && Lattice.is_chain ?cap stamps = Lattice.is_chain_generic ?cap stamps
+
+let test_packed_vs_generic =
+  qtest ~count:60 "packed = generic (random executions)" QCheck.int (fun seed ->
+      let stamps = random_stamps ~seed ~n:3 ~k:3 in
+      packed_matches_generic stamps
+      && packed_matches_generic ~cap:7 stamps
+      && packed_matches_generic ~cap:1 stamps)
+
+let test_packed_vs_generic_independent () =
+  (* The no-communication worst case: every cut consistent. *)
+  let stamps = independent ~n:3 ~k:4 in
+  Alcotest.(check bool) "free lattice" true (packed_matches_generic stamps);
+  Alcotest.(check bool) "free lattice capped" true
+    (packed_matches_generic ~cap:100 stamps);
+  (match Lattice.count_consistent stamps with
+  | Lattice.Exact n -> Alcotest.(check int) "5^3" 125 n
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  (* ... and the chain best case. *)
+  let chain = chain_stamps ~n:3 ~k:4 in
+  Alcotest.(check bool) "chain" true (packed_matches_generic chain);
+  Alcotest.(check bool) "chain capped" true (packed_matches_generic ~cap:5 chain)
+
+let test_packed_overflow_fallback () =
+  (* 63 processes x 1 event: the full lattice has 2^63 cuts — the packed
+     plan must decline and the public API must fall back to the generic
+     walk (capped, but alive). *)
+  let stamps = independent ~n:63 ~k:1 in
+  Alcotest.(check bool) "plan declines" true
+    (Option.is_none (Psn_lattice.Packed.plan_of_stamps stamps));
+  (match Lattice.count_consistent ~cap:100 stamps with
+  | Lattice.At_least n -> Alcotest.(check int) "capped fallback" 100 n
+  | Lattice.Exact _ -> Alcotest.fail "expected cap");
+  let cuts, _ = Lattice.consistent_cuts ~cap:10 stamps in
+  Alcotest.(check int) "fallback enumerates" 10 (List.length cuts)
+
+let test_packed_empty_execution () =
+  let stamps = [| [||]; [||] |] in
+  Alcotest.(check bool) "empty" true (packed_matches_generic stamps);
+  (match Lattice.count_consistent stamps with
+  | Lattice.Exact n -> Alcotest.(check int) "just bottom" 1 n
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  Alcotest.(check bool) "trivial chain" true (Lattice.is_chain stamps)
+
+(* Parallel frontier expansion must be byte-identical to sequential —
+   same counts, same cut sequence — once frontiers are wide enough to
+   actually engage the domain pool (4x6 independent: levels up to 231
+   cuts wide). *)
+let test_packed_parallel_identical () =
+  Psn_util.Parallel.set_default_domains (Some 2);
+  Fun.protect
+    ~finally:(fun () -> Psn_util.Parallel.set_default_domains None)
+    (fun () ->
+      let stamps = independent ~n:4 ~k:6 in
+      let seq_cuts, seq_v = Lattice.consistent_cuts stamps in
+      let par_cuts, par_v = Lattice.consistent_cuts ~parallel:true stamps in
+      Alcotest.(check bool) "verdicts equal" true (same_verdict seq_v par_v);
+      Alcotest.(check bool) "cut sequences equal" true
+        (same_cuts seq_cuts par_cuts);
+      Alcotest.(check int) "7^4" 2401 (Lattice.verdict_count par_v);
+      (match Lattice.count_consistent ~parallel:true stamps with
+      | Lattice.Exact n -> Alcotest.(check int) "count" 2401 n
+      | Lattice.At_least _ -> Alcotest.fail "capped");
+      (* capped parallel run stops at the same point *)
+      let c1 = Lattice.count_consistent ~cap:700 stamps in
+      let c2 = Lattice.count_consistent ~cap:700 ~parallel:true stamps in
+      Alcotest.(check bool) "capped equal" true (same_verdict c1 c2))
 
 (* --- Modal oracle --- *)
 
@@ -258,6 +350,47 @@ let test_modal_never () =
   Alcotest.(check (option bool)) "not definitely" (Some false)
     (Modal.definitely stamps ~holds:(holds updates))
 
+(* The fused packed modalities must agree with the generic explore —
+   same Some/None verdicts, with and without caps — on random
+   executions and random threshold predicates. *)
+let test_modal_packed_vs_generic =
+  qtest ~count:60 "modal: packed = generic"
+    QCheck.(pair int (triple (int_bound 3) (int_bound 3) (int_bound 3)))
+    (fun (seed, (t0, t1, t2)) ->
+      let stamps = random_stamps ~seed ~n:3 ~k:3 in
+      let holds (c : Cut.t) = c.(0) >= t0 && c.(1) >= t1 && c.(2) <= t2 in
+      Modal.possibly stamps ~holds = Modal.possibly_generic stamps ~holds
+      && Modal.definitely stamps ~holds
+         = Modal.definitely_generic stamps ~holds
+      && Modal.possibly ~cap:5 stamps ~holds
+         = Modal.possibly_generic ~cap:5 stamps ~holds
+      && Modal.definitely ~cap:5 stamps ~holds
+         = Modal.definitely_generic ~cap:5 stamps ~holds)
+
+let test_modal_parallel_identical () =
+  Psn_util.Parallel.set_default_domains (Some 2);
+  Fun.protect
+    ~finally:(fun () -> Psn_util.Parallel.set_default_domains None)
+    (fun () ->
+      let stamps = independent ~n:4 ~k:6 in
+      (* φ = ⊤ only: Definitely trivially true, the walk sweeps the whole
+         lattice and the parallel chunks must merge deterministically. *)
+      let top_only (c : Cut.t) = c.(0) = 6 && c.(1) = 6 && c.(2) = 6 && c.(3) = 6 in
+      Alcotest.(check (option bool))
+        "definitely(top) parallel = sequential"
+        (Modal.definitely stamps ~holds:top_only)
+        (Modal.definitely ~parallel:true stamps ~holds:top_only);
+      (* φ = one full middle level: blocks every path, so the fused walk
+         dies out early — identically in both modes. *)
+      let mid (c : Cut.t) = c.(0) + c.(1) + c.(2) + c.(3) = 13 in
+      Alcotest.(check (option bool))
+        "definitely(mid) holds" (Some true)
+        (Modal.definitely ~parallel:true stamps ~holds:mid);
+      Alcotest.(check (option bool))
+        "possibly(mid) parallel = sequential"
+        (Modal.possibly stamps ~holds:mid)
+        (Modal.possibly ~parallel:true stamps ~holds:mid))
+
 let test_modal_definitely_implies_possibly =
   qtest ~count:60 "modal: definitely => possibly" QCheck.int (fun seed ->
       let rng = Psn_util.Rng.create ~seed:(Int64.of_int seed) () in
@@ -310,6 +443,9 @@ let () =
             test_modal_definitely_with_causality;
           Alcotest.test_case "never" `Quick test_modal_never;
           test_modal_definitely_implies_possibly;
+          test_modal_packed_vs_generic;
+          Alcotest.test_case "parallel identical" `Quick
+            test_modal_parallel_identical;
           Alcotest.test_case "cut_env" `Quick test_modal_cut_env;
         ] );
       ( "cut",
@@ -333,5 +469,17 @@ let () =
           Alcotest.test_case "validate" `Quick test_lattice_validate;
           test_lattice_bounds;
           Alcotest.test_case "to_dot" `Quick test_lattice_to_dot;
+        ] );
+      ( "packed",
+        [
+          test_packed_vs_generic;
+          Alcotest.test_case "independent + chain" `Quick
+            test_packed_vs_generic_independent;
+          Alcotest.test_case "overflow fallback" `Quick
+            test_packed_overflow_fallback;
+          Alcotest.test_case "empty execution" `Quick
+            test_packed_empty_execution;
+          Alcotest.test_case "parallel identical" `Quick
+            test_packed_parallel_identical;
         ] );
     ]
