@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json experiments examples trace-demo clean
+.PHONY: all build test bench bench-json bench-compare experiments examples \
+  trace-demo profile-demo clean
 
 all: build
 
@@ -14,13 +15,19 @@ bench:
 	dune exec bench/main.exe
 
 # Microbenchmarks only (no experiment tables), written as JSON
-# (schema psn-bench/1, see DESIGN.md). BENCH_PR3.json in the repo root
-# is a committed snapshot of this output (BENCH_PR2.json is the PR 2
-# snapshot, kept for before/after comparison); includes the PR 3
-# lattice subjects (lattice.count(4x6), lattice.count_generic(3x4),
-# modal.definitely(3x4)).
+# (schema psn-bench/1, see DESIGN.md). BENCH_PR4.json in the repo root
+# is a committed snapshot of this output (BENCH_PR2/PR3.json are prior
+# snapshots, kept for before/after comparison).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR3.json
+	dune exec bench/main.exe -- --json BENCH_PR4.json
+
+# Regression diff against the committed baseline.  The threshold is
+# deliberately wide: committed numbers come from a different machine, so
+# only order-of-magnitude regressions should fail the build.  Tighten
+# with a locally regenerated baseline (make bench-json) for real tuning.
+bench-compare:
+	dune exec bench/main.exe -- --only engine.schedule+run \
+	  --compare BENCH_PR4.json --threshold 100
 
 # Full (slow) experiment profiles — the numbers in EXPERIMENTS.md.
 experiments:
@@ -38,12 +45,19 @@ examples:
 	dune exec examples/middleware_tour.exe
 
 # Sample traces of the smart-office scenario: structured JSONL plus a
-# Chrome trace_event file loadable in Perfetto (ui.perfetto.dev).
+# Chrome trace_event file loadable in Perfetto (ui.perfetto.dev), with a
+# 1 s-period metric timeline rendered as counter tracks.
 trace-demo:
 	dune exec bin/main.exe -- trace office --horizon 600 --out trace-demo.jsonl
 	dune exec bin/main.exe -- trace office --horizon 600 --format chrome \
-	  --out trace-demo.chrome.json
+	  --timeline 1000 --out trace-demo.chrome.json
 	@echo "wrote trace-demo.jsonl and trace-demo.chrome.json"
+
+# Host-time profile (wall ns + GC deltas per phase) of a quick
+# experiment sweep; host readings stay out of sim traces by design.
+profile-demo:
+	dune exec bin/main.exe -- profile e5 --quick --out profile-demo.json
+	@echo "wrote profile-demo.json"
 
 clean:
 	dune clean

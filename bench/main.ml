@@ -380,8 +380,80 @@ let write_json path rows =
   close_out oc;
   Printf.printf "wrote %s (%d subjects)\n" path n
 
+(* --- regression diffing (--compare) ------------------------------------- *)
+
+(* Load a psn-bench/1 snapshot (the format [write_json] emits) as
+   [(subject, ns/op)]; null estimates are skipped. *)
+let load_baseline path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let open Psn_obs.Json in
+  match of_string contents with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok doc -> (
+      (match member "schema" doc with
+      | Some (Str "psn-bench/1") -> ()
+      | _ -> Printf.eprintf "warning: %s: not a psn-bench/1 snapshot\n" path);
+      match member "subjects" doc with
+      | Some (Obj fields) ->
+          Ok
+            (List.filter_map
+               (fun (name, v) ->
+                 match v with
+                 | Int i -> Some (name, float_of_int i)
+                 | Float f -> Some (name, f)
+                 | _ -> None)
+               fields)
+      | _ -> Error (Printf.sprintf "%s: no \"subjects\" object" path))
+
+(* Per-subject delta table against a baseline snapshot; [true] when some
+   subject regressed past [threshold] percent.  Subjects present on only
+   one side are reported but never fail the comparison. *)
+let compare_against ~threshold baseline rows =
+  let table_rows = ref [] and regressed = ref [] in
+  List.iter
+    (fun (name, est) ->
+      match (est, List.assoc_opt name baseline) with
+      | None, _ -> ()
+      | Some now, None ->
+          table_rows := [ name; "-"; Printf.sprintf "%.1f" now; "new" ] :: !table_rows
+      | Some now, Some old ->
+          let delta = if old > 0.0 then (now -. old) /. old *. 100.0 else 0.0 in
+          let flag =
+            if delta > threshold then begin
+              regressed := name :: !regressed;
+              "  REGRESSED"
+            end
+            else ""
+          in
+          table_rows :=
+            [
+              name;
+              Printf.sprintf "%.1f" old;
+              Printf.sprintf "%.1f" now;
+              Printf.sprintf "%+.1f%%%s" delta flag;
+            ]
+            :: !table_rows)
+    rows;
+  Printf.printf "== bench comparison (threshold %.0f%%) ==\n" threshold;
+  Psn_util.Table.print
+    ~headers:[ "subject"; "old ns/op"; "new ns/op"; "delta" ]
+    ~rows:(List.rev !table_rows) ();
+  (match !regressed with
+  | [] -> print_endline "no regressions past threshold"
+  | names ->
+      Printf.printf "REGRESSION: %d subject(s) slower than baseline by >%.0f%%: %s\n"
+        (List.length names) threshold
+        (String.concat ", " (List.rev names)));
+  !regressed <> []
+
 let () =
   let json = ref None and only = ref None in
+  let compare_to = ref None and threshold = ref 25.0 in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -390,9 +462,21 @@ let () =
     | "--only" :: s :: rest ->
         only := Some s;
         parse rest
+    | "--compare" :: path :: rest ->
+        compare_to := Some path;
+        parse rest
+    | "--threshold" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p > 0.0 ->
+            threshold := p;
+            parse rest
+        | _ ->
+            Printf.eprintf "bench: --threshold expects a positive percent\n";
+            exit 2)
     | arg :: _ ->
         Printf.eprintf
-          "usage: bench [--only SUBSTR] [--json FILE]; unknown argument %S\n"
+          "usage: bench [--only SUBSTR] [--json FILE] [--compare OLD.json \
+           [--threshold PCT]]; unknown argument %S\n"
           arg;
         exit 2
   in
@@ -400,11 +484,23 @@ let () =
   let rows = run_microbenches ?only:!only () in
   print_rows rows;
   (match !json with Some path -> write_json path rows | None -> ());
+  let regression =
+    match !compare_to with
+    | None -> false
+    | Some path -> (
+        match load_baseline path with
+        | Error msg ->
+            Printf.eprintf "bench: %s\n" msg;
+            exit 2
+        | Ok baseline -> compare_against ~threshold:!threshold baseline rows)
+  in
   (* The claim-table part of the default run; skipped in micro-only
-     invocations (--only / --json) so `make bench-json` stays fast. *)
-  if !json = None && !only = None then begin
+     invocations (--only / --json / --compare) so `make bench-json` stays
+     fast. *)
+  if !json = None && !only = None && !compare_to = None then begin
     let quick =
       match Sys.getenv_opt "PSN_BENCH_FULL" with Some _ -> false | None -> true
     in
     Psn_experiments.Experiments.print_all ~quick ()
-  end
+  end;
+  if regression then exit 1

@@ -63,15 +63,18 @@ let trace_file =
           "Write a structured JSONL event trace of the run to $(docv). \
            Forces single-domain execution so the trace order is total.")
 
-(* Install a process-wide sink around [f] and flush it to [path] on the
-   way out (even on exceptions, so partial runs still leave evidence). *)
-let traced_to ~write path f =
+(* Install a process-wide sink (and optionally a metric timeline) around
+   [f] and flush to [path] on the way out (even on exceptions, so partial
+   runs still leave evidence). *)
+let traced_to ?timeline ~write path f =
   let sink = Psn_obs.Trace.create () in
   Psn_obs.Trace.set_default (Some sink);
+  Psn_obs.Metrics.set_default_timeline timeline;
   Psn_util.Parallel.set_sequential true;
   Fun.protect
     ~finally:(fun () ->
       Psn_obs.Trace.set_default None;
+      Psn_obs.Metrics.set_default_timeline None;
       try
         let oc = open_out path in
         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc sink);
@@ -318,9 +321,19 @@ let lattice_cmd =
     in
     if dot then print_string (Psn_lattice.Lattice.to_dot stamps)
     else begin
-      let consistent = Psn_lattice.Lattice.count_consistent stamps in
+      (* Peak antichain width of the BFS, via the packed walk's
+         per-level probe: how "slim" the lattice actually is. *)
+      let peak = ref 0 in
+      Psn_lattice.Packed.frontier_probe :=
+        Some (fun width -> if width > !peak then peak := width);
+      let consistent =
+        Fun.protect
+          ~finally:(fun () -> Psn_lattice.Packed.frontier_probe := None)
+          (fun () -> Psn_lattice.Lattice.count_consistent stamps)
+      in
       Fmt.pr "consistent cuts : %a@." Psn_lattice.Lattice.pp_verdict consistent;
       Fmt.pr "all cuts        : %d@." (Psn_lattice.Lattice.total_cuts stamps);
+      Fmt.pr "peak frontier   : %d@." !peak;
       Fmt.pr "chain (linear)  : %b@." (Psn_lattice.Lattice.is_chain stamps)
     end
   in
@@ -354,13 +367,41 @@ let trace_cmd =
       value & opt fc `Jsonl
       & info [ "format" ] ~docv:"FMT" ~doc:"Trace format: jsonl or chrome.")
   in
-  let run seed horizon_s delta_ms clock scenario out format =
-    let write =
-      match format with
-      | `Jsonl -> Psn_obs.Export.write_jsonl
-      | `Chrome -> Psn_obs.Export.write_chrome
+  let timeline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeline" ] ~docv:"MS"
+          ~doc:
+            "Sample every registered metric each $(docv) of simulated \
+             time. Chrome traces embed the samples as counter tracks; \
+             JSONL writes them to FILE.timeline.jsonl. 0 disables.")
+  in
+  let run seed horizon_s delta_ms clock scenario out format timeline_ms =
+    let timeline =
+      if timeline_ms <= 0 then None
+      else
+        Some
+          (Psn_obs.Metrics.timeline_create
+             ~period_ns:(timeline_ms * 1_000_000) ())
     in
-    traced_to ~write out @@ fun () ->
+    let write oc sink =
+      match format with
+      | `Jsonl ->
+          Psn_obs.Export.write_jsonl oc sink;
+          Option.iter
+            (fun tl ->
+              let tl_path = out ^ ".timeline.jsonl" in
+              let tlc = open_out tl_path in
+              Fun.protect
+                ~finally:(fun () -> close_out tlc)
+                (fun () -> Psn_obs.Export.write_timeline_jsonl tlc tl);
+              Fmt.epr "timeline: %d samples -> %s@."
+                (Psn_obs.Metrics.timeline_recorded tl)
+                tl_path)
+            timeline
+      | `Chrome -> Psn_obs.Export.write_chrome ?timeline oc sink
+    in
+    traced_to ?timeline ~write out @@ fun () ->
     match scenario with
     | `Office ->
         let cfg = Psn_scenarios.Smart_office.default in
@@ -384,7 +425,57 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const run $ seed $ horizon_s $ delta_ms $ clock $ scenario $ out $ format)
+      const run $ seed $ horizon_s $ delta_ms $ clock $ scenario $ out $ format
+      $ timeline_ms)
+
+(* profile *)
+
+let profile_cmd =
+  let doc =
+    "Run an experiment under the host-time profiler: per-phase wall time \
+     and GC deltas (psn-profile/1 JSON). Host readings stay in the \
+     profile artifact; simulated-time traces are unaffected."
+  in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,list)).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the JSON profile to $(docv) instead of stdout.")
+  in
+  let run quick id out =
+    match Psn_experiments.Experiments.find id with
+    | None -> `Error (false, Printf.sprintf "unknown experiment %S" id)
+    | Some e ->
+        let profile = Psn_obs.Profile.create () in
+        let outcome =
+          Psn_obs.Profile.with_default profile (fun () ->
+              Psn_obs.Profile.phase "total" (fun () -> e.run ~quick ()))
+        in
+        Psn_experiments.Exp_common.print outcome;
+        print_newline ();
+        Fmt.pr "%a" Psn_obs.Profile.pp profile;
+        (match out with
+        | None -> print_endline (Psn_obs.Profile.to_json profile)
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Psn_obs.Profile.to_json profile);
+                output_char oc '\n');
+            Fmt.epr "profile: %d phases -> %s@."
+              (List.length (Psn_obs.Profile.phases profile))
+              path);
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(ret (const run $ quick $ id $ out))
 
 let main =
   let doc =
@@ -394,8 +485,8 @@ let main =
   Cmd.group
     (Cmd.info "psn-sim" ~version:"1.0.0" ~doc)
     [
-      list_cmd; experiment_cmd; trace_cmd; hall_cmd; office_cmd; hospital_cmd;
-      habitat_cmd; banking_cmd; lattice_cmd;
+      list_cmd; experiment_cmd; trace_cmd; profile_cmd; hall_cmd; office_cmd;
+      hospital_cmd; habitat_cmd; banking_cmd; lattice_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -150,11 +150,14 @@ let create ?loss ?init ?(once = false) engine ~mode ~n ~delay ~horizon
   let fire occ =
     Vec.push occurrences occ;
     Metrics.incr c_occurrences;
-    Metrics.observe h_latency
-      (Sim_time.to_ms_float
-         (Sim_time.sub occ.Occurrence.detect_time
-            occ.Occurrence.trigger.Observation.sense_time));
-    trace engine ~pid:0 (Trace.Detector_occurrence { verdict = "positive" });
+    let latency =
+      Sim_time.sub occ.Occurrence.detect_time
+        occ.Occurrence.trigger.Observation.sense_time
+    in
+    Metrics.observe h_latency (Sim_time.to_ms_float latency);
+    trace engine ~pid:0
+      (Trace.Detector_occurrence
+         { verdict = "positive"; window_ns = Sim_time.to_ns latency });
     match !self with Some d -> Detector.notify d occ | None -> ()
   in
   (* Checker state: one queue of closed intervals per participating

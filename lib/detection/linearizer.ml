@@ -33,6 +33,16 @@ let trace engine ~pid ev =
   | Some s -> Trace.emit s ~time:(Engine.now engine) ~pid ev
   | None -> ()
 
+(* Same contract for spans: nothing happens on the untraced path.  These
+   spans open and close within one engine event, so they go to the sync
+   lane and nest inside the engine's [engine.exec] span. *)
+let span engine ~pid name f =
+  match Engine.tracer engine with
+  | None -> f ()
+  | Some s ->
+      Trace.with_span s ~time:(Engine.now engine) ~pid name f
+        ~time_end:(fun () -> Engine.now engine)
+
 type 'stamp discipline = {
   name : string;
   stamp_of_emit : src:int -> 'stamp;
@@ -166,11 +176,15 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
           Metrics.incr c_borderline;
           "borderline"
     in
-    Metrics.observe h_latency
-      (Sim_time.to_ms_float
-         (Sim_time.sub occ.Occurrence.detect_time
-            occ.Occurrence.trigger.Observation.sense_time));
-    trace engine ~pid:0 (Trace.Detector_occurrence { verdict });
+    let latency =
+      Sim_time.sub occ.Occurrence.detect_time
+        occ.Occurrence.trigger.Observation.sense_time
+    in
+    Metrics.observe h_latency (Sim_time.to_ms_float latency);
+    (* The sense-to-detect window rides on the occurrence record; the
+       Chrome exporter renders it as a duration slice ending here. *)
+    trace engine ~pid:0
+      (Trace.Detector_occurrence { verdict; window_ns = Sim_time.to_ns latency });
     match !self with Some d -> Detector.notify d occ | None -> ()
   in
   let prune_window now =
@@ -246,6 +260,7 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
             b.msg.update.Observation.seq
   in
   let flush () =
+    span engine ~pid:0 "detector.flush" @@ fun () ->
     let now = Engine.now engine in
     prune_window now;
     let ready, held =
@@ -285,6 +300,7 @@ let create ?loss ?topology ?init engine ~n ~delay ~predicate ~discipline ~cfg =
       end);
   let emit ~src ~var value =
     if src < 0 || src >= n then invalid_arg "Detector.emit: src out of range";
+    span engine ~pid:src "detector.emit" @@ fun () ->
     let u =
       {
         Observation.src;

@@ -34,6 +34,7 @@ let run ?(quick = false) () =
   let rows =
     List.concat_map
       (fun ms ->
+        phase (Printf.sprintf "e1.delta=%dms" ms) @@ fun () ->
         let delta = Sim_time.of_ms ms in
         List.map
           (fun clock ->

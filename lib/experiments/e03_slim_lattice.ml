@@ -71,6 +71,7 @@ let run ?(quick = false) () =
   let rows =
     List.map
       (fun (label, delta) ->
+        phase (Printf.sprintf "e3.%s" label) @@ fun () ->
         let stamps = strobe_run ~seed:17L ~n ~events_per_proc ~rate ~delta () in
         let consistent = Psn_lattice.Lattice.count_consistent stamps in
         let total = Psn_lattice.Lattice.total_cuts stamps in

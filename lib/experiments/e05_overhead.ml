@@ -24,6 +24,7 @@ let run ?(quick = false) () =
   let rows =
     List.concat_map
       (fun n ->
+        phase (Printf.sprintf "e5.n=%d" n) @@ fun () ->
         let cfg =
           { Hall.default with doors = n; visitors = 8 * n; capacity = (8 * n / 2) + 2 }
         in

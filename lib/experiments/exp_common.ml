@@ -28,6 +28,11 @@ let render o =
 
 let print o = print_string (render o)
 
+(* Host-time profiling hook: sweeps charge their phases to the
+   process-wide profile when one is installed ([psn-sim profile]); with
+   none installed this is the identity. *)
+let phase = Psn_obs.Profile.phase
+
 (* Aggregate metric summaries over repetitions. *)
 type agg = {
   truth : float;

@@ -289,12 +289,22 @@ let generate_parallel plan (f : Ibuf.t) (cand : Ibuf.t) =
       cand.Ibuf.len <- cand.Ibuf.len + len)
     parts
 
+(* Observability hook: called once per BFS level with the frontier's
+   entry count, from every walk driver (count/walk/is_chain/modalities).
+   A plain ref so this library keeps its dependency set; [None] costs one
+   branch per level, nothing per entry.  Not domain-safe: install only
+   around sequential walks. *)
+let frontier_probe : (int -> unit) option ref = ref None
+
 (* Expand a whole frontier level into [nx].  [cand] is the reusable
    scratch of the parallel path.  Sequential and parallel paths build
    byte-identical next frontiers. *)
 let expand_level plan visited ~parallel (f : Ibuf.t) (nx : Ibuf.t)
     (cand : Ibuf.t) =
   let esz = plan.n + 1 in
+  (match !frontier_probe with
+  | Some probe -> probe (f.Ibuf.len / esz)
+  | None -> ());
   Ibuf.clear nx;
   if (not parallel) || f.Ibuf.len / esz < par_threshold then begin
     let o = ref 0 in

@@ -47,3 +47,10 @@ val definitely :
 (** Fused Definitely(φ): walks ¬φ-cuts only and stops as soon as ⊤
     escapes (or every path is blocked).  Same scratch-buffer caveat as
     [possibly]. *)
+
+val frontier_probe : (int -> unit) option ref
+(** Observability hook: when set, called once per BFS level by every walk
+    driver with that level's frontier width (number of packed cuts), e.g.
+    to record the peak antichain width of an exploration.  One branch per
+    level when unset.  Not domain-safe — install around sequential walks
+    only. *)

@@ -12,6 +12,12 @@
 module Engine = Psn_sim.Engine
 module Net = Psn_network.Net
 module Lamport = Psn_clocks.Lamport
+module Trace = Psn_obs.Trace
+
+let trace engine ~pid ev =
+  match Engine.tracer engine with
+  | Some s -> Trace.emit s ~time:(Engine.now engine) ~pid ev
+  | None -> ()
 
 type msg =
   | Request of { stamp : int }
@@ -28,6 +34,7 @@ type node = {
 
 type t = {
   n : int;
+  engine : Engine.t;
   net : msg Net.t;
   nodes : node array;
   mutable grants : int;
@@ -63,6 +70,10 @@ let handle t ~dst ~src msg =
             me.in_cs <- true;
             me.requesting <- None;
             t.grants <- t.grants + 1;
+            (* Critical section: grant -> release spans engine events
+               (messages fly in between), hence the window lane. *)
+            trace t.engine ~pid:dst
+              (Trace.Span_begin { name = "mutex.cs"; lane = Trace.lane_window });
             grant ()
           end
       | None -> ())
@@ -73,6 +84,7 @@ let create engine ~n ~delay =
   let t =
     {
       n;
+      engine;
       net;
       nodes =
         Array.init n (fun me ->
@@ -105,6 +117,8 @@ let release t ~who =
   let me = t.nodes.(who) in
   if not me.in_cs then invalid_arg "Mutex.release: not in critical section";
   me.in_cs <- false;
+  trace t.engine ~pid:who
+    (Trace.Span_end { name = "mutex.cs"; lane = Trace.lane_window });
   let waiting = List.rev me.deferred in
   me.deferred <- [];
   List.iter (fun dst -> send_reply t ~src:who ~dst) waiting

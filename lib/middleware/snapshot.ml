@@ -83,6 +83,10 @@ let check_complete t =
     let channels = Array.map (Array.map List.rev) t.snap_channels in
     Metrics.incr t.c_completed;
     trace t.engine ~pid:Trace.engine_pid (Trace.Mark { name = "snapshot.complete" });
+    (* Close the round span opened by [initiate]; it crosses engine
+       events, hence the window lane. *)
+    trace t.engine ~pid:Trace.engine_pid
+      (Trace.Span_end { name = "snapshot.round"; lane = Trace.lane_window });
     t.on_complete { states; channels }
   end
 
@@ -139,6 +143,8 @@ let initiate t ~by =
   if by < 0 || by >= t.n then invalid_arg "Snapshot.initiate: out of range";
   if t.active then invalid_arg "Snapshot.initiate: snapshot already running";
   t.active <- true;
+  trace t.engine ~pid:Trace.engine_pid
+    (Trace.Span_begin { name = "snapshot.round"; lane = Trace.lane_window });
   Array.fill t.recorded 0 t.n false;
   Array.fill t.snap_states 0 t.n None;
   t.snap_channels <- Array.make_matrix t.n t.n [];

@@ -34,6 +34,8 @@ type 'a t = {
   c_dropped : Metrics.counter;
   c_words : Metrics.counter;      (* abstract payload words transmitted *)
   h_delay : Metrics.histogram;    (* sampled per-message delay, ms *)
+  g_in_flight : Metrics.gauge;    (* messages scheduled but not yet delivered *)
+  mutable in_flight : int;
   fifo : Sim_time.t array array option;
       (* per-(src,dst) last scheduled delivery time: when present, a later
          send is never delivered before an earlier one on the same channel
@@ -63,6 +65,8 @@ let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1)
     c_dropped = Metrics.counter m (metric "dropped");
     c_words = Metrics.counter m (metric "words");
     h_delay = Metrics.histogram m ~lo:0.0 ~hi:1000.0 ~bins:20 (metric "delay_ms");
+    g_in_flight = Metrics.gauge m (metric "in_flight");
+    in_flight = 0;
     fifo = (if fifo then Some (Array.make_matrix n n Sim_time.zero) else None);
   }
 
@@ -83,17 +87,25 @@ let transmit t ~src ~dst payload =
   let words = t.payload_words payload in
   Metrics.incr t.c_sent;
   Metrics.incr ~by:words t.c_words;
-  (match Engine.tracer t.engine with
-  | Some s ->
-      Trace.emit s ~time:(Engine.now t.engine) ~pid:src
-        (Trace.Net_send { src; dst; words; kind = t.label })
-  | None -> ());
+  (* The correlation id shared by this message's send and deliver/drop
+     records.  Allocated from the sink only when tracing, so untraced
+     runs stay allocation- and counter-free; allocation order is
+     deterministic, being part of the event order. *)
+  let flow =
+    match Engine.tracer t.engine with
+    | Some s ->
+        let flow = Trace.fresh_flow s in
+        Trace.emit s ~time:(Engine.now t.engine) ~pid:src
+          (Trace.Net_send { src; dst; words; kind = t.label; flow });
+        flow
+    | None -> 0
+  in
   if Psn_sim.Loss_model.drops t.loss t.rng then begin
     Metrics.incr t.c_dropped;
     match Engine.tracer t.engine with
     | Some s ->
         Trace.emit s ~time:(Engine.now t.engine) ~pid:dst
-          (Trace.Net_drop { src; dst; kind = t.label })
+          (Trace.Net_drop { src; dst; kind = t.label; flow })
     | None -> ()
   end
   else begin
@@ -109,12 +121,16 @@ let transmit t ~src ~dst payload =
           last.(src).(dst) <- at;
           at
     in
+    t.in_flight <- t.in_flight + 1;
+    Metrics.set t.g_in_flight (float_of_int t.in_flight);
     Engine.schedule_at_unit t.engine at (fun () ->
            Metrics.incr t.c_delivered;
+           t.in_flight <- t.in_flight - 1;
+           Metrics.set t.g_in_flight (float_of_int t.in_flight);
            (match Engine.tracer t.engine with
            | Some s ->
                Trace.emit s ~time:(Engine.now t.engine) ~pid:dst
-                 (Trace.Net_deliver { src; dst; kind = t.label })
+                 (Trace.Net_deliver { src; dst; kind = t.label; flow })
            | None -> ());
            match t.handlers.(dst) with
            | Some handler -> handler ~src payload

@@ -4,34 +4,58 @@
    grep, cheap to diff, and the determinism tests compare these bytes.
 
    Chrome trace_event: the "JSON Object Format" variant understood by
-   Perfetto and chrome://tracing. Every record becomes an instant event
-   ("ph":"i") on its process's track; sim-time nanoseconds become the
-   format's microseconds with three decimals, so nothing is rounded
-   away. *)
+   Perfetto and chrome://tracing.  The mapping:
+
+   - instant records become instant events ("ph":"i") on their process's
+     track;
+   - [Span_begin]/[Span_end] become duration events ("B"/"E"); the span's
+     lane is the Chrome tid, so lane-0 spans (contained in one engine
+     event) and lane-1 spans (crossing engine events) cannot break each
+     other's nesting;
+   - [Net_send]/[Net_deliver] become thin complete slices ("X", 1ns) with
+     a flow-start ("s") / flow-finish ("f") pair bound to them and keyed
+     by the message's correlation id, which is what makes Perfetto draw
+     the send -> deliver arrow between process tracks;
+   - [Detector_occurrence] with a non-zero window becomes a complete
+     slice spanning [detect - window, detect] on the window lane: the
+     sense-to-detect latency as a visible duration;
+   - timeline samples (when a timeline is passed) become counter events
+     ("C"), one per instrument per sample, on the engine track — Perfetto
+     renders one counter track per instrument name.
+
+   Sim-time nanoseconds become the format's microseconds with three
+   decimals, so nothing is rounded away. *)
 
 let args_of_event ev =
   match (ev : Trace.event) with
   | Engine_schedule { at } -> [ ("at_ns", Printf.sprintf "%d" at) ]
   | Engine_fire | Engine_cancel -> []
-  | Net_send { src; dst; words; kind } ->
+  | Span_begin { lane; _ } | Span_end { lane; _ } ->
+      [ ("lane", string_of_int lane) ]
+  | Net_send { src; dst; words; kind; flow } ->
       [
         ("src", string_of_int src);
         ("dst", string_of_int dst);
         ("words", string_of_int words);
         ("kind", Printf.sprintf "%S" kind);
+        ("flow", string_of_int flow);
       ]
-  | Net_deliver { src; dst; kind } | Net_drop { src; dst; kind } ->
+  | Net_deliver { src; dst; kind; flow } | Net_drop { src; dst; kind; flow } ->
       [
         ("src", string_of_int src);
         ("dst", string_of_int dst);
         ("kind", Printf.sprintf "%S" kind);
+        ("flow", string_of_int flow);
       ]
   | Clock_tick { clock } | Clock_receive { clock } | Clock_strobe { clock } ->
       [ ("clock", Printf.sprintf "%S" clock) ]
   | Detector_update { var; seq } ->
       [ ("var", Printf.sprintf "%S" var); ("update_seq", string_of_int seq) ]
-  | Detector_occurrence { verdict } ->
-      [ ("verdict", Printf.sprintf "%S" verdict) ]
+  | Detector_occurrence { verdict; window_ns } ->
+      [
+        ("verdict", Printf.sprintf "%S" verdict);
+        ("window_ns", string_of_int window_ns);
+      ]
   | Mark _ -> []
 
 (* The args above pre-render values; keys are plain identifiers, and the
@@ -47,14 +71,18 @@ let add_args buf args =
     args
 
 let type_name ev =
-  match (ev : Trace.event) with Mark _ -> "mark" | ev -> Trace.event_name ev
+  match (ev : Trace.event) with
+  | Mark _ -> "mark"
+  | Span_begin _ -> "span.begin"
+  | Span_end _ -> "span.end"
+  | ev -> Trace.event_name ev
 
 let jsonl_record buf (r : Trace.record) =
   Buffer.add_string buf
     (Printf.sprintf "{\"seq\":%d,\"t_ns\":%d,\"pid\":%d,\"type\":\"%s\"" r.seq
        r.time r.pid (type_name r.event));
   (match r.event with
-  | Mark { name } ->
+  | Mark { name } | Span_begin { name; _ } | Span_end { name; _ } ->
       Buffer.add_string buf ",\"name\":";
       Json.escape_to_buffer buf name
   | _ -> ());
@@ -73,17 +101,63 @@ let write_jsonl oc sink =
   jsonl_to_buffer buf sink;
   Buffer.output_buffer oc buf
 
+(* --- timeline JSONL ---------------------------------------------------- *)
+
+let timeline_jsonl_to_buffer buf timeline =
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let values =
+        List.map (fun (k, v) -> (k, Json.Float v)) s.Metrics.s_values
+      in
+      Json.to_buffer buf
+        (Json.Obj
+           [ ("t_ns", Json.Int s.Metrics.s_time_ns); ("values", Json.Obj values) ]);
+      Buffer.add_char buf '\n')
+    (Metrics.timeline_samples timeline)
+
+let timeline_jsonl_string timeline =
+  let buf = Buffer.create 4096 in
+  timeline_jsonl_to_buffer buf timeline;
+  Buffer.contents buf
+
+let write_timeline_jsonl oc timeline =
+  let buf = Buffer.create 4096 in
+  timeline_jsonl_to_buffer buf timeline;
+  Buffer.output_buffer oc buf
+
 (* --- Chrome trace_event ------------------------------------------------ *)
 
 (* Track id: engine events ([pid] = -1) on chrome pid 0, process i on
    chrome pid i+1, so every pid is non-negative as the format requires. *)
 let chrome_pid pid = pid + 1
 
-let chrome_to_buffer buf sink =
+let ts_us_of_ns ns = Printf.sprintf "%d.%03d" (ns / 1000) (abs ns mod 1000)
+
+(* A thin slice plus its flow endpoint.  Flow events pair up by (cat,
+   name, id); "bp":"e" binds the finish to the enclosing slice, which is
+   the X slice emitted at the same timestamp. *)
+let chrome_flow_slice buf ~sep ~slice_name ~phase ~ts_us ~cpid ~tid ~flow ~seq
+    ~args =
+  sep ();
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":0.001,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d"
+       slice_name ts_us cpid tid seq);
+  add_args buf args;
+  Buffer.add_string buf "}}";
+  sep ();
+  let bp = match phase with "f" -> ",\"bp\":\"e\"" | _ -> "" in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"msg\",\"cat\":\"net\",\"ph\":\"%s\"%s,\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%d}"
+       phase bp flow ts_us cpid tid)
+
+let chrome_to_buffer ?timeline buf sink =
   Buffer.add_string buf "{\"traceEvents\":[";
   (* Name the tracks: one metadata event per distinct pid, in order. *)
   let pids = Hashtbl.create 16 in
   Trace.iter (fun r -> Hashtbl.replace pids r.Trace.pid ()) sink;
+  if timeline <> None then Hashtbl.replace pids Trace.engine_pid ();
   let sorted_pids =
     List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) pids [])
   in
@@ -101,27 +175,77 @@ let chrome_to_buffer buf sink =
            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
            (chrome_pid pid) name))
     sorted_pids;
+  let instant buf (r : Trace.record) ts_us =
+    Buffer.add_string buf "{\"name\":";
+    Json.escape_to_buffer buf (Trace.event_name r.event);
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%d"
+         ts_us (chrome_pid r.pid) r.seq);
+    add_args buf (args_of_event r.event);
+    Buffer.add_string buf "}}"
+  in
   Trace.iter
     (fun (r : Trace.record) ->
-      sep ();
-      let ts_us = Printf.sprintf "%d.%03d" (r.time / 1000) (r.time mod 1000) in
-      Buffer.add_string buf "{\"name\":";
-      Json.escape_to_buffer buf (Trace.event_name r.event);
-      Buffer.add_string buf
-        (Printf.sprintf
-           ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%d"
-           ts_us (chrome_pid r.pid) r.seq);
-      add_args buf (args_of_event r.event);
-      Buffer.add_string buf "}}")
+      let ts_us = ts_us_of_ns r.time in
+      let cpid = chrome_pid r.pid in
+      match r.event with
+      | Span_begin { name; lane } | Span_end { name; lane } ->
+          let ph =
+            match r.event with Span_begin _ -> "B" | _ -> "E"
+          in
+          sep ();
+          Buffer.add_string buf "{\"name\":";
+          Json.escape_to_buffer buf name;
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d}}"
+               ph ts_us cpid lane r.seq)
+      | Net_send { flow; _ } ->
+          chrome_flow_slice buf ~sep ~slice_name:"net.send" ~phase:"s" ~ts_us
+            ~cpid ~tid:0 ~flow ~seq:r.seq ~args:(args_of_event r.event)
+      | Net_deliver { flow; _ } ->
+          chrome_flow_slice buf ~sep ~slice_name:"net.deliver" ~phase:"f"
+            ~ts_us ~cpid ~tid:0 ~flow ~seq:r.seq ~args:(args_of_event r.event)
+      | Detector_occurrence { window_ns; _ } when window_ns > 0 ->
+          sep ();
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"detector.occurrence\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d"
+               (ts_us_of_ns (r.time - window_ns))
+               (ts_us_of_ns window_ns) cpid Trace.lane_window r.seq);
+          add_args buf (args_of_event r.event);
+          Buffer.add_string buf "}}"
+      | _ ->
+          sep ();
+          instant buf r ts_us)
     sink;
+  (match timeline with
+  | None -> ()
+  | Some tl ->
+      List.iter
+        (fun (s : Metrics.sample) ->
+          let ts_us = ts_us_of_ns s.Metrics.s_time_ns in
+          List.iter
+            (fun (name, v) ->
+              sep ();
+              Buffer.add_string buf "{\"name\":";
+              Json.escape_to_buffer buf name;
+              Buffer.add_string buf
+                (Printf.sprintf ",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"args\":{\"value\":"
+                   ts_us (chrome_pid Trace.engine_pid));
+              Json.to_buffer buf (Json.Float v);
+              Buffer.add_string buf "}}")
+            s.Metrics.s_values)
+        (Metrics.timeline_samples tl));
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 
-let chrome_string sink =
+let chrome_string ?timeline sink =
   let buf = Buffer.create 4096 in
-  chrome_to_buffer buf sink;
+  chrome_to_buffer ?timeline buf sink;
   Buffer.contents buf
 
-let write_chrome oc sink =
+let write_chrome ?timeline oc sink =
   let buf = Buffer.create 4096 in
-  chrome_to_buffer buf sink;
+  chrome_to_buffer ?timeline buf sink;
   Buffer.output_buffer oc buf

@@ -2,18 +2,33 @@
 
     Both are deterministic byte-for-byte given the same sink contents, so
     traces from equal seeds diff clean. The Chrome export loads in
-    Perfetto / [chrome://tracing]: processes map to tracks ([pid]), and
-    simulated nanoseconds map to trace microseconds. *)
+    Perfetto / [chrome://tracing]: processes map to tracks ([pid]),
+    [Span_begin]/[Span_end] records to duration slices (["B"]/["E"], one
+    Chrome tid per span lane), message send/deliver pairs to thin slices
+    joined by flow arrows (["s"]/["f"] events keyed by the correlation
+    id), detector occurrences with a window to latency slices, and — when
+    a timeline is given — metric samples to counter tracks (["C"]).
+    Simulated nanoseconds map to trace microseconds. *)
 
 val jsonl_to_buffer : Buffer.t -> Trace.sink -> unit
-(** One JSON object per record, one record per line, in emission order. *)
+(** One JSON object per record, one record per line, in emission order.
+    Spans carry ["name"] and ["lane"]; net records carry their ["flow"]
+    correlation id. *)
 
 val jsonl_string : Trace.sink -> string
 val write_jsonl : out_channel -> Trace.sink -> unit
 
-val chrome_to_buffer : Buffer.t -> Trace.sink -> unit
-(** A complete [{"traceEvents":[...]}] document: instant events on one
-    track per process, with process-name metadata. *)
+val timeline_jsonl_to_buffer : Buffer.t -> Metrics.timeline -> unit
+(** One line per sample: [{"t_ns":..,"values":{"metric":v,..}}], oldest
+    first. *)
 
-val chrome_string : Trace.sink -> string
-val write_chrome : out_channel -> Trace.sink -> unit
+val timeline_jsonl_string : Metrics.timeline -> string
+val write_timeline_jsonl : out_channel -> Metrics.timeline -> unit
+
+val chrome_to_buffer : ?timeline:Metrics.timeline -> Buffer.t -> Trace.sink -> unit
+(** A complete [{"traceEvents":[...]}] document: spans, flow arrows,
+    instants, and (with [?timeline]) counter tracks, with process-name
+    metadata. *)
+
+val chrome_string : ?timeline:Metrics.timeline -> Trace.sink -> string
+val write_chrome : ?timeline:Metrics.timeline -> out_channel -> Trace.sink -> unit

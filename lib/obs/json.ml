@@ -28,9 +28,18 @@ let escape_to_buffer buf s =
   Buffer.add_char buf '"'
 
 (* %.17g round-trips every finite double; infinities/NaN are not valid
-   JSON, so clamp them to null like most encoders do. *)
+   JSON, so clamp them to null like most encoders do.  Integral doubles
+   render without a point ("2"), which our own parser — and any JSON
+   reader distinguishing ints from floats — would read back as an
+   integer; appending ".0" keeps [Float f] a [Float] across a
+   print/parse round trip. *)
 let float_to_buffer buf f =
-  if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  if Float.is_finite f then begin
+    let s = Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s;
+    if not (String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s)
+    then Buffer.add_string buf ".0"
+  end
   else Buffer.add_string buf "null"
 
 let rec to_buffer buf = function

@@ -1,9 +1,12 @@
 (** Minimal JSON tree, printer, and parser.
 
     Just enough for the observability layer — metric snapshots and trace
-    exports — without an external dependency. Printing is deterministic
-    (fields in the order given, floats via ["%.17g"] so doubles
-    round-trip); the parser accepts exactly the standard grammar. *)
+    exports — without an external dependency. Printing is deterministic:
+    fields in the order given; finite floats via ["%.17g"] (plus a
+    [".0"] suffix when integral, so a [Float] parses back as a [Float])
+    — every finite double survives a print/parse round trip exactly.
+    Non-finite floats print as [null], the only valid-JSON option.  The
+    parser accepts exactly the standard grammar. *)
 
 type t =
   | Null

@@ -3,7 +3,14 @@
    Handles are plain mutable cells resolved once at registration, so
    instrumented hot paths never touch the name table. Histograms reuse
    [Psn_util.Stats.histogram]; the wrapper remembers the bounds so [reset]
-   can rebuild an empty one. *)
+   can rebuild an empty one.
+
+   The timeline is the registry's time axis: a fixed-capacity ring of
+   (sim time, instrument values) samples, recorded every sampling period
+   by whoever drives the clock (the engine, see [Psn_sim.Engine]).  A
+   full ring overwrites the oldest sample — the tail of a run is the
+   interesting part — and remembers how many it dropped so exports can
+   say so. *)
 
 module Stats = Psn_util.Stats
 
@@ -61,7 +68,17 @@ let histogram t ?(lo = 0.0) ?(hi = 1000.0) ?(bins = 20) name =
         h = Stats.histogram_create ~lo ~hi ~bins }
   in
   match register t name make "histogram" with
-  | H h -> h
+  | H h ->
+      (* Get-or-create must agree on the range: silently keeping the
+         original bounds would misbin the second registrant's samples
+         without any signal. *)
+      if h.h_lo <> lo || h.h_hi <> hi || h.h_bins <> bins then
+        invalid_arg
+          (Printf.sprintf
+             "Metrics.histogram: %S already registered with [%g,%g) x%d, \
+              requested [%g,%g) x%d"
+             name h.h_lo h.h_hi h.h_bins lo hi bins);
+      h
   | _ -> assert false
 
 let observe h v = Stats.histogram_add h.h v
@@ -203,3 +220,68 @@ let snapshot_of_json s =
       in
       go [] fields
   | Ok _ -> Error "snapshot JSON must be an object"
+
+(* --- timeline ---------------------------------------------------------- *)
+
+type sample = { s_time_ns : int; s_values : (string * float) list }
+
+type timeline = {
+  tl_period_ns : int;
+  tl_cap : int;
+  tl_ring : sample array;
+  mutable tl_recorded : int;  (* total ever recorded; ring head is mod cap *)
+}
+
+let dummy_sample = { s_time_ns = 0; s_values = [] }
+
+let timeline_create ?(capacity = 4096) ~period_ns () =
+  if period_ns <= 0 then
+    invalid_arg "Metrics.timeline_create: period must be positive";
+  if capacity <= 0 then
+    invalid_arg "Metrics.timeline_create: capacity must be positive";
+  { tl_period_ns = period_ns; tl_cap = capacity;
+    tl_ring = Array.make capacity dummy_sample; tl_recorded = 0 }
+
+let timeline_period_ns tl = tl.tl_period_ns
+
+(* Counters and gauges become points of the series; histograms only
+   contribute their total observation count (the shape lives in the end-of-run
+   snapshot).  Sorted by name, so samples — and their exports — are
+   deterministic. *)
+let timeline_record tl ~time_ns t =
+  let values =
+    Hashtbl.fold
+      (fun name i acc ->
+        let v =
+          match i with
+          | C c -> float_of_int c.c
+          | G g -> g.g
+          | H h -> float_of_int (Stats.histogram_total h.h)
+        in
+        (name, v) :: acc)
+      t.table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  tl.tl_ring.(tl.tl_recorded mod tl.tl_cap) <-
+    { s_time_ns = time_ns; s_values = values };
+  tl.tl_recorded <- tl.tl_recorded + 1
+
+let timeline_recorded tl = tl.tl_recorded
+let timeline_dropped tl = max 0 (tl.tl_recorded - tl.tl_cap)
+
+let timeline_samples tl =
+  let kept = min tl.tl_recorded tl.tl_cap in
+  let first = tl.tl_recorded - kept in
+  List.init kept (fun i -> tl.tl_ring.((first + i) mod tl.tl_cap))
+
+(* Process-wide default, picked up by [Psn_sim.Engine.create] exactly like
+   the default trace sink: installing one makes every engine created under
+   it sample its registry on the timeline's period. *)
+let default_tl : timeline option ref = ref None
+let set_default_timeline tl = default_tl := tl
+let default_timeline () = !default_tl
+
+let with_default_timeline tl f =
+  let saved = !default_tl in
+  default_tl := Some tl;
+  Fun.protect ~finally:(fun () -> default_tl := saved) f

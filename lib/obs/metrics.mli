@@ -31,8 +31,10 @@ val gauge_value : gauge -> float
 
 val histogram : t -> ?lo:float -> ?hi:float -> ?bins:int -> string -> histogram
 (** Fixed-range histogram backed by [Psn_util.Stats.histogram]; defaults
-    [lo=0., hi=1000., bins=20]. Bounds are fixed at first creation; later
-    get-or-create calls ignore them. *)
+    [lo=0., hi=1000., bins=20]. Bounds are fixed at first creation; a
+    later get-or-create of the same name must request the same bounds —
+    a mismatch raises [Invalid_argument] rather than silently keeping the
+    original range and misbinning the caller's samples. *)
 
 val observe : histogram -> float -> unit
 
@@ -68,3 +70,49 @@ val pp_snapshot : Format.formatter -> snapshot -> unit
 val snapshot_to_json : snapshot -> string
 val snapshot_of_json : string -> (snapshot, string) result
 (** [snapshot_of_json (snapshot_to_json s) = Ok s]. *)
+
+(** {2 Timeline}
+
+    A metric time series: periodic samples of every registered instrument
+    over simulated time, held in a fixed-capacity ring buffer (a full
+    ring overwrites the oldest sample).  The registry does not drive the
+    sampling — whoever owns the clock does; [Psn_sim.Engine] samples its
+    registry every [timeline_period_ns] when a timeline is installed.
+    Exported as JSONL and as Chrome counter tracks by [Export]. *)
+
+type timeline
+
+type sample = { s_time_ns : int; s_values : (string * float) list }
+(** Values sorted by instrument name: counters and histogram totals as
+    floats, gauges verbatim. *)
+
+val timeline_create : ?capacity:int -> period_ns:int -> unit -> timeline
+(** Default capacity 4096 samples. Raises on non-positive period or
+    capacity. *)
+
+val timeline_period_ns : timeline -> int
+
+val timeline_record : timeline -> time_ns:int -> t -> unit
+(** Append one sample of registry [t] at simulated time [time_ns]. *)
+
+val timeline_samples : timeline -> sample list
+(** Oldest first; at most [capacity] entries. *)
+
+val timeline_recorded : timeline -> int
+(** Total samples ever recorded, including overwritten ones. *)
+
+val timeline_dropped : timeline -> int
+(** How many of the recorded samples the ring has overwritten. *)
+
+(** {3 Process-wide default timeline}
+
+    Mirrors [Trace.set_default]: engines created while a default timeline
+    is installed sample their registry on its period.  Same caveat: keep
+    the run single-domain. *)
+
+val set_default_timeline : timeline option -> unit
+val default_timeline : unit -> timeline option
+
+val with_default_timeline : timeline -> (unit -> 'a) -> 'a
+(** Installs the timeline, runs the thunk, restores the previous default
+    even on exceptions. *)

@@ -7,44 +7,74 @@
    Time is integer nanoseconds rather than [Psn_sim.Sim_time.t] because
    [Psn_sim] depends on this library (the engine carries the sink), so
    the dependency cannot point the other way. The representations are
-   identical. *)
+   identical.
+
+   Two id spaces live here besides the record sequence number:
+
+   - Flow ids correlate a message send with its delivery (or drop): the
+     network allocates one per traced transmission via [fresh_flow], so
+     the exporters can draw send -> deliver arrows between process
+     tracks.  Ids are per-sink and allocation order is deterministic,
+     so same-seed traces stay byte-identical.
+
+   - Span lanes separate nesting domains.  Chrome's B/E duration events
+     must nest properly per (pid, tid); spans emitted from inside a
+     single engine-event execution (lane 0) trivially nest, but
+     long-lived spans that start in one engine event and end in another
+     (a snapshot round, a mutex critical section) would interleave with
+     them.  Such spans go to lane 1, which the Chrome exporter maps to a
+     separate tid. *)
 
 type event =
   | Engine_schedule of { at : int }
   | Engine_fire
   | Engine_cancel
-  | Net_send of { src : int; dst : int; words : int; kind : string }
-  | Net_deliver of { src : int; dst : int; kind : string }
-  | Net_drop of { src : int; dst : int; kind : string }
+  | Span_begin of { name : string; lane : int }
+  | Span_end of { name : string; lane : int }
+  | Net_send of { src : int; dst : int; words : int; kind : string; flow : int }
+  | Net_deliver of { src : int; dst : int; kind : string; flow : int }
+  | Net_drop of { src : int; dst : int; kind : string; flow : int }
   | Clock_tick of { clock : string }
   | Clock_receive of { clock : string }
   | Clock_strobe of { clock : string }
   | Detector_update of { var : string; seq : int }
-  | Detector_occurrence of { verdict : string }
+  | Detector_occurrence of { verdict : string; window_ns : int }
   | Mark of { name : string }
 
 type record = { seq : int; time : int; pid : int; event : event }
 
 let engine_pid = -1
 
+let lane_sync = 0
+let lane_window = 1
+
 let dummy_record = { seq = 0; time = 0; pid = 0; event = Engine_fire }
 
 type sink = {
   mutable next_seq : int;
+  mutable next_flow : int;
   records : record Psn_util.Vec.t;
 }
 
-let create () = { next_seq = 0; records = Psn_util.Vec.create ~dummy:dummy_record () }
+let create () =
+  { next_seq = 0; next_flow = 0;
+    records = Psn_util.Vec.create ~dummy:dummy_record () }
 
 let emit sink ~time ~pid event =
   let seq = sink.next_seq in
   sink.next_seq <- seq + 1;
   Psn_util.Vec.push sink.records { seq; time; pid; event }
 
+let fresh_flow sink =
+  let id = sink.next_flow in
+  sink.next_flow <- id + 1;
+  id
+
 let length sink = Psn_util.Vec.length sink.records
 
 let clear sink =
   sink.next_seq <- 0;
+  sink.next_flow <- 0;
   Psn_util.Vec.clear sink.records
 
 let iter f sink = Psn_util.Vec.iter f sink.records
@@ -54,6 +84,7 @@ let event_name = function
   | Engine_schedule _ -> "engine.schedule"
   | Engine_fire -> "engine.fire"
   | Engine_cancel -> "engine.cancel"
+  | Span_begin { name; _ } | Span_end { name; _ } -> name
   | Net_send _ -> "net.send"
   | Net_deliver _ -> "net.deliver"
   | Net_drop _ -> "net.drop"
@@ -63,6 +94,14 @@ let event_name = function
   | Detector_update _ -> "detector.update"
   | Detector_occurrence _ -> "detector.occurrence"
   | Mark { name } -> name
+
+(* Balanced span over [f], both endpoints at the caller-supplied times.
+   [time_end] is read after [f] returns because simulated time may have
+   advanced during it. *)
+let with_span sink ~time ~pid ?(lane = lane_sync) name f ~time_end =
+  emit sink ~time ~pid (Span_begin { name; lane });
+  let finally () = emit sink ~time:(time_end ()) ~pid (Span_end { name; lane }) in
+  Fun.protect ~finally f
 
 (* Process-wide default, picked up by [Engine.create]. *)
 let default_sink : sink option ref = ref None

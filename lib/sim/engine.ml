@@ -42,6 +42,7 @@ and t = {
          construction (which draws from [rng]) cannot perturb the world:
          the same seed gives the same world under every clock kind *)
   mutable tracer : Trace.sink option;
+  timeline : Metrics.timeline option;
   metrics : Metrics.t;
   c_scheduled : Metrics.counter;
   c_fired : Metrics.counter;
@@ -49,21 +50,6 @@ and t = {
 }
 
 let noop () = ()
-
-let create ?(seed = 42L) ?tracer () =
-  let metrics = Metrics.create () in
-  {
-    now = Sim_time.zero;
-    processed = 0;
-    queue = Event_queue.create ~dummy:(Fast noop) ();
-    rng = Psn_util.Rng.create ~seed ();
-    aux_rng = Psn_util.Rng.create ~seed:(Int64.add seed 0x5DEECE66DL) ();
-    tracer = (match tracer with Some _ as s -> s | None -> Trace.default ());
-    metrics;
-    c_scheduled = Metrics.counter metrics "engine.scheduled";
-    c_fired = Metrics.counter metrics "engine.fired";
-    c_cancelled = Metrics.counter metrics "engine.cancelled";
-  }
 
 let now t = t.now
 let rng t = t.rng
@@ -107,6 +93,49 @@ let schedule_after_unit t delay action =
   if Sim_time.is_negative delay then
     invalid_arg "Engine.schedule_after_unit: negative delay";
   schedule_at_unit t (Sim_time.add t.now delay) action
+
+let create ?(seed = 42L) ?tracer ?timeline () =
+  let metrics = Metrics.create () in
+  let timeline =
+    match timeline with
+    | Some _ as tl -> tl
+    | None -> Metrics.default_timeline ()
+  in
+  let t =
+    {
+      now = Sim_time.zero;
+      processed = 0;
+      queue = Event_queue.create ~dummy:(Fast noop) ();
+      rng = Psn_util.Rng.create ~seed ();
+      aux_rng = Psn_util.Rng.create ~seed:(Int64.add seed 0x5DEECE66DL) ();
+      tracer = (match tracer with Some _ as s -> s | None -> Trace.default ());
+      timeline;
+      metrics;
+      c_scheduled = Metrics.counter metrics "engine.scheduled";
+      c_fired = Metrics.counter metrics "engine.fired";
+      c_cancelled = Metrics.counter metrics "engine.cancelled";
+    }
+  in
+  (* Timeline sampler: a self-rescheduling event that snapshots the
+     registry every period of simulated time.  It re-arms only while
+     other events remain queued, so a horizonless [run] still drains; the
+     [engine.queue_depth] gauge is registered only here, keeping default
+     report snapshots identical whether or not a timeline is in play. *)
+  (match t.timeline with
+  | None -> ()
+  | Some tl ->
+      let depth = Metrics.gauge metrics "engine.queue_depth" in
+      let period = Metrics.timeline_period_ns tl in
+      let rec sample () =
+        Metrics.set depth (float_of_int (Event_queue.length t.queue));
+        Metrics.timeline_record tl ~time_ns:(Sim_time.to_ns t.now) t.metrics;
+        if not (Event_queue.is_empty t.queue) then
+          schedule_after_unit t (Sim_time.of_ns period) sample
+      in
+      schedule_at_unit t Sim_time.zero sample);
+  t
+
+let timeline t = t.timeline
 
 let cancel h =
   match h.state with
@@ -185,6 +214,14 @@ let drain_untraced t limit_ns =
     end
   done
 
+(* Per-event execution spans live only in the traced loop — [step] and
+   the untraced loop stay span-free.  Executing an action never advances
+   [t.now] (only popping does), so begin and end share the timestamp; the
+   span still brackets everything the event emitted, which is what the
+   exporters nest under it. *)
+let exec_begin = Trace.Span_begin { name = "engine.exec"; lane = Trace.lane_sync }
+let exec_end = Trace.Span_end { name = "engine.exec"; lane = Trace.lane_sync }
+
 let drain_traced t s limit_ns =
   let q = t.queue in
   let running = ref true in
@@ -200,7 +237,9 @@ let drain_traced t s limit_ns =
             t.processed <- t.processed + 1;
             Metrics.tick t.c_fired;
             Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire;
-            action ()
+            Trace.emit s ~time:t.now ~pid:Trace.engine_pid exec_begin;
+            action ();
+            Trace.emit s ~time:t.now ~pid:Trace.engine_pid exec_end
         | Tracked h -> (
             match h.state with
             | Pending ->
@@ -208,7 +247,9 @@ let drain_traced t s limit_ns =
                 t.processed <- t.processed + 1;
                 Metrics.tick t.c_fired;
                 Trace.emit s ~time:t.now ~pid:Trace.engine_pid Trace.Engine_fire;
-                h.action ()
+                Trace.emit s ~time:t.now ~pid:Trace.engine_pid exec_begin;
+                h.action ();
+                Trace.emit s ~time:t.now ~pid:Trace.engine_pid exec_end
             | Fired | Cancelled -> ())
       end
     end

@@ -6,15 +6,25 @@
 type t
 type handle
 
-val create : ?seed:int64 -> ?tracer:Psn_obs.Trace.sink -> unit -> t
+val create :
+  ?seed:int64 ->
+  ?tracer:Psn_obs.Trace.sink ->
+  ?timeline:Psn_obs.Metrics.timeline ->
+  unit -> t
 (** When [tracer] is omitted, the process-wide [Psn_obs.Trace.default]
     sink (if any) is picked up, so deeply nested engine creations trace
-    without plumbing. *)
+    without plumbing; likewise [timeline] falls back to
+    [Psn_obs.Metrics.default_timeline].  With a timeline in play the
+    engine registers an [engine.queue_depth] gauge and snapshots its
+    registry every [timeline_period_ns] of simulated time, stopping when
+    the rest of the queue drains (so [run] without a horizon still
+    terminates). *)
 
 val now : t -> Sim_time.t
 val rng : t -> Psn_util.Rng.t
 
 val tracer : t -> Psn_obs.Trace.sink option
+val timeline : t -> Psn_obs.Metrics.timeline option
 
 val set_tracer : t -> Psn_obs.Trace.sink option -> unit
 (** The tracer branch is hoisted out of the event drain loop, so a sink
