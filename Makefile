@@ -15,11 +15,11 @@ bench:
 	dune exec bench/main.exe
 
 # Microbenchmarks only (no experiment tables), written as JSON
-# (schema psn-bench/1, see DESIGN.md). BENCH_PR4.json in the repo root
-# is a committed snapshot of this output (BENCH_PR2/PR3.json are prior
-# snapshots, kept for before/after comparison).
+# (schema psn-bench/1, see DESIGN.md). BENCH_PR5.json in the repo root
+# is a committed snapshot of this output (BENCH_PR2/PR3/PR4.json are
+# prior snapshots, kept for before/after comparison).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR4.json
+	dune exec bench/main.exe -- --json BENCH_PR5.json
 
 # Regression diff against the committed baseline.  The threshold is
 # deliberately wide: committed numbers come from a different machine, so
@@ -27,7 +27,9 @@ bench-json:
 # with a locally regenerated baseline (make bench-json) for real tuning.
 bench-compare:
 	dune exec bench/main.exe -- --only engine.schedule+run \
-	  --compare BENCH_PR4.json --threshold 100
+	  --compare BENCH_PR5.json --threshold 100
+	dune exec bench/main.exe -- --only vector.receive \
+	  --compare BENCH_PR5.json --threshold 100
 
 # Full (slow) experiment profiles — the numbers in EXPERIMENTS.md.
 experiments:

@@ -315,11 +315,14 @@ let lattice_cmd =
       else if delta_ms = 0 then Some Sim_time.zero
       else Some (Sim_time.of_ms delta_ms)
     in
-    let stamps =
+    let plane, handles =
       Psn_experiments.E03_slim_lattice.strobe_run ~seed ~n:nodes
         ~events_per_proc:events ~rate:0.5 ~delta ()
     in
-    if dot then print_string (Psn_lattice.Lattice.to_dot stamps)
+    if dot then
+      print_string
+        (Psn_lattice.Lattice.to_dot
+           (Psn_lattice.Lattice.stamps_of_plane plane handles))
     else begin
       (* Peak antichain width of the BFS, via the packed walk's
          per-level probe: how "slim" the lattice actually is. *)
@@ -329,12 +332,14 @@ let lattice_cmd =
       let consistent =
         Fun.protect
           ~finally:(fun () -> Psn_lattice.Packed.frontier_probe := None)
-          (fun () -> Psn_lattice.Lattice.count_consistent stamps)
+          (fun () -> Psn_lattice.Lattice.count_consistent_plane plane handles)
       in
       Fmt.pr "consistent cuts : %a@." Psn_lattice.Lattice.pp_verdict consistent;
-      Fmt.pr "all cuts        : %d@." (Psn_lattice.Lattice.total_cuts stamps);
+      Fmt.pr "all cuts        : %d@."
+        (Psn_lattice.Lattice.total_cuts_of_lens (Array.map Array.length handles));
       Fmt.pr "peak frontier   : %d@." !peak;
-      Fmt.pr "chain (linear)  : %b@." (Psn_lattice.Lattice.is_chain stamps)
+      Fmt.pr "chain (linear)  : %b@."
+        (Psn_lattice.Lattice.is_chain_plane plane handles)
     end
   in
   Cmd.v (Cmd.info "lattice" ~doc)

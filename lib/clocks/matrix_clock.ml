@@ -51,6 +51,53 @@ let receive t ~from stamp =
   done;
   t.m.(t.me).(t.me) <- t.m.(t.me).(t.me) + 1
 
+(* --- row stamps ---
+
+   [tick]/[send] copy the full n×n matrix even when the receiver merges
+   it away immediately.  When only the sender's own vector view is
+   needed (the common piggyback), an O(n) row stamp carries the same
+   causal information: the receiver merges it into both the sender's
+   row (what the sender knows) and its own row (we now know it too). *)
+
+type row_stamp = int array
+
+let tick_row t =
+  let me_row = t.m.(t.me) in
+  me_row.(t.me) <- me_row.(t.me) + 1;
+  Array.copy me_row
+
+let send_row = tick_row
+
+let receive_row t ~from row =
+  let n = Array.length t.m in
+  if from < 0 || from >= n then invalid_arg "Matrix_clock.receive_row: from";
+  if Array.length row <> n then invalid_arg "Matrix_clock.receive_row: dimension";
+  let from_row = t.m.(from) and me_row = t.m.(t.me) in
+  for j = 0 to n - 1 do
+    let x = Array.unsafe_get row j in
+    if x > Array.unsafe_get from_row j then Array.unsafe_set from_row j x;
+    if x > Array.unsafe_get me_row j then Array.unsafe_set me_row j x
+  done;
+  me_row.(t.me) <- me_row.(t.me) + 1
+
+(* --- stamp-plane fast path for row stamps --- *)
+
+let tick_row_into plane t =
+  let me_row = t.m.(t.me) in
+  me_row.(t.me) <- me_row.(t.me) + 1;
+  Stamp_plane.of_array plane me_row
+
+let send_row_into = tick_row_into
+
+let receive_row_from plane t ~from h =
+  let n = Array.length t.m in
+  if from < 0 || from >= n then invalid_arg "Matrix_clock.receive_row_from: from";
+  if Stamp_plane.width plane <> n then
+    invalid_arg "Matrix_clock.receive_row_from: width mismatch";
+  Stamp_plane.max_into_array plane h t.m.(from);
+  Stamp_plane.max_into_array plane h t.m.(t.me);
+  t.m.(t.me).(t.me) <- t.m.(t.me).(t.me) + 1
+
 (* Every process is known to have seen at least [min_known t j] events of
    process j; observations older than that can be discarded. *)
 let min_known t j =

@@ -21,3 +21,23 @@ val min_known : t -> int -> int
     many events of process [j]; older buffered observations are dead. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Row stamps}
+
+    [tick]/[send] copy the full n×n matrix; when only the sender's own
+    vector view is piggybacked (the common case), an O(n) row stamp
+    carries the same causal information.  Note: row stamps propagate
+    first-hand knowledge only, so [min_known] advances more slowly than
+    under full-matrix exchange. *)
+
+type row_stamp = int array
+
+val tick_row : t -> row_stamp
+val send_row : t -> row_stamp
+val receive_row : t -> from:int -> row_stamp -> unit
+(** Merge the sender's row into both the [from] row and our own, then
+    tick our diagonal. *)
+
+val tick_row_into : Stamp_plane.t -> t -> Stamp_plane.handle
+val send_row_into : Stamp_plane.t -> t -> Stamp_plane.handle
+val receive_row_from : Stamp_plane.t -> t -> from:int -> Stamp_plane.handle -> unit

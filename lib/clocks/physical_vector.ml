@@ -34,10 +34,17 @@ let tick t ~now =
 
 let send t ~now = tick t ~now
 
+(* Direct int loop (Sim_time.t is an immediate int of ns): the
+   [Array.iteri] closure cost an allocation per receive. *)
 let receive t ~now stamp =
-  if Array.length stamp <> Array.length t.v then
+  let n = Array.length t.v in
+  if Array.length stamp <> n then
     invalid_arg "Physical_vector.receive: dimension mismatch";
-  Array.iteri (fun k x -> if Sim_time.( > ) x t.v.(k) then t.v.(k) <- x) stamp;
+  let v = t.v in
+  for k = 0 to n - 1 do
+    let x = Array.unsafe_get stamp k in
+    if Sim_time.( > ) x (Array.unsafe_get v k) then Array.unsafe_set v k x
+  done;
   ignore (tick t ~now)
 
 let leq a b =
@@ -54,3 +61,35 @@ let concurrent a b = (not (leq a b)) && not (leq b a)
 
 let pp ppf t =
   Fmt.pf ppf "PV%d@[%a]" t.me Fmt.(array ~sep:(any ";") Sim_time.pp) t.v
+
+(* --- stamp-plane fast path ---
+
+   [Sim_time.t] is integer nanoseconds, so physical-vector stamps live
+   in the same int plane as logical vectors; components are stored as
+   raw ns and the plane's handle comparisons coincide with the
+   [Sim_time] order (times are non-negative). *)
+
+let write_into plane t =
+  let h = Stamp_plane.alloc plane in
+  for j = 0 to Array.length t.v - 1 do
+    Stamp_plane.set plane h j (Sim_time.to_ns t.v.(j))
+  done;
+  h
+
+let tick_into plane t ~now =
+  let reading = Physical_clock.read t.hw ~now in
+  t.v.(t.me) <- Sim_time.max t.v.(t.me) reading;
+  write_into plane t
+
+let send_into = tick_into
+
+let receive_from plane t ~now h =
+  if Stamp_plane.width plane <> Array.length t.v then
+    invalid_arg "Physical_vector.receive_from: width mismatch";
+  let v = t.v in
+  for k = 0 to Array.length v - 1 do
+    let x = Sim_time.of_ns (Stamp_plane.get plane h k) in
+    if Sim_time.( > ) x (Array.unsafe_get v k) then Array.unsafe_set v k x
+  done;
+  let reading = Physical_clock.read t.hw ~now in
+  t.v.(t.me) <- Sim_time.max t.v.(t.me) reading

@@ -20,3 +20,11 @@ val equal : stamp -> stamp -> bool
 val happened_before : stamp -> stamp -> bool
 val concurrent : stamp -> stamp -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {2 Stamp-plane fast path} — components stored as raw nanoseconds;
+    the plane's handle order coincides with the [Sim_time] order. *)
+
+val tick_into : Stamp_plane.t -> t -> now:Psn_sim.Sim_time.t -> Stamp_plane.handle
+val send_into : Stamp_plane.t -> t -> now:Psn_sim.Sim_time.t -> Stamp_plane.handle
+val receive_from :
+  Stamp_plane.t -> t -> now:Psn_sim.Sim_time.t -> Stamp_plane.handle -> unit

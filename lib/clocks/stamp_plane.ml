@@ -1,0 +1,198 @@
+(* Stamp plane: a per-run bump-allocated arena for vector stamps.
+
+   Every clock rule used to materialize a fresh [int array] per event
+   (VC1–VC3, SVC1, the matrix rules), so the measured cost of the
+   protocols was dominated by GC pressure, not by the merges the paper
+   counts.  The plane stores all stamps of one run in a single flat
+   [int array]; a stamp is an immediate-int *handle* — its offset into
+   the backing array — so piggybacking a stamp on a message, storing it
+   in a detector log, or comparing two stamps never boxes anything.
+
+   Representation:
+     - a plane has a fixed [width] (components per stamp, the process
+       count n);
+     - handle h names components [data.(h) .. data.(h + width - 1)];
+       handles are always multiples of [width];
+     - [alloc] bumps [len]; when the backing array is full it grows by
+       doubling and blits, so existing handles stay valid (they are
+       offsets, not pointers);
+     - [reset] recycles the whole arena for a new run: O(1), but it
+       invalidates every outstanding handle (aliasing rule: a handle is
+       dead after [reset] of its plane; validity checks catch handles
+       past the live length, not stale handles below it).
+
+   All comparison loops are monomorphic int loops over the flat plane
+   ([Array.unsafe_get] after one bounds check per handle) — no closure,
+   no polymorphic compare, no per-call allocation. *)
+
+type t = {
+  width : int;
+  mutable data : int array;
+  mutable len : int;  (* ints in use; always a multiple of [width] *)
+}
+
+type handle = int
+
+let create ?(initial = 64) ~n () =
+  if n <= 0 then invalid_arg "Stamp_plane.create: n must be positive";
+  if initial <= 0 then invalid_arg "Stamp_plane.create: initial must be positive";
+  { width = n; data = Array.make (initial * n) 0; len = 0 }
+
+let width t = t.width
+let count t = t.len / t.width
+let capacity t = Array.length t.data / t.width
+let reset t = t.len <- 0
+
+(* Bounds check for a handle: one compare pair per operation (no [mod]
+   — that would be an integer division on every hot-path call), after
+   which the component loops may use unsafe accesses. *)
+let[@inline] check t h =
+  if h < 0 || h + t.width > t.len then
+    invalid_arg "Stamp_plane: dead or foreign handle"
+
+(* The full alignment check, for validation layers (the lattice planner). *)
+let is_valid t h = h >= 0 && h mod t.width = 0 && h + t.width <= t.len
+
+let grow t need =
+  let cap = ref (Array.length t.data) in
+  while !cap < need do
+    cap := !cap * 2
+  done;
+  let a = Array.make !cap 0 in
+  Array.blit t.data 0 a 0 t.len;
+  t.data <- a
+
+(* Contents of the new stamp are unspecified (the arena recycles space
+   after [reset]); every caller below overwrites all [width] components. *)
+let alloc t =
+  let h = t.len in
+  let need = h + t.width in
+  if need > Array.length t.data then grow t need;
+  t.len <- need;
+  h
+
+let get t h j =
+  check t h;
+  if j < 0 || j >= t.width then invalid_arg "Stamp_plane.get: component";
+  Array.unsafe_get t.data (h + j)
+
+let set t h j v =
+  check t h;
+  if j < 0 || j >= t.width then invalid_arg "Stamp_plane.set: component";
+  Array.unsafe_set t.data (h + j) v
+
+let of_array t (src : int array) =
+  if Array.length src <> t.width then
+    invalid_arg "Stamp_plane.of_array: width mismatch";
+  let h = alloc t in
+  Array.blit src 0 t.data h t.width;
+  h
+
+let read t h =
+  check t h;
+  Array.sub t.data h t.width
+
+let blit_to t h dst =
+  check t h;
+  if Array.length dst <> t.width then
+    invalid_arg "Stamp_plane.blit_to: width mismatch";
+  Array.blit t.data h dst 0 t.width
+
+(* Componentwise max of stamp [h] into [dst] — the merge half of VC3 /
+   SVC2 writing straight into a live clock vector. *)
+let max_into_array t h (dst : int array) =
+  check t h;
+  if Array.length dst <> t.width then
+    invalid_arg "Stamp_plane.max_into_array: width mismatch";
+  let d = t.data in
+  for j = 0 to t.width - 1 do
+    let x = Array.unsafe_get d (h + j) in
+    if x > Array.unsafe_get dst j then Array.unsafe_set dst j x
+  done
+
+(* --- handle-level stamp order (mirrors Vector_clock on arrays) --- *)
+
+let leq t a b =
+  check t a;
+  check t b;
+  let d = t.data and w = t.width in
+  let rec go j =
+    j >= w
+    || (Array.unsafe_get d (a + j) <= Array.unsafe_get d (b + j) && go (j + 1))
+  in
+  go 0
+
+let equal t a b =
+  a = b
+  ||
+  (check t a;
+   check t b;
+   let d = t.data and w = t.width in
+   let rec go j =
+     j >= w || (Array.unsafe_get d (a + j) = Array.unsafe_get d (b + j) && go (j + 1))
+   in
+   go 0)
+
+let happened_before t a b = leq t a b && not (equal t a b)
+
+(* Fused two-way scan: stop as soon as both directions are refuted. *)
+let concurrent t a b =
+  check t a;
+  check t b;
+  let d = t.data and w = t.width in
+  let ab = ref true and ba = ref true in
+  let j = ref 0 in
+  while (!ab || !ba) && !j < w do
+    let x = Array.unsafe_get d (a + !j) and y = Array.unsafe_get d (b + !j) in
+    if x > y then ab := false else if y > x then ba := false;
+    incr j
+  done;
+  (not !ab) && not !ba
+
+(* First differing component decides — the same order [Stdlib.compare]
+   induces on equal-length int arrays, without the polymorphic C call. *)
+let compare_lex t a b =
+  check t a;
+  check t b;
+  let d = t.data and w = t.width in
+  let rec go j =
+    if j >= w then 0
+    else
+      let x = Array.unsafe_get d (a + j) and y = Array.unsafe_get d (b + j) in
+      if x < y then -1 else if x > y then 1 else go (j + 1)
+  in
+  go 0
+
+let compare_partial t a b =
+  if equal t a b then Some 0
+  else if leq t a b then Some (-1)
+  else if leq t b a then Some 1
+  else None
+
+let total t h =
+  check t h;
+  let d = t.data and w = t.width in
+  let acc = ref 0 in
+  for j = 0 to w - 1 do
+    acc := !acc + Array.unsafe_get d (h + j)
+  done;
+  !acc
+
+(* New stamp = componentwise max.  [alloc] may grow (and replace) the
+   backing array, so it runs before [d] is read. *)
+let merge t a b =
+  check t a;
+  check t b;
+  let h = alloc t in
+  let d = t.data and w = t.width in
+  for j = 0 to w - 1 do
+    let x = Array.unsafe_get d (a + j) and y = Array.unsafe_get d (b + j) in
+    Array.unsafe_set d (h + j) (if x >= y then x else y)
+  done;
+  h
+
+let backing t = t.data
+
+let pp_stamp t ppf h =
+  check t h;
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) (read t h)

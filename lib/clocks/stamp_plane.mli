@@ -1,0 +1,76 @@
+(** Per-run bump-allocated arena for vector stamps.
+
+    A stamp lives in one flat [int array]; its identity is an
+    immediate-int {!handle} (the offset of its first component), so
+    stamps can be piggybacked on messages, stored in detector logs, and
+    compared without ever allocating.  The arena grows by doubling, and
+    growth preserves handles (they are offsets, not pointers).
+
+    Aliasing rules: a handle is valid until {!reset} of its plane; a
+    handle must only be used with the plane that allocated it (a foreign
+    handle past the live length raises [Invalid_argument], one below it
+    silently names another stamp).  {!backing} exposes the live backing
+    array for bulk consumers (the packed lattice engine); the reference
+    is stale after a growing {!alloc}, but stale reads still see every
+    stamp allocated before the growth (growth blits). *)
+
+type t
+
+type handle = int
+(** Offset of the stamp's first component in {!backing}; always a
+    multiple of the plane width. *)
+
+val create : ?initial:int -> n:int -> unit -> t
+(** A plane for width-[n] stamps; [initial] (default 64) is the stamp
+    capacity before the first growth. *)
+
+val width : t -> int
+val count : t -> int
+(** Stamps currently allocated. *)
+
+val capacity : t -> int
+(** Stamps the backing array can hold before the next growth. *)
+
+val reset : t -> unit
+(** Recycle the arena: O(1), invalidates all outstanding handles. *)
+
+val alloc : t -> handle
+(** Bump-allocate one stamp; contents are unspecified — callers must
+    write all [width] components (or use {!of_array} / {!merge}). *)
+
+val is_valid : t -> handle -> bool
+
+val get : t -> handle -> int -> int
+val set : t -> handle -> int -> int -> unit
+
+val of_array : t -> int array -> handle
+(** Allocate and fill from an array of exactly [width] components. *)
+
+val read : t -> handle -> int array
+(** Copy out (for logs, tests, and the generic-walk fallback). *)
+
+val blit_to : t -> handle -> int array -> unit
+
+val max_into_array : t -> handle -> int array -> unit
+(** Componentwise max of the stamp into a live clock vector — the merge
+    half of VC3 / SVC2, no allocation. *)
+
+val leq : t -> handle -> handle -> bool
+val equal : t -> handle -> handle -> bool
+val happened_before : t -> handle -> handle -> bool
+val concurrent : t -> handle -> handle -> bool
+
+val compare_lex : t -> handle -> handle -> int
+(** Lexicographic by component — the order [Stdlib.compare] induces on
+    equal-length int arrays, monomorphically. *)
+
+val compare_partial : t -> handle -> handle -> int option
+val total : t -> handle -> int
+
+val merge : t -> handle -> handle -> handle
+(** Fresh stamp = componentwise max. *)
+
+val backing : t -> int array
+(** The live backing array (see aliasing rules above). *)
+
+val pp_stamp : t -> Format.formatter -> handle -> unit

@@ -31,11 +31,17 @@ let tick_and_strobe t =
   t.v.(t.me) <- t.v.(t.me) + 1;
   Array.copy t.v
 
-(* SVC2: componentwise max; no local tick. *)
+(* SVC2: componentwise max; no local tick.  Direct int loop — the
+   [Array.iteri] closure cost a minor allocation per strobe receive. *)
 let receive_strobe t stamp =
-  if Array.length stamp <> Array.length t.v then
+  let n = Array.length t.v in
+  if Array.length stamp <> n then
     invalid_arg "Strobe_vector.receive_strobe: dimension mismatch";
-  Array.iteri (fun k x -> if x > t.v.(k) then t.v.(k) <- x) stamp
+  let v = t.v in
+  for k = 0 to n - 1 do
+    let x = Array.unsafe_get stamp k in
+    if x > Array.unsafe_get v k then Array.unsafe_set v k x
+  done
 
 (* Stamp comparisons are shared with causality vectors: the strobe order is
    still a vector partial order, it is just induced by control messages. *)
@@ -48,3 +54,13 @@ let merge = Vector_clock.merge
 let stamp_size_words n = n
 
 let pp ppf t = Fmt.pf ppf "SV%d@%a" t.me Vector_clock.pp_stamp t.v
+
+(* --- stamp-plane fast path (SVC1/SVC2, allocation-free) --- *)
+
+(* SVC1 into the plane; broadcast the returned handle. *)
+let tick_and_strobe_into plane t =
+  t.v.(t.me) <- t.v.(t.me) + 1;
+  Stamp_plane.of_array plane t.v
+
+(* SVC2 from a plane stamp: merge only, zero allocation. *)
+let receive_strobe_from plane t h = Stamp_plane.max_into_array plane h t.v

@@ -28,3 +28,12 @@ val stamp_size_words : int -> int
 (** O(n) wire size, vs the scalar strobe's O(1). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Stamp-plane fast path} — SVC1/SVC2 against a {!Stamp_plane}
+    arena; the copy-stamp API above remains the differential oracle. *)
+
+val tick_and_strobe_into : Stamp_plane.t -> t -> Stamp_plane.handle
+(** SVC1 into the plane; broadcast the returned handle. *)
+
+val receive_strobe_from : Stamp_plane.t -> t -> Stamp_plane.handle -> unit
+(** SVC2: componentwise max from a plane stamp, no tick, no allocation. *)

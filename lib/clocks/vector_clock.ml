@@ -32,13 +32,19 @@ let tick t =
 (* VC2 *)
 let send t = tick t
 
-(* VC3 *)
+(* VC3.  Direct int loop — [Array.iteri] would allocate a closure per
+   receive even on this legacy copy-stamp path. *)
 let receive t stamp =
-  if Array.length stamp <> Array.length t.v then
+  let n = Array.length t.v in
+  if Array.length stamp <> n then
     invalid_arg "Vector_clock.receive: dimension mismatch";
-  Array.iteri (fun k x -> if x > t.v.(k) then t.v.(k) <- x) stamp;
-  t.v.(t.me) <- t.v.(t.me) + 1;
-  Array.copy t.v
+  let v = t.v in
+  for k = 0 to n - 1 do
+    let x = Array.unsafe_get stamp k in
+    if x > Array.unsafe_get v k then Array.unsafe_set v k x
+  done;
+  v.(t.me) <- v.(t.me) + 1;
+  Array.copy v
 
 (* Stamp-level operations. *)
 
@@ -64,9 +70,14 @@ let happened_before a b = leq a b && not (equal a b)
 let concurrent a b = (not (leq a b)) && not (leq b a)
 
 let merge a b =
-  if Array.length a <> Array.length b then
-    invalid_arg "Vector_clock.merge: dimension mismatch";
-  Array.mapi (fun i x -> max x b.(i)) a
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Vector_clock.merge: dimension mismatch";
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+    Array.unsafe_set out i (if x >= y then x else y)
+  done;
+  out
 
 let compare_partial a b =
   if equal a b then Some 0
@@ -82,3 +93,30 @@ let pp_stamp ppf s =
   Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) s
 
 let pp ppf t = Fmt.pf ppf "V%d@%a" t.me pp_stamp t.v
+
+(* --- stamp-plane fast path: the same rules, allocation-free ---
+
+   The plane variants implement VC1–VC3 writing straight into a
+   [Stamp_plane] arena; a stamp is the immediate-int handle the plane
+   returns.  [receive_from] is the checker-side half of VC3 (merge +
+   tick, no snapshot) — the shape of every detector's [on_receive],
+   which today materializes a stamp only to throw it away. *)
+
+(* VC1/VC2 *)
+let tick_into plane t =
+  t.v.(t.me) <- t.v.(t.me) + 1;
+  Stamp_plane.of_array plane t.v
+
+let send_into = tick_into
+
+(* VC3 without a snapshot: merge the plane stamp into the live vector,
+   then tick.  Zero allocation. *)
+let receive_from plane t h =
+  Stamp_plane.max_into_array plane h t.v;
+  (* [me < length v] by construction. *)
+  Array.unsafe_set t.v t.me (Array.unsafe_get t.v t.me + 1)
+
+(* VC3 with the post-receive snapshot written into the plane. *)
+let receive_into plane t h =
+  receive_from plane t h;
+  Stamp_plane.of_array plane t.v

@@ -37,3 +37,23 @@ val total : stamp -> int
 
 val pp_stamp : Format.formatter -> stamp -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {2 Stamp-plane fast path}
+
+    The same rules VC1–VC3, writing into a {!Stamp_plane} arena instead
+    of materializing a fresh array per event.  Handle-level comparisons
+    live on {!Stamp_plane}.  The copy-stamp API above is retained as
+    the differential-test oracle. *)
+
+val tick_into : Stamp_plane.t -> t -> Stamp_plane.handle
+(** VC1 into the plane; returns the new stamp's handle. *)
+
+val send_into : Stamp_plane.t -> t -> Stamp_plane.handle
+(** VC2: tick and return the handle to piggyback. *)
+
+val receive_from : Stamp_plane.t -> t -> Stamp_plane.handle -> unit
+(** VC3 without a snapshot: merge + tick, zero allocation (the checker's
+    receive path). *)
+
+val receive_into : Stamp_plane.t -> t -> Stamp_plane.handle -> Stamp_plane.handle
+(** VC3 with the post-receive snapshot allocated in the plane. *)

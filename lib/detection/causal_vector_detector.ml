@@ -10,6 +10,7 @@
    the wrong tool without strobes. *)
 
 module Vc = Psn_clocks.Vector_clock
+module Stamp_plane = Psn_clocks.Stamp_plane
 
 let discipline ~n =
   let clocks = Array.init n (fun me -> Vc.create ~n ~me) in
@@ -26,7 +27,36 @@ let discipline ~n =
     stamp_words = n;
   }
 
-let create ?loss ?init ?(once = false) engine ~n ~delay ~hold ~predicate =
+(* Same discipline over a stamp plane: stamps are int handles into a
+   per-detector arena, so an update costs one bump allocation instead of
+   a fresh array, and receive merges in place with no snapshot.  The
+   name (and hence every trace record), comparisons ([compare_lex] on
+   equal-width stamps coincides with [Stdlib.compare] on arrays) and
+   verdicts match the copy-stamp discipline above exactly. *)
+let arena_discipline ~n =
+  let plane = Stamp_plane.create ~n () in
+  let clocks = Array.init n (fun me -> Vc.create ~n ~me) in
+  {
+    Linearizer.name = "causal-vector-unicast";
+    stamp_of_emit = (fun ~src -> Vc.send_into plane clocks.(src));
+    on_receive = (fun ~dst h -> Vc.receive_from plane clocks.(dst) h);
+    compare =
+      (fun a b ->
+        let c =
+          Stdlib.compare (Stamp_plane.total plane a) (Stamp_plane.total plane b)
+        in
+        if c <> 0 then c else Stamp_plane.compare_lex plane a b);
+    race = (fun a b -> Stamp_plane.concurrent plane a b);
+    arrival_tie_break = true;
+    stamp_words = n;
+  }
+
+let create ?loss ?init ?(once = false) ?(arena = true) engine ~n ~delay ~hold
+    ~predicate =
   let cfg = { (Linearizer.default_cfg ~hold) with once; unicast = true } in
-  Linearizer.create ?loss ?init engine ~n ~delay ~predicate
-    ~discipline:(discipline ~n) ~cfg
+  if arena then
+    Linearizer.create ?loss ?init engine ~n ~delay ~predicate
+      ~discipline:(arena_discipline ~n) ~cfg
+  else
+    Linearizer.create ?loss ?init engine ~n ~delay ~predicate
+      ~discipline:(discipline ~n) ~cfg

@@ -11,6 +11,7 @@
 
 module Strobe_vector = Psn_clocks.Strobe_vector
 module Vc = Psn_clocks.Vector_clock
+module Stamp_plane = Psn_clocks.Stamp_plane
 
 let discipline ~n =
   let clocks = Array.init n (fun me -> Strobe_vector.create ~n ~me) in
@@ -29,7 +30,36 @@ let discipline ~n =
     stamp_words = Strobe_vector.stamp_size_words n;
   }
 
-let create ?loss ?topology ?init ?(once = false) engine ~n ~delay ~hold ~predicate =
+(* SVC1/SVC2 over a stamp plane: strobes are int handles, receive is an
+   in-place merge.  Verdicts and traces match the copy-stamp discipline
+   above exactly (same name; [compare_lex]/[concurrent] coincide with
+   the array versions on equal-width stamps). *)
+let arena_discipline ~n =
+  let plane = Stamp_plane.create ~n () in
+  let clocks = Array.init n (fun me -> Strobe_vector.create ~n ~me) in
+  {
+    Linearizer.name = "strobe-vector";
+    stamp_of_emit =
+      (fun ~src -> Strobe_vector.tick_and_strobe_into plane clocks.(src));
+    on_receive =
+      (fun ~dst h -> Strobe_vector.receive_strobe_from plane clocks.(dst) h);
+    compare =
+      (fun a b ->
+        let c =
+          Stdlib.compare (Stamp_plane.total plane a) (Stamp_plane.total plane b)
+        in
+        if c <> 0 then c else Stamp_plane.compare_lex plane a b);
+    race = (fun a b -> Stamp_plane.concurrent plane a b);
+    arrival_tie_break = true;
+    stamp_words = Strobe_vector.stamp_size_words n;
+  }
+
+let create ?loss ?topology ?init ?(once = false) ?(arena = true) engine ~n ~delay
+    ~hold ~predicate =
   let cfg = { (Linearizer.default_cfg ~hold) with once } in
-  Linearizer.create ?loss ?topology ?init engine ~n ~delay ~predicate
-    ~discipline:(discipline ~n) ~cfg
+  if arena then
+    Linearizer.create ?loss ?topology ?init engine ~n ~delay ~predicate
+      ~discipline:(arena_discipline ~n) ~cfg
+  else
+    Linearizer.create ?loss ?topology ?init engine ~n ~delay ~predicate
+      ~discipline:(discipline ~n) ~cfg

@@ -4,5 +4,10 @@
 val create :
   ?loss:Psn_sim.Loss_model.t -> ?topology:Psn_util.Graph.t ->
   ?init:(Psn_predicates.Expr.var * Psn_world.Value.t) list -> ?once:bool ->
+  ?arena:bool ->
   Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
   hold:Psn_sim.Sim_time.t -> predicate:Psn_predicates.Expr.t -> Detector.t
+(** [arena] (default [true]) stamps into a per-detector {!Psn_clocks.Stamp_plane}
+    — strobes carry int handles instead of copied arrays, identical
+    verdicts and traces; [false] selects the copy-stamp discipline (the
+    differential oracle). *)

@@ -12,15 +12,19 @@ module Engine = Psn_sim.Engine
 module Sim_time = Psn_sim.Sim_time
 module Net = Psn_network.Net
 module Strobe_vector = Psn_clocks.Strobe_vector
+module Stamp_plane = Psn_clocks.Stamp_plane
 open Exp_common
 
 (* Run the strobe vector protocol over a Poisson sense workload; returns
-   per-process stamp sequences for the lattice machinery.  [delta = None]
-   means no strobes at all (the paper's "network plane cannot capture the
-   dependencies" worst case). *)
+   the stamp plane and per-process handle sequences for the lattice
+   machinery — strobes travel as immediate-int handles and the lattice
+   consumes the arena directly, so no stamp is ever copied.  [delta =
+   None] means no strobes at all (the paper's "network plane cannot
+   capture the dependencies" worst case). *)
 let strobe_run ~seed ~n ~events_per_proc ~rate ~delta () =
   let engine = Engine.create ~seed () in
   let rng = Engine.scenario_rng engine in
+  let plane = Stamp_plane.create ~n () in
   let clocks = Array.init n (fun me -> Strobe_vector.create ~n ~me) in
   let stamps = Array.init n (fun _ -> ref []) in
   let net =
@@ -31,8 +35,8 @@ let strobe_run ~seed ~n ~events_per_proc ~rate ~delta () =
   (match net with
   | Some net ->
       for dst = 0 to n - 1 do
-        Net.set_handler net dst (fun ~src:_ stamp ->
-            Strobe_vector.receive_strobe clocks.(dst) stamp)
+        Net.set_handler net dst (fun ~src:_ h ->
+            Strobe_vector.receive_strobe_from plane clocks.(dst) h)
       done
   | None -> ());
   for i = 0 to n - 1 do
@@ -42,10 +46,10 @@ let strobe_run ~seed ~n ~events_per_proc ~rate ~delta () =
         let gap = Psn_util.Rng.exponential rng ~mean:(1.0 /. rate) in
         Engine.schedule_after_unit engine (Sim_time.of_sec_float gap) (fun () ->
                incr count;
-               let stamp = Strobe_vector.tick_and_strobe clocks.(i) in
-               stamps.(i) := stamp :: !(stamps.(i));
+               let h = Strobe_vector.tick_and_strobe_into plane clocks.(i) in
+               stamps.(i) := h :: !(stamps.(i));
                (match net with
-               | Some net -> Net.broadcast net ~src:i stamp
+               | Some net -> Net.broadcast net ~src:i h
                | None -> ());
                next ())
       end
@@ -53,7 +57,7 @@ let strobe_run ~seed ~n ~events_per_proc ~rate ~delta () =
     next ()
   done;
   Engine.run engine;
-  Array.map (fun l -> Array.of_list (List.rev !l)) stamps
+  (plane, Array.map (fun l -> Array.of_list (List.rev !l)) stamps)
 
 let run ?(quick = false) () =
   let n = 3 and events_per_proc = if quick then 5 else 7 in
@@ -72,10 +76,16 @@ let run ?(quick = false) () =
     List.map
       (fun (label, delta) ->
         phase (Printf.sprintf "e3.%s" label) @@ fun () ->
-        let stamps = strobe_run ~seed:17L ~n ~events_per_proc ~rate ~delta () in
-        let consistent = Psn_lattice.Lattice.count_consistent stamps in
-        let total = Psn_lattice.Lattice.total_cuts stamps in
-        let chain = Psn_lattice.Lattice.is_chain stamps in
+        let plane, handles =
+          strobe_run ~seed:17L ~n ~events_per_proc ~rate ~delta ()
+        in
+        let consistent =
+          Psn_lattice.Lattice.count_consistent_plane plane handles
+        in
+        let total =
+          Psn_lattice.Lattice.total_cuts_of_lens (Array.map Array.length handles)
+        in
+        let chain = Psn_lattice.Lattice.is_chain_plane plane handles in
         let count = Psn_lattice.Lattice.verdict_count consistent in
         [
           label;

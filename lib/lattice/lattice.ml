@@ -140,6 +140,9 @@ let consistent_cuts ?cap ?(parallel = false) stamps =
 let total_cuts stamps =
   Array.fold_left (fun acc evs -> acc * (Array.length evs + 1)) 1 stamps
 
+let total_cuts_of_lens lens =
+  Array.fold_left (fun acc l -> acc * (l + 1)) 1 lens
+
 (* Whether the consistent cuts form a single chain — the Δ = 0 linear
    order of §4.2.4. *)
 let is_chain_generic ?cap stamps =
@@ -158,6 +161,45 @@ let is_chain ?cap stamps =
   match Packed.plan_of_stamps stamps with
   | Some plan -> Packed.is_chain plan ?cap ()
   | None -> is_chain_generic ?cap stamps
+
+(* --- stamp-plane executions: handles into a live arena, no copies --- *)
+
+module Stamp_plane = Psn_clocks.Stamp_plane
+
+let validate_plane plane (handles : Stamp_plane.handle array array) =
+  let n = Array.length handles in
+  if Stamp_plane.width plane <> n then
+    invalid_arg "Lattice: plane width must equal the process count";
+  Array.iteri
+    (fun i hs ->
+      Array.iteri
+        (fun k h ->
+          if not (Stamp_plane.is_valid plane h) then
+            invalid_arg "Lattice: dead or foreign stamp handle";
+          if Stamp_plane.get plane h i <> k + 1 then
+            invalid_arg
+              (Printf.sprintf
+                 "Lattice: own component of event %d of process %d must be %d"
+                 (k + 1) i (k + 1)))
+        hs)
+    handles
+
+(* Materialize the copied-stamp form — the generic-walk fallback and the
+   differential-test bridge between the two input representations. *)
+let stamps_of_plane plane (handles : Stamp_plane.handle array array) : stamps =
+  Array.map (Array.map (Stamp_plane.read plane)) handles
+
+let count_consistent_plane ?cap ?(parallel = false) plane handles =
+  validate_plane plane handles;
+  match Packed.plan_of_plane plane ~handles with
+  | Some plan -> Packed.count plan ?cap ~parallel ()
+  | None -> walk ?cap (stamps_of_plane plane handles) (fun _ -> ())
+
+let is_chain_plane ?cap plane handles =
+  validate_plane plane handles;
+  match Packed.plan_of_plane plane ~handles with
+  | Some plan -> Packed.is_chain plan ?cap ()
+  | None -> is_chain_generic ?cap (stamps_of_plane plane handles)
 
 let verdict_count = function Exact n -> n | At_least n -> n
 

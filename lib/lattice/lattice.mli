@@ -43,6 +43,9 @@ val total_cuts : stamps -> int
 (** Size of the unconstrained lattice: Π (events_i + 1) — the paper's
     O(p^n). *)
 
+val total_cuts_of_lens : int array -> int
+(** Same, from per-process event counts (no stamp materialization). *)
+
 val is_chain : ?cap:int -> stamps -> bool
 (** Whether the consistent cuts are totally ordered (Δ = 0 linear order).
     [false] when the cap was hit. *)
@@ -54,3 +57,30 @@ val to_dot :
   ?max_nodes:int -> ?label:(Cut.t -> string option) -> stamps -> string
 (** Graphviz digraph of the consistent sublattice (bottom at the bottom);
     [label] can annotate/fill chosen cuts. Intended for small executions. *)
+
+(** {2 Stamp-plane executions}
+
+    The same walks over stamps living in a {!Psn_clocks.Stamp_plane}
+    arena: [handles.(i).(k)] names process i's (k+1)-th event stamp.
+    The packed engine reads the arena's backing array directly — no
+    per-stamp copy on the way into the lattice. *)
+
+val validate_plane :
+  Psn_clocks.Stamp_plane.t -> Psn_clocks.Stamp_plane.handle array array -> unit
+(** Raises unless every handle is live in the plane, the plane width is
+    the process count, and own components count local events from 1. *)
+
+val stamps_of_plane :
+  Psn_clocks.Stamp_plane.t -> Psn_clocks.Stamp_plane.handle array array -> stamps
+(** Materialize copied stamps (the generic-walk fallback and the bridge
+    to the copy-stamp API for differential tests). *)
+
+val count_consistent_plane :
+  ?cap:int -> ?parallel:bool -> Psn_clocks.Stamp_plane.t ->
+  Psn_clocks.Stamp_plane.handle array array -> verdict
+(** [count_consistent] over plane handles. *)
+
+val is_chain_plane :
+  ?cap:int -> Psn_clocks.Stamp_plane.t ->
+  Psn_clocks.Stamp_plane.handle array array -> bool
+(** [is_chain] over plane handles. *)

@@ -55,9 +55,13 @@ type plan = {
   stride : int array;  (* mixed-radix place values *)
   total : int;  (* Π (lens.(i) + 1) — full lattice size *)
   top_code : int;  (* total - 1: the cut including every event *)
-  plane : int array;  (* stamps flattened: component j of event (i,k) at
-                         (ev_base.(i) + k) * n + j *)
-  ev_base : int array;  (* event-row base of process i in [plane] *)
+  plane : int array;  (* stamp storage: component j of event (i,k) at
+                         row_off.(ev_base.(i) + k) + j *)
+  ev_base : int array;  (* event-index base of process i *)
+  row_off : int array;  (* flat offset of each event's stamp in [plane]:
+                           densely packed rows for copied stamps, or the
+                           stamp handles of a live [Stamp_plane] — one
+                           load replaces the row multiply either way *)
 }
 
 (* Above this, the dense [Bytes] visited table would cost more memory
@@ -68,9 +72,8 @@ let dense_limit = 1 lsl 22
 (* [None] when Π (lenᵢ + 1) would overflow a 63-bit int — the caller
    falls back to the generic array-cut walk (which caps anyway: such a
    lattice has ≥ 2⁶² cuts). *)
-let plan_of_stamps (stamps : stamps) : plan option =
-  let n = Array.length stamps in
-  let lens = Array.map Array.length stamps in
+(* Shared radix/stride computation; [None] on overflow. *)
+let layout ~n ~(lens : int array) =
   let stride = Array.make n 0 in
   let total = ref 1 in
   let overflow = ref false in
@@ -88,28 +91,62 @@ let plan_of_stamps (stamps : stamps) : plan option =
       ev_base.(i) <- !events;
       events := !events + lens.(i)
     done;
-    let plane = Array.make (max 1 (!events * n)) 0 in
-    Array.iteri
-      (fun i evs ->
-        Array.iteri
-          (fun k v ->
-            let off = (ev_base.(i) + k) * n in
-            for j = 0 to n - 1 do
-              plane.(off + j) <- v.(j)
-            done)
-          evs)
-      stamps;
-    Some
-      {
-        n;
-        lens;
-        stride;
-        total = !total;
-        top_code = !total - 1;
-        plane;
-        ev_base;
-      }
+    Some (stride, !total, ev_base, !events)
   end
+
+let plan_of_stamps (stamps : stamps) : plan option =
+  let n = Array.length stamps in
+  let lens = Array.map Array.length stamps in
+  match layout ~n ~lens with
+  | None -> None
+  | Some (stride, total, ev_base, events) ->
+      let plane = Array.make (max 1 (events * n)) 0 in
+      let row_off = Array.make (max 1 events) 0 in
+      Array.iteri
+        (fun i evs ->
+          Array.iteri
+            (fun k v ->
+              let e = ev_base.(i) + k in
+              let off = e * n in
+              row_off.(e) <- off;
+              for j = 0 to n - 1 do
+                plane.(off + j) <- v.(j)
+              done)
+            evs)
+        stamps;
+      Some
+        { n; lens; stride; total; top_code = total - 1; plane; ev_base; row_off }
+
+(* Consume a live [Stamp_plane] directly: [handles.(i).(k)] is the stamp
+   of process i's (k+1)-th event, and the plan's [plane] is the arena's
+   backing array — no copy.  The backing reference is captured now; a
+   later growing [alloc] replaces the arena's array, but growth blits,
+   so reads of the already-allocated rows named here stay correct.
+   [reset] of the arena, however, invalidates the plan with its
+   handles.  Assumes the caller validated the handles
+   ([Lattice.validate_plane]). *)
+let plan_of_plane (sp : Psn_clocks.Stamp_plane.t)
+    ~(handles : Psn_clocks.Stamp_plane.handle array array) : plan option =
+  let n = Array.length handles in
+  let lens = Array.map Array.length handles in
+  match layout ~n ~lens with
+  | None -> None
+  | Some (stride, total, ev_base, events) ->
+      let row_off = Array.make (max 1 events) 0 in
+      Array.iteri
+        (fun i hs -> Array.iteri (fun k h -> row_off.(ev_base.(i) + k) <- h) hs)
+        handles;
+      Some
+        {
+          n;
+          lens;
+          stride;
+          total;
+          top_code = total - 1;
+          plane = Psn_clocks.Stamp_plane.backing sp;
+          ev_base;
+          row_off;
+        }
 
 (* --- growable flat int buffer (frontiers and candidate lists) --- *)
 
@@ -199,7 +236,7 @@ let visited_add visited code =
    excepted). *)
 let[@inline] extension_ok plan (src : int array) o i ci =
   let n = plan.n in
-  let off = (Array.unsafe_get plan.ev_base i + ci) * n in
+  let off = Array.unsafe_get plan.row_off (Array.unsafe_get plan.ev_base i + ci) in
   let plane = plan.plane in
   let ok = ref true in
   let j = ref 0 in

@@ -21,6 +21,15 @@ val plan_of_stamps : stamps -> plan option
 (** [None] when the full lattice size would overflow a 63-bit int; the
     caller must use the generic walk.  Assumes validated stamps. *)
 
+val plan_of_plane :
+  Psn_clocks.Stamp_plane.t ->
+  handles:Psn_clocks.Stamp_plane.handle array array -> plan option
+(** Plan over a live {!Psn_clocks.Stamp_plane} with no stamp copy:
+    [handles.(i).(k)] names process i's (k+1)-th event stamp.  The plan
+    stays valid across later arena [alloc]s (growth blits) but dies with
+    an arena [reset].  Assumes validated handles
+    ([Lattice.validate_plane]). *)
+
 val count : plan -> ?cap:int -> ?parallel:bool -> unit -> verdict
 (** Size of the consistent sublattice.  [parallel] fans candidate
     generation out over [Psn_util.Parallel] per BFS level (deterministic:

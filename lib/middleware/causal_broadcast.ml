@@ -15,23 +15,31 @@ module Engine = Psn_sim.Engine
 module Net = Psn_network.Net
 module Trace = Psn_obs.Trace
 module Metrics = Psn_obs.Metrics
+module Stamp_plane = Psn_clocks.Stamp_plane
 
 let trace engine ~pid ev =
   match Engine.tracer engine with
   | Some s -> Trace.emit s ~time:(Engine.now engine) ~pid ev
   | None -> ()
 
+(* Broadcast vectors live either in a shared stamp plane ([stamp_h] a
+   handle, [stamp_a] the shared empty array) or as per-message copies
+   ([stamp_h] = -1).  Wire size is [n] words either way. *)
 type 'a message = {
   origin : int;
-  stamp : int array;  (* origin's broadcast vector, including this one *)
+  stamp_h : Stamp_plane.handle;
+  stamp_a : int array;  (* origin's broadcast vector, including this one *)
   payload : 'a;
 }
+
+let no_stamp : int array = [||]
 
 type 'a t = {
   n : int;
   engine : Engine.t;
   c_delivered : Metrics.counter;
   net : 'a message Net.t;
+  plane : Stamp_plane.t option;       (* Some: arena stamps; None: copies *)
   delivered : int array array;        (* delivered.(i).(j) *)
   sent : int array;                   (* broadcasts by each origin *)
   mutable pending : (int * 'a message) list;  (* (dst, msg) buffered *)
@@ -40,12 +48,35 @@ type 'a t = {
 }
 
 let deliverable t dst (m : 'a message) =
-  let v = m.stamp and d = t.delivered.(dst) in
-  let rec ok k =
-    k >= t.n
-    || (if k = m.origin then v.(k) = d.(k) + 1 else v.(k) <= d.(k)) && ok (k + 1)
-  in
-  ok 0
+  let d = t.delivered.(dst) in
+  match t.plane with
+  | Some plane ->
+      (* Fetched per call: a growing [alloc] may have replaced the
+         arena's backing since this message was stamped (growth blits,
+         so the row at [stamp_h] is wherever the current backing is). *)
+      let p = Stamp_plane.backing plane in
+      let h = m.stamp_h in
+      let rec ok k =
+        k >= t.n
+        || (let v = p.(h + k) in
+            (if k = m.origin then v = d.(k) + 1 else v <= d.(k)) && ok (k + 1))
+      in
+      ok 0
+  | None ->
+      let v = m.stamp_a in
+      let rec ok k =
+        k >= t.n
+        || (if k = m.origin then v.(k) = d.(k) + 1 else v.(k) <= d.(k))
+           && ok (k + 1)
+      in
+      ok 0
+
+let deliver_one t dst (m : 'a message) =
+  t.delivered.(dst).(m.origin) <- t.delivered.(dst).(m.origin) + 1;
+  t.delivered_total <- t.delivered_total + 1;
+  Metrics.incr t.c_delivered;
+  trace t.engine ~pid:dst (Trace.Mark { name = "causal.deliver" });
+  t.deliver ~dst ~src:m.origin m.payload
 
 let rec drain t =
   let ready, still =
@@ -53,19 +84,13 @@ let rec drain t =
   in
   t.pending <- still;
   if ready <> [] then begin
-    List.iter
-      (fun (dst, (m : 'a message)) ->
-        t.delivered.(dst).(m.origin) <- t.delivered.(dst).(m.origin) + 1;
-        t.delivered_total <- t.delivered_total + 1;
-        Metrics.incr t.c_delivered;
-        trace t.engine ~pid:dst (Trace.Mark { name = "causal.deliver" });
-        t.deliver ~dst ~src:m.origin m.payload)
-      ready;
+    List.iter (fun (dst, m) -> deliver_one t dst m) ready;
     (* Deliveries may have unblocked further buffered messages. *)
     drain t
   end
 
-let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay ~deliver () =
+let create ?loss ?(payload_words = fun _ -> 1) ?(arena = true) engine ~n ~delay
+    ~deliver () =
   if n < 2 then invalid_arg "Causal_broadcast.create: need >= 2 processes";
   let net =
     Net.create ?loss
@@ -78,6 +103,7 @@ let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay ~deliver () =
       engine;
       c_delivered = Metrics.counter (Engine.metrics engine) "causal.delivered";
       net;
+      plane = (if arena then Some (Stamp_plane.create ~n ()) else None);
       delivered = Array.make_matrix n n 0;
       sent = Array.make n 0;
       pending = [];
@@ -87,8 +113,15 @@ let create ?loss ?(payload_words = fun _ -> 1) engine ~n ~delay ~deliver () =
   in
   for dst = 0 to n - 1 do
     Net.set_handler net dst (fun ~src:_ m ->
-        t.pending <- (dst, m) :: t.pending;
-        drain t)
+        (* Fast path: an in-order message with nothing buffered delivers
+           straight away — no cons, no [List.partition] rescan.  With
+           nothing buffered, the delivery cannot unblock anything, so no
+           drain is needed either. *)
+        if t.pending == [] && deliverable t dst m then deliver_one t dst m
+        else begin
+          t.pending <- (dst, m) :: t.pending;
+          drain t
+        end)
   done;
   t
 
@@ -99,8 +132,16 @@ let broadcast t ~src payload =
      its own broadcasts (a process trivially delivers its own). *)
   t.delivered.(src).(src) <- t.delivered.(src).(src) + 1;
   t.delivered_total <- t.delivered_total + 1;
-  let stamp = Array.copy t.delivered.(src) in
-  Net.broadcast t.net ~src { origin = src; stamp; payload }
+  let m =
+    match t.plane with
+    | Some plane ->
+        { origin = src; stamp_h = Stamp_plane.of_array plane t.delivered.(src);
+          stamp_a = no_stamp; payload }
+    | None ->
+        { origin = src; stamp_h = -1;
+          stamp_a = Array.copy t.delivered.(src); payload }
+  in
+  Net.broadcast t.net ~src m
 
 let buffered t = List.length t.pending
 let delivered_count t = t.delivered_total

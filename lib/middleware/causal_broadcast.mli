@@ -4,9 +4,13 @@
 type 'a t
 
 val create :
-  ?loss:Psn_sim.Loss_model.t -> ?payload_words:('a -> int) ->
+  ?loss:Psn_sim.Loss_model.t -> ?payload_words:('a -> int) -> ?arena:bool ->
   Psn_sim.Engine.t -> n:int -> delay:Psn_sim.Delay_model.t ->
   deliver:(dst:int -> src:int -> 'a -> unit) -> unit -> 'a t
+(** [arena] (default [true]) stores broadcast vectors in a shared
+    {!Psn_clocks.Stamp_plane} — messages carry int handles, no per-message
+    array copy; [false] copies a fresh stamp per broadcast (the
+    differential oracle).  Delivery order is identical either way. *)
 
 val broadcast : 'a t -> src:int -> 'a -> unit
 (** The sender counts as having delivered its own broadcast immediately. *)

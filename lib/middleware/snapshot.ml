@@ -46,7 +46,7 @@ type ('state, 'app) t = {
   recorded : bool array;
   snap_states : 'state option array;
   channel_open : bool array array;   (* [src][dst] still recording *)
-  mutable snap_channels : 'app list array array;
+  snap_channels : 'app list array array;  (* reused: rows cleared per round *)
   mutable open_channels : int;
   mutable on_complete : ('state, 'app) snapshot -> unit;
 }
@@ -147,7 +147,10 @@ let initiate t ~by =
     (Trace.Span_begin { name = "snapshot.round"; lane = Trace.lane_window });
   Array.fill t.recorded 0 t.n false;
   Array.fill t.snap_states 0 t.n None;
-  t.snap_channels <- Array.make_matrix t.n t.n [];
+  (* Buffers are reused across rounds: [check_complete] copied the lists
+     out, so clearing the rows in place replaces the per-round matrix
+     allocation. *)
+  Array.iter (fun row -> Array.fill row 0 t.n []) t.snap_channels;
   Array.iter (fun row -> Array.fill row 0 t.n false) t.channel_open;
   t.open_channels <- 0;
   record t by

@@ -19,6 +19,18 @@ module Graph = Psn_util.Graph
 module Trace = Psn_obs.Trace
 module Metrics = Psn_obs.Metrics
 
+(* A pooled delivery record: the [d_fire] closure is allocated once per
+   record (closing over the record itself) and reused across messages, so
+   a transmit — and in particular each receiver of a [broadcast] — costs
+   no closure allocation after warm-up. *)
+type 'a delivery = {
+  mutable d_src : int;
+  mutable d_dst : int;
+  mutable d_flow : int;
+  mutable d_payload : 'a;
+  d_fire : unit -> unit;
+}
+
 type 'a t = {
   engine : Engine.t;
   n : int;
@@ -40,6 +52,8 @@ type 'a t = {
       (* per-(src,dst) last scheduled delivery time: when present, a later
          send is never delivered before an earlier one on the same channel
          (FIFO channels, as Chandy–Lamport requires) *)
+  mutable pool : 'a delivery array;   (* free stack of delivery records *)
+  mutable pool_len : int;
 }
 
 let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1)
@@ -68,6 +82,8 @@ let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1)
     g_in_flight = Metrics.gauge m (metric "in_flight");
     in_flight = 0;
     fifo = (if fifo then Some (Array.make_matrix n n Sim_time.zero) else None);
+    pool = [||];
+    pool_len = 0;
   }
 
 let size t = t.n
@@ -82,6 +98,52 @@ let check_link t src dst =
   match t.topology with
   | None -> true
   | Some g -> Graph.has_edge g src dst
+
+let release t r =
+  if t.pool_len = Array.length t.pool then begin
+    let np = Array.make (2 * max 4 (Array.length t.pool)) r in
+    Array.blit t.pool 0 np 0 t.pool_len;
+    t.pool <- np
+  end;
+  t.pool.(t.pool_len) <- r;
+  t.pool_len <- t.pool_len + 1
+
+(* Delivery body: same metric/trace order as the former per-message
+   closure, so traces and metric snapshots are byte-identical.  The
+   record is released before the handler runs (fields copied to locals
+   first), so re-entrant sends from the handler can reuse it. *)
+let deliver t r =
+  let src = r.d_src and dst = r.d_dst and flow = r.d_flow in
+  let payload = r.d_payload in
+  Metrics.incr t.c_delivered;
+  t.in_flight <- t.in_flight - 1;
+  Metrics.set t.g_in_flight (float_of_int t.in_flight);
+  (match Engine.tracer t.engine with
+  | Some s ->
+      Trace.emit s ~time:(Engine.now t.engine) ~pid:dst
+        (Trace.Net_deliver { src; dst; kind = t.label; flow })
+  | None -> ());
+  release t r;
+  match t.handlers.(dst) with
+  | Some handler -> handler ~src payload
+  | None -> ()
+
+let acquire t ~src ~dst ~flow payload =
+  if t.pool_len = 0 then
+    let rec r =
+      { d_src = src; d_dst = dst; d_flow = flow; d_payload = payload;
+        d_fire = (fun () -> deliver t r) }
+    in
+    r
+  else begin
+    t.pool_len <- t.pool_len - 1;
+    let r = t.pool.(t.pool_len) in
+    r.d_src <- src;
+    r.d_dst <- dst;
+    r.d_flow <- flow;
+    r.d_payload <- payload;
+    r
+  end
 
 let transmit t ~src ~dst payload =
   let words = t.payload_words payload in
@@ -123,18 +185,8 @@ let transmit t ~src ~dst payload =
     in
     t.in_flight <- t.in_flight + 1;
     Metrics.set t.g_in_flight (float_of_int t.in_flight);
-    Engine.schedule_at_unit t.engine at (fun () ->
-           Metrics.incr t.c_delivered;
-           t.in_flight <- t.in_flight - 1;
-           Metrics.set t.g_in_flight (float_of_int t.in_flight);
-           (match Engine.tracer t.engine with
-           | Some s ->
-               Trace.emit s ~time:(Engine.now t.engine) ~pid:dst
-                 (Trace.Net_deliver { src; dst; kind = t.label; flow })
-           | None -> ());
-           match t.handlers.(dst) with
-           | Some handler -> handler ~src payload
-           | None -> ())
+    let r = acquire t ~src ~dst ~flow payload in
+    Engine.schedule_at_unit t.engine at r.d_fire
   end
 
 let send t ~src ~dst payload =

@@ -11,6 +11,7 @@ module Phys = Psn_clocks.Physical_clock
 module Pv = Psn_clocks.Physical_vector
 module Matrix = Psn_clocks.Matrix_clock
 module Hlc = Psn_clocks.Hlc
+module Sp = Psn_clocks.Stamp_plane
 module Clock_kind = Psn_clocks.Clock_kind
 module Sim_time = Psn_sim.Sim_time
 module Rng = Psn_util.Rng
@@ -333,6 +334,226 @@ let test_hlc_divergence_bounded () =
   Alcotest.(check (float 1e-9)) "no divergence with perfect clock" 0.0
     (Hlc.physical_divergence c ~now:(Sim_time.of_ms 20))
 
+(* --- Stamp plane --- *)
+
+let test_plane_basics () =
+  let p = Sp.create ~n:3 () in
+  Alcotest.(check int) "width" 3 (Sp.width p);
+  Alcotest.(check int) "empty" 0 (Sp.count p);
+  let h = Sp.of_array p [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "roundtrip" [| 1; 2; 3 |] (Sp.read p h);
+  Alcotest.(check int) "get" 2 (Sp.get p h 1);
+  Sp.set p h 1 9;
+  Alcotest.(check int) "set" 9 (Sp.get p h 1);
+  let h2 = Sp.of_array p [| 4; 0; 3 |] in
+  Alcotest.(check int) "count" 2 (Sp.count p);
+  let m = Sp.merge p h h2 in
+  Alcotest.(check (array int)) "merge" [| 4; 9; 3 |] (Sp.read p m);
+  Alcotest.(check int) "total" 16 (Sp.total p m);
+  let dst = Array.make 3 0 in
+  Sp.blit_to p h dst;
+  Alcotest.(check (array int)) "blit_to" [| 1; 9; 3 |] dst;
+  Alcotest.(check bool) "of_array width mismatch" true
+    (try
+       ignore (Sp.of_array p [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_plane_growth_preserves_handles () =
+  (* [initial = 1] forces repeated doubling; handles are offsets, so
+     every stamp allocated before a growth must read back unchanged. *)
+  let p = Sp.create ~initial:1 ~n:4 () in
+  let handles =
+    Array.init 100 (fun i -> Sp.of_array p [| i; i + 1; i + 2; i + 3 |])
+  in
+  Alcotest.(check int) "count" 100 (Sp.count p);
+  Alcotest.(check bool) "grew" true (Sp.capacity p >= 100);
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check (array int))
+        "handle stable across growth"
+        [| i; i + 1; i + 2; i + 3 |]
+        (Sp.read p h))
+    handles
+
+let test_plane_reset () =
+  let p = Sp.create ~n:2 () in
+  let h = Sp.of_array p [| 1; 2 |] in
+  Alcotest.(check bool) "valid before" true (Sp.is_valid p h);
+  Sp.reset p;
+  Alcotest.(check int) "count 0" 0 (Sp.count p);
+  Alcotest.(check bool) "invalid after" false (Sp.is_valid p h);
+  Alcotest.(check bool) "read after reset raises" true
+    (try
+       ignore (Sp.read p h);
+       false
+     with Invalid_argument _ -> true);
+  let h' = Sp.of_array p [| 7; 8 |] in
+  Alcotest.(check int) "offsets recycled" h h';
+  Alcotest.(check (array int)) "fresh contents" [| 7; 8 |] (Sp.read p h')
+
+let test_plane_comparisons_agree =
+  let arr = QCheck.(array_of_size (Gen.return 5) (int_bound 6)) in
+  qtest ~count:200 "plane: handle comparisons agree with Vector_clock"
+    (QCheck.pair arr arr)
+    (fun (a, b) ->
+      let p = Sp.create ~n:5 () in
+      let ha = Sp.of_array p a and hb = Sp.of_array p b in
+      Sp.leq p ha hb = Vc.leq a b
+      && Sp.equal p ha hb = Vc.equal a b
+      && Sp.happened_before p ha hb = Vc.happened_before a b
+      && Sp.concurrent p ha hb = Vc.concurrent a b
+      && Sp.compare_partial p ha hb = Vc.compare_partial a b
+      && Sp.total p ha = Vc.total a
+      && Sp.read p (Sp.merge p ha hb) = Vc.merge a b
+      && compare (Sp.compare_lex p ha hb) 0 = compare (Stdlib.compare a b) 0)
+
+(* Differential oracle: one random execution drives the copy-stamp VC
+   rules and the plane rules side by side; every stamp the plane hands
+   out must read back as exactly the array the legacy API returns, and
+   the happened-before structure over the whole log must agree. *)
+let test_plane_vc_differential =
+  qtest ~count:40 "plane: arena VC replay matches copy-stamp VC" QCheck.int
+    (fun seed ->
+      let n = 4 and steps = 50 in
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let p = Sp.create ~initial:1 ~n () in
+      let legacy = Array.init n (fun me -> Vc.create ~n ~me) in
+      let arena = Array.init n (fun me -> Vc.create ~n ~me) in
+      let pending = Queue.create () in
+      let log = ref [] in
+      let ok = ref true in
+      let record s h =
+        if Sp.read p h <> s then ok := false;
+        log := (s, h) :: !log
+      in
+      for _ = 1 to steps do
+        match Rng.int rng 3 with
+        | 0 ->
+            let i = Rng.int rng n in
+            record (Vc.tick legacy.(i)) (Vc.tick_into p arena.(i))
+        | 1 ->
+            let i = Rng.int rng n in
+            let s = Vc.send legacy.(i) in
+            let h = Vc.send_into p arena.(i) in
+            record s h;
+            Queue.add (s, h) pending
+        | _ ->
+            if not (Queue.is_empty pending) then begin
+              let s, h = Queue.pop pending in
+              let j = Rng.int rng n in
+              record (Vc.receive legacy.(j) s) (Vc.receive_into p arena.(j) h)
+            end
+      done;
+      (* Live clock states agree. *)
+      for i = 0 to n - 1 do
+        if Vc.read legacy.(i) <> Vc.read arena.(i) then ok := false
+      done;
+      (* Verdicts agree over every pair in the log. *)
+      List.iter
+        (fun (sa, ha) ->
+          List.iter
+            (fun (sb, hb) ->
+              if
+                Sp.happened_before p ha hb <> Vc.happened_before sa sb
+                || Sp.concurrent p ha hb <> Vc.concurrent sa sb
+              then ok := false)
+            !log)
+        !log;
+      !ok)
+
+let test_plane_strobe_differential =
+  qtest ~count:40 "plane: arena strobe replay matches copy-stamp strobe"
+    QCheck.int
+    (fun seed ->
+      let n = 4 and steps = 50 in
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let p = Sp.create ~initial:1 ~n () in
+      let legacy = Array.init n (fun me -> Sv.create ~n ~me) in
+      let arena = Array.init n (fun me -> Sv.create ~n ~me) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let i = Rng.int rng n in
+        let s = Sv.tick_and_strobe legacy.(i) in
+        let h = Sv.tick_and_strobe_into p arena.(i) in
+        if Sp.read p h <> s then ok := false;
+        (* SVC1 stamps are strobed to everyone; SVC2 merges, no tick. *)
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            Sv.receive_strobe legacy.(j) s;
+            Sv.receive_strobe_from p arena.(j) h
+          end
+        done
+      done;
+      for i = 0 to n - 1 do
+        if Sv.read legacy.(i) <> Sv.read arena.(i) then ok := false
+      done;
+      !ok)
+
+(* Row stamps vs full-matrix stamps: the sender's own row carries the
+   same causal information for the *vector view* (everyone's knowledge
+   of the receiver's row is dominated by the receiver's actual row, so
+   the full-matrix merge adds nothing to it), while [min_known] may lag
+   behind — second-hand rows are not propagated.  The plane row path
+   must match the array row path exactly. *)
+let test_matrix_row_differential =
+  qtest ~count:40 "matrix: row stamps match full matrix on vector view"
+    QCheck.int
+    (fun seed ->
+      let n = 4 and steps = 50 in
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let p = Sp.create ~initial:1 ~n () in
+      let full = Array.init n (fun me -> Matrix.create ~n ~me) in
+      let rows = Array.init n (fun me -> Matrix.create ~n ~me) in
+      let plane = Array.init n (fun me -> Matrix.create ~n ~me) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let i = Rng.int rng n and j = Rng.int rng n in
+        if i = j then begin
+          ignore (Matrix.tick full.(i));
+          ignore (Matrix.tick_row rows.(i));
+          ignore (Matrix.tick_row_into p plane.(i))
+        end
+        else begin
+          let sm = Matrix.send full.(i) in
+          let sr = Matrix.send_row rows.(i) in
+          let h = Matrix.send_row_into p plane.(i) in
+          if Sp.read p h <> sr then ok := false;
+          if sr <> sm.(i) then ok := false;
+          Matrix.receive full.(j) ~from:i sm;
+          Matrix.receive_row rows.(j) ~from:i sr;
+          Matrix.receive_row_from p plane.(j) ~from:i h
+        end
+      done;
+      for k = 0 to n - 1 do
+        if Matrix.vector full.(k) <> Matrix.vector rows.(k) then ok := false;
+        if Matrix.read rows.(k) <> Matrix.read plane.(k) then ok := false;
+        for j = 0 to n - 1 do
+          if Matrix.min_known rows.(k) j > Matrix.min_known full.(k) j then
+            ok := false
+        done
+      done;
+      !ok)
+
+let test_plane_physical_vector () =
+  let n = 3 in
+  let p = Sp.create ~n () in
+  let mk () = Array.init n (fun me -> Pv.create ~n ~me (Phys.perfect ())) in
+  let legacy = mk () and arena = mk () in
+  let to_ns = Array.map Sim_time.to_ns in
+  let now ms = Sim_time.of_ms ms in
+  let s1 = Pv.tick legacy.(0) ~now:(now 10) in
+  let h1 = Pv.tick_into p arena.(0) ~now:(now 10) in
+  Alcotest.(check (array int)) "tick stamp" (to_ns s1) (Sp.read p h1);
+  let s2 = Pv.send legacy.(1) ~now:(now 20) in
+  let h2 = Pv.send_into p arena.(1) ~now:(now 20) in
+  Alcotest.(check (array int)) "send stamp" (to_ns s2) (Sp.read p h2);
+  Pv.receive legacy.(2) ~now:(now 30) s2;
+  Pv.receive_from p arena.(2) ~now:(now 30) h2;
+  Alcotest.(check (array int)) "receive state"
+    (to_ns (Pv.read legacy.(2)))
+    (to_ns (Pv.read arena.(2)))
+
 let test_dimension_mismatches () =
   let a = Vc.create ~n:3 ~me:0 in
   Alcotest.(check bool) "vc receive mismatch" true
@@ -438,6 +659,19 @@ let () =
           Alcotest.test_case "monotone" `Quick test_hlc_monotone;
           Alcotest.test_case "happened-before" `Quick test_hlc_happened_before;
           Alcotest.test_case "divergence" `Quick test_hlc_divergence_bounded;
+        ] );
+      ( "stamp_plane",
+        [
+          Alcotest.test_case "basics" `Quick test_plane_basics;
+          Alcotest.test_case "growth preserves handles" `Quick
+            test_plane_growth_preserves_handles;
+          Alcotest.test_case "reset" `Quick test_plane_reset;
+          test_plane_comparisons_agree;
+          test_plane_vc_differential;
+          test_plane_strobe_differential;
+          test_matrix_row_differential;
+          Alcotest.test_case "physical vector plane" `Quick
+            test_plane_physical_vector;
         ] );
       ( "robustness",
         [

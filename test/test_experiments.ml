@@ -40,29 +40,30 @@ let test_outcome_render () =
 
 let test_e3_shapes () =
   (* The slim lattice postulate's two anchor rows. *)
-  let stamps_sync =
+  let plane_sync, handles_sync =
     E3.strobe_run ~seed:5L ~n:3 ~events_per_proc:4 ~rate:1.0
       ~delta:(Some Sim_time.zero) ()
   in
-  Alcotest.(check bool) "delta=0 chain" true (Psn_lattice.Lattice.is_chain stamps_sync);
-  (match Psn_lattice.Lattice.count_consistent stamps_sync with
+  Alcotest.(check bool) "delta=0 chain" true
+    (Psn_lattice.Lattice.is_chain_plane plane_sync handles_sync);
+  (match Psn_lattice.Lattice.count_consistent_plane plane_sync handles_sync with
   | Psn_lattice.Lattice.Exact n -> Alcotest.(check int) "np+1" 13 n
   | Psn_lattice.Lattice.At_least _ -> Alcotest.fail "capped");
-  let stamps_free =
+  let plane_free, handles_free =
     E3.strobe_run ~seed:5L ~n:3 ~events_per_proc:4 ~rate:1.0 ~delta:None ()
   in
-  match Psn_lattice.Lattice.count_consistent stamps_free with
+  match Psn_lattice.Lattice.count_consistent_plane plane_free handles_free with
   | Psn_lattice.Lattice.Exact n ->
       Alcotest.(check int) "(p+1)^n" 125 n
   | Psn_lattice.Lattice.At_least _ -> Alcotest.fail "capped"
 
 let test_e3_monotone_in_delta () =
   let count delta =
-    let stamps =
+    let plane, handles =
       E3.strobe_run ~seed:5L ~n:3 ~events_per_proc:4 ~rate:1.0 ~delta ()
     in
     Psn_lattice.Lattice.verdict_count
-      (Psn_lattice.Lattice.count_consistent stamps)
+      (Psn_lattice.Lattice.count_consistent_plane plane handles)
   in
   let fast = count (Some (Sim_time.of_ms 1)) in
   let slow = count (Some (Sim_time.of_sec 30)) in

@@ -287,6 +287,71 @@ let test_packed_parallel_identical () =
       let c2 = Lattice.count_consistent ~cap:700 ~parallel:true stamps in
       Alcotest.(check bool) "capped equal" true (same_verdict c1 c2))
 
+(* --- stamp-plane executions vs copied stamps --- *)
+
+module Sp = Psn_clocks.Stamp_plane
+
+(* Rebuild an execution inside an arena ([initial = 1] so the walk also
+   exercises handles that survived growth). *)
+let plane_of_stamps (stamps : Lattice.stamps) =
+  let n = Array.length stamps in
+  let p = Sp.create ~initial:1 ~n () in
+  let handles = Array.map (Array.map (Sp.of_array p)) stamps in
+  (p, handles)
+
+let plane_matches_arrays ?cap stamps =
+  let p, handles = plane_of_stamps stamps in
+  same_verdict
+    (Lattice.count_consistent_plane ?cap p handles)
+    (Lattice.count_consistent ?cap stamps)
+  && Lattice.is_chain_plane ?cap p handles = Lattice.is_chain ?cap stamps
+  && Lattice.stamps_of_plane p handles = stamps
+
+let test_plane_vs_arrays =
+  qtest ~count:60 "plane = copied stamps (random executions)" QCheck.int
+    (fun seed ->
+      let stamps = random_stamps ~seed ~n:3 ~k:3 in
+      plane_matches_arrays stamps
+      && plane_matches_arrays ~cap:7 stamps
+      && plane_matches_arrays ~cap:1 stamps)
+
+let test_plane_shapes () =
+  (* Free lattice and chain, the two extremes. *)
+  let free = independent ~n:3 ~k:4 in
+  Alcotest.(check bool) "free lattice" true (plane_matches_arrays free);
+  let p, handles = plane_of_stamps free in
+  (match Lattice.count_consistent_plane p handles with
+  | Lattice.Exact n -> Alcotest.(check int) "5^3" 125 n
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  (match Lattice.count_consistent_plane ~parallel:true p handles with
+  | Lattice.Exact n -> Alcotest.(check int) "5^3 parallel" 125 n
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  let chain = chain_stamps ~n:3 ~k:4 in
+  Alcotest.(check bool) "chain" true (plane_matches_arrays chain);
+  let cp, ch = plane_of_stamps chain in
+  Alcotest.(check bool) "chain verdict" true (Lattice.is_chain_plane cp ch);
+  Alcotest.(check int) "total from lens" 125
+    (Lattice.total_cuts_of_lens (Array.map Array.length handles))
+
+let test_plane_validation () =
+  let stamps = independent ~n:2 ~k:1 in
+  let p, handles = plane_of_stamps stamps in
+  (* A handle past the live length must be rejected. *)
+  let bad = Array.map Array.copy handles in
+  bad.(1).(0) <- Sp.width p * Sp.count p;
+  Alcotest.(check bool) "dead handle rejected" true
+    (try
+       Lattice.validate_plane p bad;
+       false
+     with Invalid_argument _ -> true);
+  (* A reset plane invalidates the whole execution. *)
+  Sp.reset p;
+  Alcotest.(check bool) "reset plane rejected" true
+    (try
+       Lattice.validate_plane p handles;
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Modal oracle --- *)
 
 module Modal = Psn_lattice.Modal
@@ -481,5 +546,11 @@ let () =
             test_packed_empty_execution;
           Alcotest.test_case "parallel identical" `Quick
             test_packed_parallel_identical;
+        ] );
+      ( "stamp_plane",
+        [
+          test_plane_vs_arrays;
+          Alcotest.test_case "shapes" `Quick test_plane_shapes;
+          Alcotest.test_case "validation" `Quick test_plane_validation;
         ] );
     ]
