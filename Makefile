@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-compare experiments examples \
-  trace-demo profile-demo clean
+  trace-demo analyze-demo profile-demo clean
 
 all: build
 
@@ -15,21 +15,23 @@ bench:
 	dune exec bench/main.exe
 
 # Microbenchmarks only (no experiment tables), written as JSON
-# (schema psn-bench/1, see DESIGN.md). BENCH_PR5.json in the repo root
-# is a committed snapshot of this output (BENCH_PR2/PR3/PR4.json are
+# (schema psn-bench/1, see DESIGN.md). BENCH_PR6.json in the repo root
+# is a committed snapshot of this output (BENCH_PR2..PR5.json are
 # prior snapshots, kept for before/after comparison).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR5.json
+	dune exec bench/main.exe -- --json BENCH_PR6.json
 
-# Regression diff against the committed baseline.  The threshold is
+# Regression diff against the committed baseline.  Thresholds are
 # deliberately wide: committed numbers come from a different machine, so
-# only order-of-magnitude regressions should fail the build.  Tighten
-# with a locally regenerated baseline (make bench-json) for real tuning.
+# only order-of-magnitude regressions should fail the build.  The
+# analyzer subjects get an even wider bound — replay throughput is the
+# most allocation-sensitive number here and varies most across runners.
+# Tighten with a locally regenerated baseline (make bench-json) for
+# real tuning.
 bench-compare:
-	dune exec bench/main.exe -- --only engine.schedule+run \
-	  --compare BENCH_PR5.json --threshold 100
-	dune exec bench/main.exe -- --only vector.receive \
-	  --compare BENCH_PR5.json --threshold 100
+	dune exec bench/main.exe -- \
+	  --only engine.schedule+run,vector.receive,analyze.posthoc,analyze.online \
+	  --compare BENCH_PR6.json --threshold analyze=200,100
 
 # Full (slow) experiment profiles — the numbers in EXPERIMENTS.md.
 experiments:
@@ -54,6 +56,14 @@ trace-demo:
 	dune exec bin/main.exe -- trace office --horizon 600 --format chrome \
 	  --timeline 1000 --out trace-demo.chrome.json
 	@echo "wrote trace-demo.jsonl and trace-demo.chrome.json"
+
+# Causal analytics over the trace demo: critical paths, per-link
+# latency histograms, and drop attribution, as text plus a
+# psn-analyze/1 JSON summary.  Depends on trace-demo having run.
+analyze-demo:
+	dune exec bin/main.exe -- analyze trace-demo.jsonl \
+	  --json analyze-demo.json
+	@echo "wrote analyze-demo.json"
 
 # Host-time profile (wall ns + GC deltas per phase) of a quick
 # experiment sweep; host readings stay out of sim traces by design.

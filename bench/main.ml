@@ -321,6 +321,50 @@ let modal_definitely =
   Test.make ~name:"modal.definitely(3x4)" (Staged.stage @@ fun () ->
       ignore (Psn_lattice.Modal.definitely stamps ~holds))
 
+(* --- PR6 trace-analytics subjects ---------------------------------------- *)
+
+(* A synthetic, time-ordered record stream: 4k flow edges into checker 0
+   with jittered delivery, one occurrence every 16 edges whose window
+   reaches back exactly to its trigger's send — so the analyzer's
+   critical-path resolution runs on every occurrence.  Built once and
+   replayed by both subjects. *)
+let analyzer_sink =
+  lazy
+    (let sink = Psn_obs.Trace.create () in
+     for i = 0 to 4095 do
+       let t = (i + 1) * 1_000 in
+       let src = 1 + (i mod 3) in
+       let flow = Psn_obs.Trace.fresh_flow sink in
+       Psn_obs.Trace.emit sink ~time:t ~pid:src
+         (Psn_obs.Trace.Net_send
+            { src; dst = 0; words = 4; kind = "detector"; flow });
+       Psn_obs.Trace.emit sink
+         ~time:(t + 300 + (i mod 7 * 50))
+         ~pid:0
+         (Psn_obs.Trace.Net_deliver { src; dst = 0; kind = "detector"; flow });
+       if i mod 16 = 0 then
+         Psn_obs.Trace.emit sink ~time:(t + 600) ~pid:0
+           (Psn_obs.Trace.Detector_occurrence
+              { verdict = "positive"; window_ns = 600 })
+     done;
+     sink)
+
+(* Analyzer throughput, post-hoc vs online: same stream, the online twin
+   carries a retirement horizon so its edge ring keeps retiring while it
+   feeds.  ns/op here is per full 4k-edge replay. *)
+let analyze_replay ~name ~horizon_ns =
+  let sink = Lazy.force analyzer_sink in
+  Test.make ~name (Staged.stage @@ fun () ->
+      let az = Psn_obs.Analyze.create ?horizon_ns () in
+      Psn_obs.Analyze.feed_sink az sink;
+      ignore (Sys.opaque_identity (Psn_obs.Analyze.occurrences az)))
+
+let analyze_posthoc =
+  analyze_replay ~name:"analyze.posthoc(4k edges)" ~horizon_ns:None
+
+let analyze_online =
+  analyze_replay ~name:"analyze.online(4k edges)" ~horizon_ns:(Some 50_000)
+
 (* Named subject groups; names in reports are "group/subject". *)
 let subjects =
   [
@@ -344,6 +388,7 @@ let subjects =
         pool_dispatch;
       ] );
     ("lattice", [ lattice_count_4x6; lattice_count_generic; modal_definitely ]);
+    ("obs", [ analyze_posthoc; analyze_online ]);
   ]
 
 let benchmark test =
@@ -366,12 +411,15 @@ let contains hay needle =
 
 (* Run the (optionally filtered) subjects and return [(name, ns/op)]
    rows sorted by name; estimates that failed to converge come back as
-   [None]. *)
+   [None].  [only] is a list of substrings; a subject runs when any
+   matches its "group/subject" name. *)
 let run_microbenches ?only () =
   let keep group t =
     match only with
     | None -> true
-    | Some s -> contains (group ^ "/" ^ Test.name t) s
+    | Some pats ->
+        let name = group ^ "/" ^ Test.name t in
+        List.exists (contains name) pats
   in
   let results = ref [] in
   List.iter
@@ -457,10 +505,44 @@ let load_baseline path =
                fields)
       | _ -> Error (Printf.sprintf "%s: no \"subjects\" object" path))
 
+(* Regression thresholds: one default percentage plus per-subject
+   overrides matched by substring (first match wins), so CI can hold a
+   noisy cross-machine subject to a loose bound without loosening every
+   other subject with it. *)
+type thresholds = { default_pct : float; per : (string * float) list }
+
+(* "--threshold 25" or "--threshold pool.dispatch=250,analyze=60,25":
+   bare numbers set the default, NAME=PCT entries the overrides. *)
+let parse_thresholds spec =
+  List.fold_left
+    (fun acc part ->
+      match acc with
+      | Error _ as e -> e
+      | Ok th -> (
+          match String.index_opt part '=' with
+          | None -> (
+              match float_of_string_opt part with
+              | Some p when p > 0.0 -> Ok { th with default_pct = p }
+              | _ -> Error part)
+          | Some i -> (
+              let name = String.sub part 0 i in
+              let pct = String.sub part (i + 1) (String.length part - i - 1) in
+              match float_of_string_opt pct with
+              | Some p when p > 0.0 && name <> "" ->
+                  Ok { th with per = th.per @ [ (name, p) ] }
+              | _ -> Error part)))
+    (Ok { default_pct = 25.0; per = [] })
+    (String.split_on_char ',' spec)
+
+let threshold_for th name =
+  match List.find_opt (fun (pat, _) -> contains name pat) th.per with
+  | Some (_, p) -> p
+  | None -> th.default_pct
+
 (* Per-subject delta table against a baseline snapshot; [true] when some
-   subject regressed past [threshold] percent.  Subjects present on only
-   one side are reported but never fail the comparison. *)
-let compare_against ~threshold baseline rows =
+   subject regressed past its threshold.  Subjects present on only one
+   side are reported but never fail the comparison. *)
+let compare_against ~thresholds:th baseline rows =
   let table_rows = ref [] and regressed = ref [] in
   List.iter
     (fun (name, est) ->
@@ -470,9 +552,10 @@ let compare_against ~threshold baseline rows =
           table_rows := [ name; "-"; Printf.sprintf "%.1f" now; "new" ] :: !table_rows
       | Some now, Some old ->
           let delta = if old > 0.0 then (now -. old) /. old *. 100.0 else 0.0 in
+          let limit = threshold_for th name in
           let flag =
-            if delta > threshold then begin
-              regressed := name :: !regressed;
+            if delta > limit then begin
+              regressed := (name, limit) :: !regressed;
               "  REGRESSED"
             end
             else ""
@@ -486,44 +569,58 @@ let compare_against ~threshold baseline rows =
             ]
             :: !table_rows)
     rows;
-  Printf.printf "== bench comparison (threshold %.0f%%) ==\n" threshold;
+  Printf.printf "== bench comparison (default threshold %.0f%%%s) ==\n"
+    th.default_pct
+    (if th.per = [] then ""
+     else
+       Printf.sprintf ", %s"
+         (String.concat ", "
+            (List.map (fun (n, p) -> Printf.sprintf "%s=%.0f%%" n p) th.per)));
   Psn_util.Table.print
     ~headers:[ "subject"; "old ns/op"; "new ns/op"; "delta" ]
     ~rows:(List.rev !table_rows) ();
   (match !regressed with
   | [] -> print_endline "no regressions past threshold"
-  | names ->
-      Printf.printf "REGRESSION: %d subject(s) slower than baseline by >%.0f%%: %s\n"
-        (List.length names) threshold
-        (String.concat ", " (List.rev names)));
+  | entries ->
+      Printf.printf "REGRESSION: %d subject(s) slower than baseline: %s\n"
+        (List.length entries)
+        (String.concat ", "
+           (List.rev_map
+              (fun (n, limit) -> Printf.sprintf "%s (>%.0f%%)" n limit)
+              entries)));
   !regressed <> []
 
 let () =
   let json = ref None and only = ref None in
-  let compare_to = ref None and threshold = ref 25.0 in
+  let compare_to = ref None in
+  let thresholds = ref { default_pct = 25.0; per = [] } in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json := Some path;
         parse rest
     | "--only" :: s :: rest ->
-        only := Some s;
+        only := Some (String.split_on_char ',' s);
         parse rest
     | "--compare" :: path :: rest ->
         compare_to := Some path;
         parse rest
-    | "--threshold" :: pct :: rest -> (
-        match float_of_string_opt pct with
-        | Some p when p > 0.0 ->
-            threshold := p;
+    | "--threshold" :: spec :: rest -> (
+        match parse_thresholds spec with
+        | Ok th ->
+            thresholds := th;
             parse rest
-        | _ ->
-            Printf.eprintf "bench: --threshold expects a positive percent\n";
+        | Error part ->
+            Printf.eprintf
+              "bench: --threshold expects PCT or NAME=PCT entries \
+               (comma-separated, positive percents); bad entry %S\n"
+              part;
             exit 2)
     | arg :: _ ->
         Printf.eprintf
-          "usage: bench [--only SUBSTR] [--json FILE] [--compare OLD.json \
-           [--threshold PCT]]; unknown argument %S\n"
+          "usage: bench [--only SUBSTR[,SUBSTR...]] [--json FILE] \
+           [--compare OLD.json [--threshold [PCT][,NAME=PCT...]]]; \
+           unknown argument %S\n"
           arg;
         exit 2
   in
@@ -539,7 +636,7 @@ let () =
         | Error msg ->
             Printf.eprintf "bench: %s\n" msg;
             exit 2
-        | Ok baseline -> compare_against ~threshold:!threshold baseline rows)
+        | Ok baseline -> compare_against ~thresholds:!thresholds baseline rows)
   in
   (* The claim-table part of the default run; skipped in micro-only
      invocations (--only / --json / --compare) so `make bench-json` stays

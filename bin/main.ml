@@ -345,6 +345,32 @@ let lattice_cmd =
   Cmd.v (Cmd.info "lattice" ~doc)
     Term.(const run $ seed $ delta_ms $ nodes $ events $ dot $ no_strobes)
 
+(* Scenarios runnable under a sink (trace/analyze): office, hall,
+   hospital. *)
+
+let scenario_arg =
+  let sc =
+    Arg.enum [ ("office", `Office); ("hall", `Hall); ("hospital", `Hospital) ]
+  in
+  (sc, "office, hall, or hospital")
+
+let run_scenario ~seed ~horizon_s ~delta_ms ~clock = function
+  | `Office ->
+      let cfg = Psn_scenarios.Smart_office.default in
+      let config =
+        config_of ~seed ~horizon_s ~delta_ms ~clock
+          ~n:(Psn_scenarios.Smart_office.n_processes cfg)
+      in
+      print_report (Psn_scenarios.Smart_office.run ~cfg config)
+  | `Hall ->
+      let cfg = Psn_scenarios.Exhibition_hall.default in
+      let config = config_of ~seed ~horizon_s ~delta_ms ~clock ~n:cfg.doors in
+      print_report (Psn_scenarios.Exhibition_hall.run ~cfg config)
+  | `Hospital ->
+      let cfg = Psn_scenarios.Hospital.default in
+      let config = config_of ~seed ~horizon_s ~delta_ms ~clock ~n:cfg.patients in
+      print_report (Psn_scenarios.Hospital.run ~cfg config)
+
 (* trace *)
 
 let trace_cmd =
@@ -353,12 +379,10 @@ let trace_cmd =
      (JSONL, or Chrome trace_event JSON for Perfetto / chrome://tracing)."
   in
   let scenario =
-    let sc =
-      Arg.enum [ ("office", `Office); ("hall", `Hall); ("hospital", `Hospital) ]
-    in
+    let sc, names = scenario_arg in
     Arg.(
       value & pos 0 sc `Office
-      & info [] ~docv:"SCENARIO" ~doc:"Scenario: office, hall, or hospital.")
+      & info [] ~docv:"SCENARIO" ~doc:("Scenario: " ^ names ^ "."))
   in
   let out =
     Arg.(
@@ -407,31 +431,116 @@ let trace_cmd =
       | `Chrome -> Psn_obs.Export.write_chrome ?timeline oc sink
     in
     traced_to ?timeline ~write out @@ fun () ->
-    match scenario with
-    | `Office ->
-        let cfg = Psn_scenarios.Smart_office.default in
-        let config =
-          config_of ~seed ~horizon_s ~delta_ms ~clock
-            ~n:(Psn_scenarios.Smart_office.n_processes cfg)
-        in
-        print_report (Psn_scenarios.Smart_office.run ~cfg config)
-    | `Hall ->
-        let cfg = Psn_scenarios.Exhibition_hall.default in
-        let config =
-          config_of ~seed ~horizon_s ~delta_ms ~clock ~n:cfg.doors
-        in
-        print_report (Psn_scenarios.Exhibition_hall.run ~cfg config)
-    | `Hospital ->
-        let cfg = Psn_scenarios.Hospital.default in
-        let config =
-          config_of ~seed ~horizon_s ~delta_ms ~clock ~n:cfg.patients
-        in
-        print_report (Psn_scenarios.Hospital.run ~cfg config)
+    run_scenario ~seed ~horizon_s ~delta_ms ~clock scenario
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ seed $ horizon_s $ delta_ms $ clock $ scenario $ out $ format
       $ timeline_ms)
+
+(* analyze *)
+
+let analyze_cmd =
+  let doc =
+    "Causal trace analytics: critical paths behind detector occurrences \
+     with per-hop latency attribution, per-link delivery-latency \
+     histograms, queue watermarks, and drop attribution. Post-hoc over a \
+     JSONL trace FILE, or online over a live scenario run ($(b,--run)) \
+     with bounded memory under $(b,--horizon-ms)."
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "JSONL trace to analyze post-hoc (written by $(b,trace) or \
+             $(b,--trace)).")
+  in
+  let run_live =
+    let sc, names = scenario_arg in
+    Arg.(
+      value
+      & opt (some sc) None
+      & info [ "run" ] ~docv:"SCENARIO"
+          ~doc:
+            ("Instead of reading a file, run " ^ names
+           ^ " live and analyze its record stream online (nothing is \
+              retained)."))
+  in
+  let horizon_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "horizon-ms" ] ~docv:"MS"
+          ~doc:
+            "Sim-time retirement horizon: flow edges unmatched after \
+             $(docv) of simulated time are expired, bounding analyzer \
+             memory. 0 = unbounded.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the psn-analyze/1 JSON summary to $(docv) (- for stdout).")
+  in
+  let top =
+    Arg.(
+      value & opt int 16
+      & info [ "top" ] ~docv:"N" ~doc:"Largest links to list in the report.")
+  in
+  let run seed horizon_s delta_ms clock file run_live horizon_ms json_out top =
+    let horizon_ns =
+      if horizon_ms <= 0 then None else Some (horizon_ms * 1_000_000)
+    in
+    let az = Psn_obs.Analyze.create ?horizon_ns () in
+    let outcome =
+      match (file, run_live) with
+      | Some _, Some _ -> Error "pass either a trace FILE or --run, not both"
+      | None, None ->
+          Error "nothing to analyze: pass a trace FILE or --run SCENARIO"
+      | Some path, None -> (
+          match Psn_obs.Import.iter_file (Psn_obs.Analyze.feed az) path with
+          | Ok n ->
+              Fmt.epr "analyze: %d records <- %s@." n path;
+              Ok ()
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | exception Sys_error msg -> Error msg)
+      | None, Some scenario ->
+          (* Online: an unretained sink streams every record straight into
+             the analyzer; the trace never accumulates. *)
+          let sink = Psn_obs.Trace.create ~retain:false () in
+          Psn_obs.Trace.set_tap sink (Some (Psn_obs.Analyze.feed az));
+          Psn_obs.Trace.set_default (Some sink);
+          Psn_util.Parallel.set_sequential true;
+          Fun.protect
+            ~finally:(fun () -> Psn_obs.Trace.set_default None)
+            (fun () -> run_scenario ~seed ~horizon_s ~delta_ms ~clock scenario);
+          Ok ()
+    in
+    match outcome with
+    | Error e -> `Error (false, e)
+    | Ok () ->
+        print_string (Psn_obs.Analyze.render ~top az);
+        (match json_out with
+        | None -> ()
+        | Some "-" -> print_endline (Psn_obs.Analyze.to_json ~top az)
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Psn_obs.Analyze.to_json ~top az);
+                output_char oc '\n');
+            Fmt.epr "analyze: summary -> %s@." path);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      ret
+        (const run $ seed $ horizon_s $ delta_ms $ clock $ file $ run_live
+       $ horizon_ms $ json_out $ top))
 
 (* profile *)
 
@@ -490,8 +599,8 @@ let main =
   Cmd.group
     (Cmd.info "psn-sim" ~version:"1.0.0" ~doc)
     [
-      list_cmd; experiment_cmd; trace_cmd; profile_cmd; hall_cmd; office_cmd;
-      hospital_cmd; habitat_cmd; banking_cmd; lattice_cmd;
+      list_cmd; experiment_cmd; trace_cmd; analyze_cmd; profile_cmd; hall_cmd;
+      office_cmd; hospital_cmd; habitat_cmd; banking_cmd; lattice_cmd;
     ]
 
 let () = exit (Cmd.eval main)

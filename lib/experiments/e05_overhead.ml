@@ -40,8 +40,15 @@ let run ?(quick = false) () =
                 seed = 11L;
               }
             in
-            let report = Hall.run ~cfg config in
+            let report, az = analyzed (fun () -> Hall.run ~cfg config) in
             let updates = float_of_int (max 1 report.Psn.Report.updates) in
+            let p50, p99 =
+              match Psn_obs.Analyze.delivery_quantiles az with
+              | Some q ->
+                  (float_of_int q.Psn_obs.Analyze.q50 /. 1e6,
+                   float_of_int q.Psn_obs.Analyze.q99 /. 1e6)
+              | None -> (0.0, 0.0)
+            in
             [
               string_of_int n;
               Clock_kind.to_string clock;
@@ -49,6 +56,9 @@ let run ?(quick = false) () =
               f2 (float_of_int report.Psn.Report.messages /. updates);
               f2 (Psn.Report.words_per_update report);
               string_of_int report.Psn.Report.dropped;
+              f1 p50;
+              f1 p99;
+              f1 (Psn_obs.Analyze.mean_critical_ns az /. 1e6);
             ])
           clocks)
       sizes
@@ -60,11 +70,15 @@ let run ?(quick = false) () =
       "S4.2.2: scalar strobes cost O(1) words per message and vector strobes \
        O(n); causality piggybacking sends fewer messages (unicast) but \
        loses the strobe synchronization";
-    headers = [ "n"; "clock"; "updates"; "msgs/update"; "words/update"; "dropped" ];
+    headers =
+      [ "n"; "clock"; "updates"; "msgs/update"; "words/update"; "dropped";
+        "p50 ms"; "p99 ms"; "crit ms" ];
     rows;
     notes =
       "Both strobe rows send n-1 messages per update (broadcast), but \
        words/update grows ~n for scalar strobes vs ~n^2 for vector strobes \
        (n-1 copies of an n-word stamp); the unicast baselines stay at 1 \
-       message per update.";
+       message per update.  p50/p99 are delivery latencies and crit the \
+       mean detector critical-path latency, from the streaming trace \
+       analyzer riding the same run.";
   }

@@ -98,6 +98,37 @@ let cost_of_reports reports =
       /. k;
   }
 
+(* Run [f] with a streaming trace analyzer riding the record stream, and
+   return its result next to the analyzer.  When an outer default sink is
+   already installed (the CLI's [--trace]), the analyzer taps it — the
+   outer sink keeps every record and flow ids stay unique.  Otherwise an
+   unretained sink is installed for the duration, so the analyzer sees
+   the stream without the trace accumulating; default-sink pickup is not
+   domain-safe, so parallel fan-out is forced sequential while it is
+   live.  Tracing never perturbs the simulation (flow ids come from the
+   sink, the rng is untouched), so wrapped runs report the same tables. *)
+let analyzed ?horizon_ns f =
+  let az = Psn_obs.Analyze.create ?horizon_ns () in
+  let feed = Psn_obs.Analyze.feed az in
+  match Psn_obs.Trace.default () with
+  | Some outer ->
+      Psn_obs.Trace.set_tap outer (Some feed);
+      let r =
+        Fun.protect ~finally:(fun () -> Psn_obs.Trace.set_tap outer None) f
+      in
+      (r, az)
+  | None ->
+      let sink = Psn_obs.Trace.create ~retain:false () in
+      Psn_obs.Trace.set_tap sink (Some feed);
+      let was_sequential = Psn_util.Parallel.sequential () in
+      Psn_util.Parallel.set_sequential true;
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Psn_util.Parallel.set_sequential was_sequential)
+          (fun () -> Psn_obs.Trace.with_default sink f)
+      in
+      (r, az)
+
 let f1 = Psn_util.Table.fmt_float ~digits:1
 let f2 = Psn_util.Table.fmt_float ~digits:2
 let f3 = Psn_util.Table.fmt_float ~digits:3

@@ -47,7 +47,9 @@ type 'a t = {
   c_words : Metrics.counter;      (* abstract payload words transmitted *)
   h_delay : Metrics.histogram;    (* sampled per-message delay, ms *)
   g_in_flight : Metrics.gauge;    (* messages scheduled but not yet delivered *)
+  g_in_flight_peak : Metrics.gauge;  (* high-watermark of the above *)
   mutable in_flight : int;
+  mutable in_flight_peak : int;
   fifo : Sim_time.t array array option;
       (* per-(src,dst) last scheduled delivery time: when present, a later
          send is never delivered before an earlier one on the same channel
@@ -80,7 +82,9 @@ let create ?loss ?topology ?(fifo = false) ?(payload_words = fun _ -> 1)
     c_words = Metrics.counter m (metric "words");
     h_delay = Metrics.histogram m ~lo:0.0 ~hi:1000.0 ~bins:20 (metric "delay_ms");
     g_in_flight = Metrics.gauge m (metric "in_flight");
+    g_in_flight_peak = Metrics.gauge m (metric "in_flight_peak");
     in_flight = 0;
+    in_flight_peak = 0;
     fifo = (if fifo then Some (Array.make_matrix n n Sim_time.zero) else None);
     pool = [||];
     pool_len = 0;
@@ -185,6 +189,10 @@ let transmit t ~src ~dst payload =
     in
     t.in_flight <- t.in_flight + 1;
     Metrics.set t.g_in_flight (float_of_int t.in_flight);
+    if t.in_flight > t.in_flight_peak then begin
+      t.in_flight_peak <- t.in_flight;
+      Metrics.set t.g_in_flight_peak (float_of_int t.in_flight_peak)
+    end;
     let r = acquire t ~src ~dst ~flow payload in
     Engine.schedule_at_unit t.engine at r.d_fire
   end
@@ -212,5 +220,6 @@ let sent t = Metrics.counter_value t.c_sent
 let delivered t = Metrics.counter_value t.c_delivered
 let dropped t = Metrics.counter_value t.c_dropped
 let words_transmitted t = Metrics.counter_value t.c_words
+let in_flight_peak t = t.in_flight_peak
 
 let pending t = Engine.pending t.engine

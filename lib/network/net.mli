@@ -30,4 +30,10 @@ val sent : 'a t -> int
 val delivered : 'a t -> int
 val dropped : 'a t -> int
 val words_transmitted : 'a t -> int
+
+val in_flight_peak : 'a t -> int
+(** High-watermark of messages scheduled but not yet delivered — the
+    medium's queue-depth evidence, also published as the
+    [net.<label>.in_flight_peak] gauge. *)
+
 val pending : 'a t -> int

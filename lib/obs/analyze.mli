@@ -1,0 +1,101 @@
+(** Streaming causal trace analytics.
+
+    A consumer of the typed {!Trace} record stream that reconstructs the
+    causal DAG of a run — flow edges ([Net_send] → [Net_deliver] /
+    [Net_drop]) between process tracks, span intervals per (pid, lane),
+    and detector occurrences with their sense-to-detect windows — and
+    answers the questions the raw trace only stores evidence for:
+
+    - {b Critical paths}: per detector occurrence, the longest-latency
+      causal chain of sends/delivers/spans that terminated in the
+      occurrence, with per-hop attribution split into emit (sense to
+      send), transmission (send to deliver), queueing (deliver to
+      handler start) and handler time.  Hop latencies are non-negative
+      and sum to at most the occurrence window.
+    - {b Latency histograms}: log-bucketed (power-of-two octaves with
+      four linear sub-buckets, so quantiles resolve within 12.5%)
+      per-link delivery latency and per-(span, lane) durations, each a
+      fixed int-array histogram in the style of the stamp plane —
+      observation is allocation-free after the first sight of a key.
+    - {b Queue pressure and loss}: per-kind in-flight high-watermarks
+      and drop counts attributed to the (src, dst, kind) link.
+
+    The analyzer is streaming and single-pass: [feed] it records in
+    trace order, either post-hoc (a retained sink or a JSONL file via
+    {!Import}) or online as a sink tap ([Trace.set_tap]) during a live
+    run.  With a [horizon_ns], memory is bounded: a flow edge is retired
+    once both endpoints are seen or once the sim-time horizon passes its
+    send, so the open-edge window — and the recent-delivery window used
+    for critical paths — cannot grow with run length.  Feeding the same
+    record stream at the same horizon produces byte-identical [render]
+    and [to_json] output whichever mode delivered the records. *)
+
+type t
+
+val create : ?horizon_ns:int -> ?checker_pid:int -> ?keep_paths:int -> unit -> t
+(** [horizon_ns]: sim-time retirement horizon for unmatched flow edges
+    and the recent-delivery window (omitted = unbounded, the post-hoc
+    default).  Raises [Invalid_argument] when non-positive.
+    [checker_pid] (default 0): the process whose occurrences get
+    critical paths — the linearizing detectors all check at process 0.
+    [keep_paths] (default 32): how many of the most recent critical
+    paths are kept verbatim for the report; aggregates cover all. *)
+
+val feed : t -> Trace.record -> unit
+(** Consume one record.  Records must arrive in emission order (the
+    order [Trace.iter] and the JSONL export preserve). *)
+
+val feed_sink : t -> Trace.sink -> unit
+(** [Trace.iter (feed t) sink]. *)
+
+(** {2 Programmatic results} *)
+
+type quantiles = { q50 : int; q90 : int; q99 : int; q_max : int }
+(** Latency quantiles in ns.  Quantiles answer the lower bound of the
+    log bucket holding the requested rank, so they are deterministic
+    and never overstate. *)
+
+val delivery_quantiles : t -> quantiles option
+(** Across every link; [None] before the first delivery. *)
+
+type hop = { h_label : string; h_ns : int }
+
+type path = {
+  p_seq : int;  (** trace seq of the occurrence record *)
+  p_detect_ns : int;
+  p_verdict : string;
+  p_window_ns : int;
+  p_src : int;  (** sender of the trigger chain; -1 when unresolved *)
+  p_flow : int;  (** flow id of the trigger message; -1 without a network hop *)
+  p_hops : hop list;  (** emit, transmit, queue, handler — in causal order *)
+}
+
+val paths : t -> path list
+(** The [keep_paths] most recent critical paths, oldest first. *)
+
+val occurrences : t -> int
+val resolved : t -> int
+(** How many occurrences were tied to a concrete trigger message chain. *)
+
+val mean_critical_ns : t -> float
+(** Mean critical-path latency (sum of hop latencies) over all
+    occurrences; 0 before the first. *)
+
+val open_edges : t -> int
+val peak_open_edges : t -> int
+val expired_edges : t -> int
+(** Unmatched flow edges retired by the horizon. *)
+
+val retired_edges : t -> int
+(** Flow edges retired by seeing both endpoints (deliver or drop). *)
+
+(** {2 Reports} *)
+
+val render : ?top:int -> t -> string
+(** Text report: totals, per-link latency table (largest [top] links,
+    default 16), span table, per-kind traffic and in-flight watermarks,
+    recent critical paths with per-hop attribution, aggregate
+    attribution shares, and the analyzer's own memory evidence. *)
+
+val to_json : ?top:int -> t -> string
+(** Same content as [render] under schema ["psn-analyze/1"]. *)

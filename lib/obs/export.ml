@@ -207,6 +207,14 @@ let chrome_to_buffer ?timeline buf sink =
       | Net_deliver { flow; _ } ->
           chrome_flow_slice buf ~sep ~slice_name:"net.deliver" ~phase:"f"
             ~ts_us ~cpid ~tid:0 ~flow ~seq:r.seq ~args:(args_of_event r.event)
+      | Net_drop { flow; _ } ->
+          (* A drop still finishes its flow: without the "f" endpoint the
+             send's "s" arrow dangles (Perfetto hides it) and the loss is
+             invisible.  The arrow lands on a thin net.drop slice at the
+             receiver, so dropped messages read exactly like deliveries
+             that died at the medium. *)
+          chrome_flow_slice buf ~sep ~slice_name:"net.drop" ~phase:"f" ~ts_us
+            ~cpid ~tid:0 ~flow ~seq:r.seq ~args:(args_of_event r.event)
       | Detector_occurrence { window_ns; _ } when window_ns > 0 ->
           sep ();
           Buffer.add_string buf

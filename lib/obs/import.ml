@@ -1,0 +1,101 @@
+(* JSONL trace import.
+
+   Inverts [Export.jsonl_record]: every line is a flat object with
+   [seq]/[t_ns]/[pid]/[type] plus the event's own fields.  The importer
+   only trusts the fields it needs, so traces written by future exporters
+   with extra fields still load. *)
+
+let int_field obj name =
+  match Json.member name obj with
+  | Some (Json.Int v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "field %S is not an integer" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field obj name =
+  match Json.member name obj with
+  | Some (Json.Str v) -> Ok v
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let net_fields obj =
+  let* src = int_field obj "src" in
+  let* dst = int_field obj "dst" in
+  let* kind = str_field obj "kind" in
+  let* flow = int_field obj "flow" in
+  Ok (src, dst, kind, flow)
+
+let event_of obj ty : (Trace.event, string) result =
+  match ty with
+  | "engine.schedule" ->
+      let* at = int_field obj "at_ns" in
+      Ok (Trace.Engine_schedule { at })
+  | "engine.fire" -> Ok Trace.Engine_fire
+  | "engine.cancel" -> Ok Trace.Engine_cancel
+  | "span.begin" ->
+      let* name = str_field obj "name" in
+      let* lane = int_field obj "lane" in
+      Ok (Trace.Span_begin { name; lane })
+  | "span.end" ->
+      let* name = str_field obj "name" in
+      let* lane = int_field obj "lane" in
+      Ok (Trace.Span_end { name; lane })
+  | "net.send" ->
+      let* src, dst, kind, flow = net_fields obj in
+      let* words = int_field obj "words" in
+      Ok (Trace.Net_send { src; dst; words; kind; flow })
+  | "net.deliver" ->
+      let* src, dst, kind, flow = net_fields obj in
+      Ok (Trace.Net_deliver { src; dst; kind; flow })
+  | "net.drop" ->
+      let* src, dst, kind, flow = net_fields obj in
+      Ok (Trace.Net_drop { src; dst; kind; flow })
+  | "clock.tick" ->
+      let* clock = str_field obj "clock" in
+      Ok (Trace.Clock_tick { clock })
+  | "clock.receive" ->
+      let* clock = str_field obj "clock" in
+      Ok (Trace.Clock_receive { clock })
+  | "clock.strobe" ->
+      let* clock = str_field obj "clock" in
+      Ok (Trace.Clock_strobe { clock })
+  | "detector.update" ->
+      let* var = str_field obj "var" in
+      let* seq = int_field obj "update_seq" in
+      Ok (Trace.Detector_update { var; seq })
+  | "detector.occurrence" ->
+      let* verdict = str_field obj "verdict" in
+      let* window_ns = int_field obj "window_ns" in
+      Ok (Trace.Detector_occurrence { verdict; window_ns })
+  | "mark" ->
+      let* name = str_field obj "name" in
+      Ok (Trace.Mark { name })
+  | ty -> Error (Printf.sprintf "unknown record type %S" ty)
+
+let record_of_line line : (Trace.record, string) result =
+  let* obj = Json.of_string line in
+  let* seq = int_field obj "seq" in
+  let* time = int_field obj "t_ns" in
+  let* pid = int_field obj "pid" in
+  let* ty = str_field obj "type" in
+  let* event = event_of obj ty in
+  Ok { Trace.seq; time; pid; event }
+
+let iter_file f path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno count =
+        match input_line ic with
+        | exception End_of_file -> Ok count
+        | "" -> go (lineno + 1) count
+        | line -> (
+            match record_of_line line with
+            | Ok r ->
+                f r;
+                go (lineno + 1) (count + 1)
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+      in
+      go 1 0)

@@ -1,0 +1,18 @@
+(** JSONL trace import: the inverse of {!Export}'s JSONL writer.
+
+    Parses the one-object-per-line format back into typed
+    {!Trace.record}s so post-hoc tools ({!Analyze}, the [psn-sim
+    analyze] subcommand) can consume a trace file written by an earlier
+    run.  A record survives an export/import round trip exactly; the
+    importer is strict about the fields it needs and rejects lines it
+    cannot type rather than guessing. *)
+
+val record_of_line : string -> (Trace.record, string) result
+(** Parse one JSONL line.  The error is a human-readable reason
+    (unknown type, missing field, malformed JSON). *)
+
+val iter_file : (Trace.record -> unit) -> string -> (int, string) result
+(** Stream a JSONL trace file through [f] in file order, skipping blank
+    lines.  [Ok n] is the number of records fed; [Error] prefixes the
+    1-based line number of the offending line.  Raises [Sys_error] when
+    the file cannot be opened. *)

@@ -53,17 +53,23 @@ let dummy_record = { seq = 0; time = 0; pid = 0; event = Engine_fire }
 type sink = {
   mutable next_seq : int;
   mutable next_flow : int;
+  retain : bool;
+  mutable tap : (record -> unit) option;
   records : record Psn_util.Vec.t;
 }
 
-let create () =
-  { next_seq = 0; next_flow = 0;
+let create ?(retain = true) () =
+  { next_seq = 0; next_flow = 0; retain; tap = None;
     records = Psn_util.Vec.create ~dummy:dummy_record () }
+
+let set_tap sink tap = sink.tap <- tap
 
 let emit sink ~time ~pid event =
   let seq = sink.next_seq in
   sink.next_seq <- seq + 1;
-  Psn_util.Vec.push sink.records { seq; time; pid; event }
+  let r = { seq; time; pid; event } in
+  if sink.retain then Psn_util.Vec.push sink.records r;
+  match sink.tap with Some f -> f r | None -> ()
 
 let fresh_flow sink =
   let id = sink.next_flow in

@@ -58,7 +58,18 @@ val lane_window : int
 
 type sink
 
-val create : unit -> sink
+val create : ?retain:bool -> unit -> sink
+(** [retain] (default [true]): keep records in the sink for later
+    iteration/export.  [~retain:false] turns the sink into a pure stream
+    head — records are handed to the tap (below) and discarded, so an
+    online consumer (e.g. [Analyze]) can sit inline during a heavy run
+    without the trace growing with run length.  Sequence and flow-id
+    allocation are identical either way, so a retained and an unretained
+    same-seed run see byte-identical record streams. *)
+
+val set_tap : sink -> (record -> unit) option -> unit
+(** Install (or remove) a streaming observer called with every record as
+    it is emitted, after the optional append.  One tap per sink. *)
 
 val emit : sink -> time:int -> pid:int -> event -> unit
 (** Append a record; the sink assigns the next sequence number. *)

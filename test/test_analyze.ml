@@ -1,0 +1,394 @@
+(* Tests for the streaming causal trace analytics.
+
+   The load-bearing properties:
+   - the reconstructed causal DAG is acyclic (every flow edge advances
+     both trace order and sim time, spans nest);
+   - per-occurrence critical paths attribute hop latencies that are
+     non-negative and never exceed the occurrence window;
+   - the online mode (sink tap, bounded horizon) is byte-identical to
+     post-hoc feeding at the same horizon — and its memory is actually
+     bounded by the horizon;
+   - the JSONL import inverts the export exactly, so post-hoc analysis
+     of a trace file equals in-process analysis of the same run;
+   - fixed-seed reports are golden bytes, like the Chrome exporter's. *)
+
+module Sim_time = Psn_sim.Sim_time
+module Trace = Psn_obs.Trace
+module Analyze = Psn_obs.Analyze
+module Import = Psn_obs.Import
+module Export = Psn_obs.Export
+module Json = Psn_obs.Json
+module Hall = Psn_scenarios.Exhibition_hall
+
+let qtest ?(count = 20) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let hall_config ~seed ~loss ~horizon_s =
+  {
+    Psn.Config.default with
+    n = Hall.default.Hall.doors;
+    clock = Psn_clocks.Clock_kind.Strobe_vector;
+    delay =
+      Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 10)
+        ~max:(Sim_time.of_ms 100);
+    loss =
+      (if loss = 0.0 then Psn_sim.Loss_model.no_loss
+       else Psn_sim.Loss_model.bernoulli loss);
+    horizon = Sim_time.of_sec horizon_s;
+    seed;
+  }
+
+(* Retained trace of a hall run: the post-hoc side. *)
+let traced_hall_run ?(seed = 11L) ?(loss = 0.0) ?(horizon_s = 120) () =
+  let sink = Trace.create () in
+  Trace.with_default sink (fun () ->
+      ignore (Hall.run (hall_config ~seed ~loss ~horizon_s)));
+  sink
+
+(* Online side: an unretained sink streams the identical-seed run
+   straight into an analyzer; nothing is kept. *)
+let online_hall_run ?(seed = 11L) ?(loss = 0.0) ?(horizon_s = 120) az =
+  let sink = Trace.create ~retain:false () in
+  Trace.set_tap sink (Some (Analyze.feed az));
+  Trace.with_default sink (fun () ->
+      ignore (Hall.run (hall_config ~seed ~loss ~horizon_s)));
+  Alcotest.(check int) "online sink retained nothing" 0 (Trace.length sink)
+
+let analyze_sink ?horizon_ns sink =
+  let az = Analyze.create ?horizon_ns () in
+  Analyze.feed_sink az sink;
+  az
+
+(* --- goldens ------------------------------------------------------------ *)
+
+let golden_render = {golden|== trace analytics ==
+records 7247 | sends 540 | delivers 540 | drops 0 | occurrences 15 (10 resolved)
+retirement horizon: none
+
+delivery latency ms: p50 50.332 | p90 83.886 | p99 83.886 | max 99.737 (n=540)
+
+-- delivery latency by link --
+| link |     kind |  n | p50 ms | p99 ms | max ms | drops |
+|------|----------|----|--------|--------|--------|-------|
+| 0->1 | detector | 57 | 50.332 | 83.886 | 99.655 |     0 |
+| 0->2 | detector | 57 | 50.332 | 83.886 | 97.583 |     0 |
+| 0->3 | detector | 57 | 41.943 | 83.886 | 98.911 |     0 |
+| 3->0 | detector | 44 | 33.554 | 83.886 | 96.579 |     0 |
+| 3->1 | detector | 44 | 41.943 | 83.886 | 98.949 |     0 |
+| 3->2 | detector | 44 | 41.943 | 83.886 | 99.708 |     0 |
+| 1->0 | detector | 43 | 58.720 | 83.886 | 99.737 |     0 |
+| 1->2 | detector | 43 | 50.332 | 83.886 | 97.839 |     0 |
+| 1->3 | detector | 43 | 41.943 | 83.886 | 99.089 |     0 |
+| 2->0 | detector | 36 | 50.332 | 83.886 | 97.008 |     0 |
+| 2->1 | detector | 36 | 33.554 | 83.886 | 86.643 |     0 |
+| 2->3 | detector | 36 | 50.332 | 83.886 | 92.514 |     0 |
+
+-- span durations --
+| span           | lane |    n | p50 ms | p99 ms | max ms |
+|----------------|------|------|--------|--------|--------|
+| detector.emit  |    0 |  180 |  0.000 |  0.000 |  0.000 |
+| detector.flush |    0 |  180 |  0.000 |  0.000 |  0.000 |
+| engine.exec    |    0 | 1080 |  0.000 |  0.000 |  0.000 |
+
+-- traffic by kind --
+| kind     | sent | delivered | dropped | words | peak in-flight |
+|----------|------|-----------|---------|-------|----------------|
+| detector |  540 |       540 |       0 |  3240 |              6 |
+
+-- critical paths (last 15 of 15) --
+| #  |       t ms |    verdict | window ms |   src | flow |  emit | transmit |   queue | handler |
+|----|------------|------------|-----------|-------|------|-------|----------|---------|---------|
+| 0  | 121223.787 |   positive |   118.699 |     2 |  105 | 0.000 |   18.699 | 100.000 |   0.000 |
+| 1  | 151822.197 | borderline |   176.556 |     3 |  135 | 0.000 |   76.556 | 100.000 |   0.000 |
+| 2  | 237270.006 |   positive |   100.000 | local |    - | 0.000 |    0.000 | 100.000 |   0.000 |
+| 3  | 260731.036 |   positive |   100.000 | local |    - | 0.000 |    0.000 | 100.000 |   0.000 |
+| 4  | 272757.659 |   positive |   100.000 | local |    - | 0.000 |    0.000 | 100.000 |   0.000 |
+| 5  | 279313.266 |   positive |   100.000 | local |    - | 0.000 |    0.000 | 100.000 |   0.000 |
+| 6  | 328643.634 |   positive |   134.134 |     3 |  297 | 0.000 |   34.134 | 100.000 |   0.000 |
+| 7  | 371933.664 |   positive |   175.037 |     3 |  327 | 0.000 |   75.037 | 100.000 |   0.000 |
+| 8  | 398315.885 |   positive |   100.000 | local |    - | 0.000 |    0.000 | 100.000 |   0.000 |
+| 9  | 405119.729 |   positive |   155.046 |     3 |  351 | 0.000 |   55.046 | 100.000 |   0.000 |
+| 10 | 432004.926 |   positive |   157.442 |     1 |  381 | 0.000 |   57.442 | 100.000 |   0.000 |
+| 11 | 436283.164 |   positive |   197.831 |     1 |  393 | 0.000 |   97.831 | 100.000 |   0.000 |
+| 12 | 467505.115 |   positive |   129.836 |     3 |  429 | 0.000 |   29.836 | 100.000 |   0.000 |
+| 13 | 502394.394 |   positive |   188.405 |     3 |  453 | 0.000 |   88.405 | 100.000 |   0.000 |
+| 14 | 545305.755 |   positive |   170.063 |     3 |  471 | 0.000 |   70.063 | 100.000 |   0.000 |
+attribution: emit 0.0% | transmit 28.7% | queue 71.3% | handler 0.0% (mean path 140.203 ms, max 197.831 ms)
+
+-- analyzer --
+flow edges: 540 retired by match, 0 expired by horizon, 0 open, 0 late
+peak open edges 6 | peak edge-ring span 6 | peak delivery window 123
+|golden}
+
+let golden_json = {golden|{"schema":"psn-analyze/1","horizon_ns":null,"totals":{"records":7247,"sends":540,"delivers":540,"drops":0,"occurrences":15,"resolved":10},"delivery":{"n":540,"p50_ns":50331648,"p90_ns":83886080,"p99_ns":83886080,"max_ns":99736696,"sum_ns":28586788320},"links":[{"src":0,"dst":1,"kind":"detector","drops":0,"n":57,"p50_ns":50331648,"p90_ns":83886080,"p99_ns":83886080,"max_ns":99655325,"sum_ns":3103331942},{"src":0,"dst":2,"kind":"detector","drops":0,"n":57,"p50_ns":50331648,"p90_ns":83886080,"p99_ns":83886080,"max_ns":97582735,"sum_ns":3092302421},{"src":0,"dst":3,"kind":"detector","drops":0,"n":57,"p50_ns":41943040,"p90_ns":83886080,"p99_ns":83886080,"max_ns":98910868,"sum_ns":3011707869},{"src":3,"dst":0,"kind":"detector","drops":0,"n":44,"p50_ns":33554432,"p90_ns":83886080,"p99_ns":83886080,"max_ns":96579475,"sum_ns":2169296252},{"src":3,"dst":1,"kind":"detector","drops":0,"n":44,"p50_ns":41943040,"p90_ns":83886080,"p99_ns":83886080,"max_ns":98948550,"sum_ns":2323426905},{"src":3,"dst":2,"kind":"detector","drops":0,"n":44,"p50_ns":41943040,"p90_ns":83886080,"p99_ns":83886080,"max_ns":99707609,"sum_ns":2188442349},{"src":1,"dst":0,"kind":"detector","drops":0,"n":43,"p50_ns":58720256,"p90_ns":83886080,"p99_ns":83886080,"max_ns":99736696,"sum_ns":2703710548},{"src":1,"dst":2,"kind":"detector","drops":0,"n":43,"p50_ns":50331648,"p90_ns":67108864,"p99_ns":83886080,"max_ns":97838531,"sum_ns":2298494190},{"src":1,"dst":3,"kind":"detector","drops":0,"n":43,"p50_ns":41943040,"p90_ns":83886080,"p99_ns":83886080,"max_ns":99088608,"sum_ns":2199890092},{"src":2,"dst":0,"kind":"detector","drops":0,"n":36,"p50_ns":50331648,"p90_ns":83886080,"p99_ns":83886080,"max_ns":97008156,"sum_ns":2037063479},{"src":2,"dst":1,"kind":"detector","drops":0,"n":36,"p50_ns":33554432,"p90_ns":67108864,"p99_ns":83886080,"max_ns":86643425,"sum_ns":1664601995},{"src":2,"dst":3,"kind":"detector","drops":0,"n":36,"p50_ns":50331648,"p90_ns":67108864,"p99_ns":83886080,"max_ns":92513609,"sum_ns":1794520278}],"spans":[{"name":"detector.emit","lane":0,"n":180,"p50_ns":0,"p90_ns":0,"p99_ns":0,"max_ns":0,"sum_ns":0},{"name":"detector.flush","lane":0,"n":180,"p50_ns":0,"p90_ns":0,"p99_ns":0,"max_ns":0,"sum_ns":0},{"name":"engine.exec","lane":0,"n":1080,"p50_ns":0,"p90_ns":0,"p99_ns":0,"max_ns":0,"sum_ns":0}],"kinds":[{"kind":"detector","sent":540,"delivered":540,"dropped":0,"words":3240,"peak_in_flight":6}],"paths":[{"seq":1470,"t_ns":121223786729,"verdict":"positive","window_ns":118699017,"src":2,"flow":105,"hops":{"emit_ns":0,"transmit_ns":18699017,"queue_ns":100000000,"handler_ns":0}},{"seq":1871,"t_ns":151822196635,"verdict":"borderline","window_ns":176555533,"src":3,"flow":135,"hops":{"emit_ns":0,"transmit_ns":76555533,"queue_ns":100000000,"handler_ns":0}},{"seq":2992,"t_ns":237270005818,"verdict":"positive","window_ns":100000000,"src":-1,"flow":-1,"hops":{"emit_ns":0,"transmit_ns":0,"queue_ns":100000000,"handler_ns":0}},{"seq":3233,"t_ns":260731036398,"verdict":"positive","window_ns":100000000,"src":-1,"flow":-1,"hops":{"emit_ns":0,"transmit_ns":0,"queue_ns":100000000,"handler_ns":0}},{"seq":3314,"t_ns":272757659316,"verdict":"positive","window_ns":100000000,"src":-1,"flow":-1,"hops":{"emit_ns":0,"transmit_ns":0,"queue_ns":100000000,"handler_ns":0}},{"seq":3395,"t_ns":279313265579,"verdict":"positive","window_ns":100000000,"src":-1,"flow":-1,"hops":{"emit_ns":0,"transmit_ns":0,"queue_ns":100000000,"handler_ns":0}},{"seq":4036,"t_ns":328643633689,"verdict":"positive","window_ns":134134449,"src":3,"flow":297,"hops":{"emit_ns":0,"transmit_ns":34134449,"queue_ns":100000000,"handler_ns":0}},{"seq":4437,"t_ns":371933663578,"verdict":"positive","window_ns":175037439,"src":3,"flow":327,"hops":{"emit_ns":0,"transmit_ns":75037439,"queue_ns":100000000,"handler_ns":0}},{"seq":4678,"t_ns":398315885081,"verdict":"positive","window_ns":100000000,"src":-1,"flow":-1,"hops":{"emit_ns":0,"transmit_ns":0,"queue_ns":100000000,"handler_ns":0}},{"seq":4759,"t_ns":405119728677,"verdict":"positive","window_ns":155045513,"src":3,"flow":351,"hops":{"emit_ns":0,"transmit_ns":55045513,"queue_ns":100000000,"handler_ns":0}},{"seq":5160,"t_ns":432004926175,"verdict":"positive","window_ns":157441677,"src":1,"flow":381,"hops":{"emit_ns":0,"transmit_ns":57441677,"queue_ns":100000000,"handler_ns":0}},{"seq":5321,"t_ns":436283164065,"verdict":"positive","window_ns":197830923,"src":1,"flow":393,"hops":{"emit_ns":0,"transmit_ns":97830923,"queue_ns":100000000,"handler_ns":0}},{"seq":5802,"t_ns":467505114746,"verdict":"positive","window_ns":129835866,"src":3,"flow":429,"hops":{"emit_ns":0,"transmit_ns":29835866,"queue_ns":100000000,"handler_ns":0}},{"seq":6123,"t_ns":502394394244,"verdict":"positive","window_ns":188405485,"src":3,"flow":453,"hops":{"emit_ns":0,"transmit_ns":88405485,"queue_ns":100000000,"handler_ns":0}},{"seq":6364,"t_ns":545305755057,"verdict":"positive","window_ns":170062786,"src":3,"flow":471,"hops":{"emit_ns":0,"transmit_ns":70062786,"queue_ns":100000000,"handler_ns":0}}],"attribution":{"emit_ns":0,"transmit_ns":603048688,"queue_ns":1500000000,"handler_ns":0,"total_ns":2103048688,"max_path_ns":197830923},"analyzer":{"matched_edges":540,"expired_edges":0,"open_edges":0,"late_events":0,"peak_open_edges":6,"peak_ring_span":6,"peak_delivery_window":123}}|golden}
+
+(* Long enough for the hall predicate to fire: the golden must cover
+   critical paths, not just link statistics. *)
+let golden_run () = analyze_sink (traced_hall_run ~horizon_s:600 ())
+
+let test_render_golden () =
+  Alcotest.(check string) "render bytes" golden_render
+    (Analyze.render (golden_run ()))
+
+let test_json_golden () =
+  let s = Analyze.to_json (golden_run ()) in
+  Alcotest.(check string) "json bytes" golden_json s;
+  (* And it must actually be JSON with the advertised schema. *)
+  match Json.of_string s with
+  | Error e -> Alcotest.fail ("summary unparsable: " ^ e)
+  | Ok doc -> (
+      match Json.member "schema" doc with
+      | Some (Json.Str "psn-analyze/1") -> ()
+      | _ -> Alcotest.fail "missing psn-analyze/1 schema tag")
+
+(* Regenerate the goldens above with:
+   DUMP_ANALYZE_GOLDEN=1 dune exec test/test_analyze.exe *)
+let () =
+  match Sys.getenv_opt "DUMP_ANALYZE_GOLDEN" with
+  | Some _ ->
+      let az = golden_run () in
+      print_string (Analyze.render az);
+      print_string "@@GOLDEN-SPLIT@@";
+      print_string (Analyze.to_json az);
+      exit 0
+  | None -> ()
+
+(* --- critical paths ------------------------------------------------------ *)
+
+let test_paths_attributed () =
+  let az = golden_run () in
+  Alcotest.(check bool) "occurrences seen" true (Analyze.occurrences az > 0);
+  Alcotest.(check bool) "some paths resolved" true (Analyze.resolved az > 0);
+  List.iter
+    (fun (p : Analyze.path) ->
+      Alcotest.(check (list string))
+        "hops in causal order"
+        [ "emit"; "transmit"; "queue"; "handler" ]
+        (List.map (fun (h : Analyze.hop) -> h.h_label) p.p_hops))
+    (Analyze.paths az);
+  Alcotest.(check bool) "mean critical path positive" true
+    (Analyze.mean_critical_ns az > 0.0)
+
+(* --- online/post-hoc equivalence and qcheck invariants ------------------- *)
+
+let seed_gen = QCheck.map Int64.of_int QCheck.small_int
+
+let check_online_matches_posthoc ~loss ~horizon_ns seed =
+  let posthoc = analyze_sink ?horizon_ns (traced_hall_run ~seed ~loss ()) in
+  let online = Analyze.create ?horizon_ns () in
+  online_hall_run ~seed ~loss online;
+  Alcotest.(check string)
+    "render byte-identical" (Analyze.render posthoc) (Analyze.render online);
+  Alcotest.(check string)
+    "json byte-identical" (Analyze.to_json posthoc) (Analyze.to_json online)
+
+let test_online_equals_posthoc () =
+  (* Unbounded, and bounded at a horizon comfortably above the delay
+     bound (every edge matches before expiring). *)
+  check_online_matches_posthoc ~loss:0.05 ~horizon_ns:None 11L;
+  check_online_matches_posthoc ~loss:0.05 ~horizon_ns:(Some 5_000_000_000) 11L
+
+let qcheck_online_equals_posthoc =
+  qtest ~count:5 "online tap == post-hoc feed (bytes)" seed_gen (fun seed ->
+      check_online_matches_posthoc ~loss:0.05
+        ~horizon_ns:(Some 5_000_000_000) seed;
+      true)
+
+let qcheck_dag_acyclic =
+  qtest "reconstructed DAG is acyclic" seed_gen (fun seed ->
+      let sink = traced_hall_run ~seed ~loss:0.05 () in
+      (* Every flow edge must advance both trace order and sim time:
+         its endpoints then admit a topological order (seq), so the
+         causal graph the analyzer rebuilds cannot contain a cycle. *)
+      let sends = Hashtbl.create 256 in
+      Trace.iter
+        (fun (r : Trace.record) ->
+          match r.event with
+          | Trace.Net_send { flow; _ } -> Hashtbl.replace sends flow r
+          | Trace.Net_deliver { flow; _ } | Trace.Net_drop { flow; _ } -> (
+              match Hashtbl.find_opt sends flow with
+              | None -> Alcotest.fail "flow endpoint before its send"
+              | Some (s : Trace.record) ->
+                  if not (s.seq < r.seq && s.time <= r.time) then
+                    Alcotest.failf "flow %d edge goes backward" flow)
+          | _ -> ())
+        sink;
+      true)
+
+let qcheck_path_within_window =
+  qtest "critical path fits its occurrence window" seed_gen (fun seed ->
+      let az = analyze_sink (traced_hall_run ~seed ~loss:0.05 ()) in
+      List.iter
+        (fun (p : Analyze.path) ->
+          let total =
+            List.fold_left
+              (fun acc (h : Analyze.hop) ->
+                if h.h_ns < 0 then
+                  Alcotest.failf "negative hop %s" h.h_label;
+                acc + h.h_ns)
+              0 p.p_hops
+          in
+          if total > p.p_window_ns then
+            Alcotest.failf "path %d ns exceeds window %d ns" total
+              p.p_window_ns;
+          if p.p_src >= 0 && p.p_flow < 0 then
+            Alcotest.fail "resolved path without a flow id")
+        (Analyze.paths az);
+      true)
+
+let qcheck_edge_conservation =
+  qtest "edge accounting conserves sends" seed_gen (fun seed ->
+      (* Full stream, unbounded horizon: every send retires by match or
+         stays open; nothing expires, nothing arrives late. *)
+      let sink = traced_hall_run ~seed ~loss:0.05 () in
+      let az = analyze_sink sink in
+      let sends = ref 0 in
+      Trace.iter
+        (fun (r : Trace.record) ->
+          match r.event with Trace.Net_send _ -> incr sends | _ -> ())
+        sink;
+      Alcotest.(check int) "matched + open = sends" !sends
+        (Analyze.retired_edges az + Analyze.open_edges az);
+      Alcotest.(check int) "nothing expired" 0 (Analyze.expired_edges az);
+      true)
+
+let qcheck_quantiles_monotone =
+  qtest "delivery quantiles are monotone" seed_gen (fun seed ->
+      let az = analyze_sink (traced_hall_run ~seed ()) in
+      (match Analyze.delivery_quantiles az with
+      | None -> ()
+      | Some q ->
+          if
+            not
+              (0 <= q.Analyze.q50 && q.Analyze.q50 <= q.Analyze.q90
+             && q.Analyze.q90 <= q.Analyze.q99 && q.Analyze.q99 <= q.Analyze.q_max)
+          then Alcotest.fail "quantiles out of order");
+      true)
+
+(* --- bounded memory ------------------------------------------------------ *)
+
+let test_horizon_bounds_memory () =
+  (* A stream of sends that never match (their delivers are withheld):
+     without a horizon the open-edge set grows with the stream; with one
+     it stays pinned at the edges a horizon window can hold. *)
+  let feed_sends az n =
+    let sink = Trace.create ~retain:false () in
+    Trace.set_tap sink (Some (Analyze.feed az));
+    for i = 0 to n - 1 do
+      let flow = Trace.fresh_flow sink in
+      Trace.emit sink ~time:(i * 1_000_000) ~pid:1
+        (Trace.Net_send { src = 1; dst = 0; words = 1; kind = "k"; flow })
+    done
+  in
+  let n = 10_000 in
+  let unbounded = Analyze.create () in
+  feed_sends unbounded n;
+  Alcotest.(check int) "unbounded keeps every edge open" n
+    (Analyze.peak_open_edges unbounded);
+  let bounded = Analyze.create ~horizon_ns:10_000_000 () in
+  feed_sends bounded n;
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded peak %d stays within the horizon window"
+       (Analyze.peak_open_edges bounded))
+    true
+    (Analyze.peak_open_edges bounded <= 11);
+  Alcotest.(check int) "everything else expired"
+    (n - Analyze.open_edges bounded)
+    (Analyze.expired_edges bounded)
+
+let test_create_validates () =
+  Alcotest.check_raises "non-positive horizon rejected"
+    (Invalid_argument "Analyze.create: horizon_ns must be positive") (fun () ->
+      ignore (Analyze.create ~horizon_ns:0 ()))
+
+(* --- import round trip --------------------------------------------------- *)
+
+let test_import_round_trip () =
+  let sink = traced_hall_run ~loss:0.05 () in
+  let exported = Export.jsonl_string sink in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' exported)
+  in
+  let originals = Trace.records sink in
+  Alcotest.(check int) "line per record" (List.length originals)
+    (List.length lines);
+  List.iter2
+    (fun (orig : Trace.record) line ->
+      match Import.record_of_line line with
+      | Error e -> Alcotest.failf "seq %d: %s" orig.seq e
+      | Ok r ->
+          if r <> orig then
+            Alcotest.failf "seq %d did not round trip" orig.seq)
+    originals lines
+
+let test_import_file_feeds_analyzer () =
+  let sink = traced_hall_run ~loss:0.05 () in
+  let path = Filename.temp_file "psn_analyze" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Export.write_jsonl oc sink);
+      let from_file = Analyze.create () in
+      (match Import.iter_file (Analyze.feed from_file) path with
+      | Ok n -> Alcotest.(check int) "all records fed" (Trace.length sink) n
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check string) "file analysis == in-process analysis"
+        (Analyze.render (analyze_sink sink))
+        (Analyze.render from_file))
+
+let test_import_rejects_garbage () =
+  (match Import.record_of_line "{\"seq\":0}" with
+  | Ok _ -> Alcotest.fail "missing fields accepted"
+  | Error _ -> ());
+  match Import.record_of_line "{\"seq\":0,\"t_ns\":1,\"pid\":0,\"type\":\"warp\"}" with
+  | Ok _ -> Alcotest.fail "unknown type accepted"
+  | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "error names the type" true (contains e "warp")
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "render bytes" `Quick test_render_golden;
+          Alcotest.test_case "json bytes" `Quick test_json_golden;
+          Alcotest.test_case "paths attributed" `Quick test_paths_attributed;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "online == post-hoc" `Quick
+            test_online_equals_posthoc;
+          qcheck_online_equals_posthoc;
+        ] );
+      ( "invariants",
+        [
+          qcheck_dag_acyclic;
+          qcheck_path_within_window;
+          qcheck_edge_conservation;
+          qcheck_quantiles_monotone;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "horizon bounds open edges" `Quick
+            test_horizon_bounds_memory;
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+        ] );
+      ( "import",
+        [
+          Alcotest.test_case "round trip" `Quick test_import_round_trip;
+          Alcotest.test_case "file feeds analyzer" `Quick
+            test_import_file_feeds_analyzer;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_import_rejects_garbage;
+        ] );
+    ]

@@ -95,8 +95,9 @@ let test_e5_overhead_shape () =
   List.iter
     (fun row ->
       match row with
-      | [ n; clock; _; msgs; _ ] when clock = "strobe-scalar" || clock = "strobe-vector"
-        ->
+      (* Prefix match: analytics columns ride behind the cost columns. *)
+      | n :: clock :: _ :: msgs :: _
+        when clock = "strobe-scalar" || clock = "strobe-vector" ->
           let n = int_of_string n in
           Alcotest.(check string)
             (Printf.sprintf "broadcast cost at n=%d (%s)" n clock)

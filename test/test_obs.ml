@@ -287,7 +287,8 @@ let test_json_nonfinite_null () =
 (* --- chrome golden ------------------------------------------------------ *)
 
 (* A tiny synthetic run covering every exporter feature: a span, a
-   send->deliver flow pair, an occurrence window, and a counter track.
+   send->deliver flow pair, a send->drop flow pair (drops must finish
+   their flow arrow too), an occurrence window, and a counter track.
    The exact bytes are the contract — Perfetto-compatible output should
    never drift silently. *)
 let synthetic_sink_and_timeline () =
@@ -308,6 +309,11 @@ let synthetic_sink_and_timeline () =
     (Trace.Net_deliver { src = 0; dst = 1; kind = "detector"; flow });
   Trace.emit sink ~time:2_000 ~pid:0
     (Trace.Detector_occurrence { verdict = "positive"; window_ns = 1_000 });
+  let dropped = Trace.fresh_flow sink in
+  Trace.emit sink ~time:2_500 ~pid:1
+    (Trace.Net_send { src = 1; dst = 0; words = 2; kind = "detector"; flow = dropped });
+  Trace.emit sink ~time:2_500 ~pid:0
+    (Trace.Net_drop { src = 1; dst = 0; kind = "detector"; flow = dropped });
   Metrics.set g 0.0;
   Metrics.timeline_record tl ~time_ns:1_000 m;
   (sink, tl)
@@ -324,6 +330,10 @@ let chrome_golden =
 {"name":"net.deliver","ph":"X","ts":1.500,"dur":0.001,"pid":2,"tid":0,"args":{"seq":3,"src":0,"dst":1,"kind":"detector","flow":0}},
 {"name":"msg","cat":"net","ph":"f","bp":"e","id":0,"ts":1.500,"pid":2,"tid":0},
 {"name":"detector.occurrence","ph":"X","ts":1.000,"dur":1.000,"pid":1,"tid":1,"args":{"seq":4,"verdict":"positive","window_ns":1000}},
+{"name":"net.send","ph":"X","ts":2.500,"dur":0.001,"pid":2,"tid":0,"args":{"seq":5,"src":1,"dst":0,"words":2,"kind":"detector","flow":1}},
+{"name":"msg","cat":"net","ph":"s","id":1,"ts":2.500,"pid":2,"tid":0},
+{"name":"net.drop","ph":"X","ts":2.500,"dur":0.001,"pid":1,"tid":0,"args":{"seq":6,"src":1,"dst":0,"kind":"detector","flow":1}},
+{"name":"msg","cat":"net","ph":"f","bp":"e","id":1,"ts":2.500,"pid":1,"tid":0},
 {"name":"engine.queue_depth","ph":"C","ts":0.000,"pid":0,"args":{"value":1.0}},
 {"name":"engine.queue_depth","ph":"C","ts":1.000,"pid":0,"args":{"value":0.0}}
 ],"displayTimeUnit":"ms"}
