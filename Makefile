@@ -15,23 +15,23 @@ bench:
 	dune exec bench/main.exe
 
 # Microbenchmarks only (no experiment tables), written as JSON
-# (schema psn-bench/1, see DESIGN.md). BENCH_PR6.json in the repo root
-# is a committed snapshot of this output (BENCH_PR2..PR5.json are
+# (schema psn-bench/1, see DESIGN.md). BENCH_PR7.json in the repo root
+# is a committed snapshot of this output (BENCH_PR2..PR6.json are
 # prior snapshots, kept for before/after comparison).
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_PR6.json
+	dune exec bench/main.exe -- --json BENCH_PR7.json
 
 # Regression diff against the committed baseline.  Thresholds are
 # deliberately wide: committed numbers come from a different machine, so
 # only order-of-magnitude regressions should fail the build.  The
 # analyzer subjects get an even wider bound — replay throughput is the
-# most allocation-sensitive number here and varies most across runners.
-# Tighten with a locally regenerated baseline (make bench-json) for
-# real tuning.
+# most allocation-sensitive number here and varies most across runners;
+# vector.receive_into gets a tighter one so the arena fast path cannot
+# quietly fall behind the copy path again (the PR7 regression fix).
 bench-compare:
 	dune exec bench/main.exe -- \
-	  --only engine.schedule+run,vector.receive,analyze.posthoc,analyze.online \
-	  --compare BENCH_PR6.json --threshold analyze=200,100
+	  --only "engine.schedule+run,vector.receive,analyze.posthoc,analyze.online,hall.run.sharded(4)" \
+	  --compare BENCH_PR7.json --threshold analyze=200,receive_into=60,100
 
 # Full (slow) experiment profiles — the numbers in EXPERIMENTS.md.
 experiments:

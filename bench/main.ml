@@ -321,6 +321,50 @@ let modal_definitely =
   Test.make ~name:"modal.definitely(3x4)" (Staged.stage @@ fun () ->
       ignore (Psn_lattice.Modal.definitely stamps ~holds))
 
+(* --- PR7 sharded-engine subjects ----------------------------------------- *)
+
+(* Headline scaling workload: the shard-aware exhibition hall at 1000
+   doors, run once on the single-queue oracle and once per shard count
+   on the conservative-window engine.  Same construction and seed
+   everywhere (the differential suite proves the results identical), so
+   the ns/op ratios are pure engine overhead/scaling.  On a single-core
+   host the sharded subjects measure the window-barrier cost; the
+   speedup target needs real parallel hardware (see README). *)
+let sharded_hall_cfg =
+  let detect =
+    {
+      Psn_scenarios.Sharded.default_detect with
+      groups = 8;
+      flush_period = Sim_time.of_ms 250;
+      horizon = Sim_time.of_sec 60;
+    }
+  in
+  {
+    Psn_scenarios.Sharded.doors = 1000;
+    capacity = 120;
+    visitors = 400;
+    dwell_mean = 45.0;
+    detect;
+  }
+
+let hall_run_single =
+  Test.make ~name:"hall.run(n=1000)" (Staged.stage @@ fun () ->
+      ignore
+        (Sys.opaque_identity
+           (Psn_scenarios.Sharded.hall ~cfg:sharded_hall_cfg
+              (Psn_sim.Exec.single ()))))
+
+let hall_run_sharded k =
+  let lookahead =
+    Psn_sim.Delay_model.min_delay sharded_hall_cfg.detect.delay
+  in
+  Test.make ~name:(Printf.sprintf "hall.run.sharded(%d)" k)
+    (Staged.stage @@ fun () ->
+      ignore
+        (Sys.opaque_identity
+           (Psn_scenarios.Sharded.hall ~cfg:sharded_hall_cfg
+              (Psn_sim.Exec.sharded ~shards:k ~lookahead ()))))
+
 (* --- PR6 trace-analytics subjects ---------------------------------------- *)
 
 (* A synthetic, time-ordered record stream: 4k flow edges into checker 0
@@ -378,7 +422,8 @@ let subjects =
     ( "infra",
       [
         engine_event; engine_event_traced; predicate_eval; lattice_count;
-        detector_run;
+        detector_run; hall_run_single; hall_run_sharded 1; hall_run_sharded 2;
+        hall_run_sharded 4;
       ] );
     ( "middleware",
       [ flood_ring; causal_burst; causal_burst_copy; snapshot_round; mutex_round ] );
@@ -391,10 +436,18 @@ let subjects =
     ("obs", [ analyze_posthoc; analyze_online ]);
   ]
 
+(* Per-subject sampling budget, seconds.  The default keeps the full
+   sweep fast; committed snapshots are recorded with a larger quota
+   (PSN_BENCH_QUOTA=2) so the OLS fit averages over scheduler noise. *)
+let quota =
+  match Option.bind (Sys.getenv_opt "PSN_BENCH_QUOTA") float_of_string_opt with
+  | Some q when q > 0.0 -> q
+  | _ -> 0.25
+
 let benchmark test =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.25) ()
+    Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second quota) ()
   in
   Benchmark.all cfg instances test
 
@@ -408,6 +461,33 @@ let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
+
+(* Split a --only spec on commas at parenthesis depth zero, so patterns
+   may quote full subject names whose argument lists contain commas —
+   "hall.run(4 doors, 5min)" or "hall.run.sharded(4)" — consistently
+   with the (n=...) naming everywhere else. *)
+let split_patterns spec =
+  let out = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' ->
+          if !depth > 0 then decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 -> flush ()
+      | c -> Buffer.add_char buf c)
+    spec;
+  flush ();
+  List.rev !out
 
 (* Run the (optionally filtered) subjects and return [(name, ns/op)]
    rows sorted by name; estimates that failed to converge come back as
@@ -539,9 +619,48 @@ let threshold_for th name =
   | Some (_, p) -> p
   | None -> th.default_pct
 
+(* For a subject that exists only in the newer snapshot, find the
+   subject it is a variant of — "infra/hall.run.sharded(4)" reads
+   against "infra/hall.run(...)" — so the table can report a speedup
+   line instead of a bare "new" marker.  A base can carry several
+   parameterizations ("hall.run(4 doors, 5min)" next to
+   "hall.run(n=1000)"), so among candidates pick the one closest in
+   magnitude to [now]: the variant is a re-execution of the same
+   workload, not a differently-sized one. *)
+let sibling_of rows name now =
+  match String.index_opt name '(' with
+  | None -> None
+  | Some i -> (
+      let head = String.sub name 0 i in
+      match String.rindex_opt head '.' with
+      | None -> None
+      | Some j ->
+          let base = String.sub head 0 j in
+          List.filter_map
+            (fun (other, est) ->
+              match est with
+              | Some ns
+                when other <> name
+                     && String.length other > String.length base
+                     && String.sub other 0 (String.length base) = base
+                     && other.[String.length base] = '(' ->
+                  Some (other, ns)
+              | _ -> None)
+            rows
+          |> List.fold_left
+               (fun best (other, ns) ->
+                 let d = Float.abs (log (ns /. now)) in
+                 match best with
+                 | Some (_, _, bd) when bd <= d -> best
+                 | _ -> Some (other, ns, d))
+               None
+          |> Option.map (fun (other, ns, _) -> (other, ns)))
+
 (* Per-subject delta table against a baseline snapshot; [true] when some
    subject regressed past its threshold.  Subjects present on only one
-   side are reported but never fail the comparison. *)
+   side are reported but never fail the comparison: newer-only subjects
+   get a speedup line against their closest sibling in the same run,
+   and improvements past the threshold are called out as speedups. *)
 let compare_against ~thresholds:th baseline rows =
   let table_rows = ref [] and regressed = ref [] in
   List.iter
@@ -549,7 +668,13 @@ let compare_against ~thresholds:th baseline rows =
       match (est, List.assoc_opt name baseline) with
       | None, _ -> ()
       | Some now, None ->
-          table_rows := [ name; "-"; Printf.sprintf "%.1f" now; "new" ] :: !table_rows
+          let note =
+            match if now > 0.0 then sibling_of rows name now else None with
+            | Some (base_name, base_ns) ->
+                Printf.sprintf "new; %.2fx vs %s" (base_ns /. now) base_name
+            | None -> "new"
+          in
+          table_rows := [ name; "-"; Printf.sprintf "%.1f" now; note ] :: !table_rows
       | Some now, Some old ->
           let delta = if old > 0.0 then (now -. old) /. old *. 100.0 else 0.0 in
           let limit = threshold_for th name in
@@ -558,6 +683,8 @@ let compare_against ~thresholds:th baseline rows =
               regressed := (name, limit) :: !regressed;
               "  REGRESSED"
             end
+            else if delta < -.limit && now > 0.0 then
+              Printf.sprintf "  %.2fx faster" (old /. now)
             else ""
           in
           table_rows :=
@@ -600,7 +727,7 @@ let () =
         json := Some path;
         parse rest
     | "--only" :: s :: rest ->
-        only := Some (String.split_on_char ',' s);
+        only := Some (split_patterns s);
         parse rest
     | "--compare" :: path :: rest ->
         compare_to := Some path;

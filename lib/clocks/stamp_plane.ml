@@ -81,11 +81,26 @@ let set t h j v =
   if j < 0 || j >= t.width then invalid_arg "Stamp_plane.set: component";
   Array.unsafe_set t.data (h + j) v
 
+(* Copy [w] ints between a small array and the plane.  [Array.blit] is
+   a C call ([caml_array_blit]); its fixed call-and-check overhead is
+   ~4x the whole copy at stamp widths (the PR-6 bench showed
+   [receive_into(n=16)] at ~2x [receive_copy] for exactly this reason),
+   so small widths take a monomorphic unsafe loop and only wide planes
+   — where memmove's bulk speed wins back the call — go through blit. *)
+let blit_threshold = 64
+
+let[@inline] copy_ints (src : int array) sofs (dst : int array) dofs w =
+  if w <= blit_threshold then
+    for j = 0 to w - 1 do
+      Array.unsafe_set dst (dofs + j) (Array.unsafe_get src (sofs + j))
+    done
+  else Array.blit src sofs dst dofs w
+
 let of_array t (src : int array) =
   if Array.length src <> t.width then
     invalid_arg "Stamp_plane.of_array: width mismatch";
   let h = alloc t in
-  Array.blit src 0 t.data h t.width;
+  copy_ints src 0 t.data h t.width;
   h
 
 let read t h =
@@ -96,7 +111,7 @@ let blit_to t h dst =
   check t h;
   if Array.length dst <> t.width then
     invalid_arg "Stamp_plane.blit_to: width mismatch";
-  Array.blit t.data h dst 0 t.width
+  copy_ints t.data h dst 0 t.width
 
 (* Componentwise max of stamp [h] into [dst] — the merge half of VC3 /
    SVC2 writing straight into a live clock vector. *)
@@ -109,6 +124,32 @@ let max_into_array t h (dst : int array) =
     let x = Array.unsafe_get d (h + j) in
     if x > Array.unsafe_get dst j then Array.unsafe_set dst j x
   done
+
+(* The whole of VC3 in one plane pass: merge stamp [h] into the live
+   vector [vec] (componentwise max), tick component [me], and snapshot
+   the result into a fresh stamp.  Fusing the merge and the snapshot
+   walks (and paying one handle check instead of two) is what brings
+   [Vector_clock.receive_into] below the legacy copy path.  [h] is
+   checked before [alloc] so a dead handle still fails loudly; it stays
+   valid across a growing [alloc] because handles are offsets. *)
+let receive_snapshot t h (vec : int array) ~me =
+  check t h;
+  if Array.length vec <> t.width then
+    invalid_arg "Stamp_plane.receive_snapshot: width mismatch";
+  if me < 0 || me >= t.width then
+    invalid_arg "Stamp_plane.receive_snapshot: me out of range";
+  let out = alloc t in
+  let d = t.data in  (* re-read: [alloc] may have grown the backing *)
+  for j = 0 to t.width - 1 do
+    let x = Array.unsafe_get d (h + j) and y = Array.unsafe_get vec j in
+    let m = if x >= y then x else y in
+    Array.unsafe_set vec j m;
+    Array.unsafe_set d (out + j) m
+  done;
+  let m = Array.unsafe_get vec me + 1 in
+  Array.unsafe_set vec me m;
+  Array.unsafe_set d (out + me) m;
+  out
 
 (* --- handle-level stamp order (mirrors Vector_clock on arrays) --- *)
 

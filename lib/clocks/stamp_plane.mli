@@ -55,6 +55,12 @@ val max_into_array : t -> handle -> int array -> unit
 (** Componentwise max of the stamp into a live clock vector — the merge
     half of VC3 / SVC2, no allocation. *)
 
+val receive_snapshot : t -> handle -> int array -> me:int -> handle
+(** Full VC3 in one pass: merge the stamp into the live vector, tick
+    component [me], and return a fresh plane stamp of the result.  One
+    handle check and one fused loop — the production receive path when
+    the caller needs the post-receive snapshot. *)
+
 val leq : t -> handle -> handle -> bool
 val equal : t -> handle -> handle -> bool
 val happened_before : t -> handle -> handle -> bool

@@ -116,7 +116,7 @@ let receive_from plane t h =
   (* [me < length v] by construction. *)
   Array.unsafe_set t.v t.me (Array.unsafe_get t.v t.me + 1)
 
-(* VC3 with the post-receive snapshot written into the plane. *)
+(* VC3 with the post-receive snapshot written into the plane: one fused
+   merge+tick+snapshot pass (see [Stamp_plane.receive_snapshot]). *)
 let receive_into plane t h =
-  receive_from plane t h;
-  Stamp_plane.of_array plane t.v
+  Stamp_plane.receive_snapshot plane h t.v ~me:t.me

@@ -1,0 +1,304 @@
+(* Physical-stamp hold-back checker, written once against [Exec] so the
+   single-queue oracle and the sharded engine execute the same
+   construction (see the .mli for the determinism argument).
+
+   Cross-domain discipline, for every mutable piece:
+
+     - per-group update buffers, vector clocks, and stamp planes are
+       written only by events of that group, which the substrate runs on
+       one shard (one domain at a time);
+     - the checker's pending buffer, predicate env, and occurrence list
+       are written only by checker events (shard 0);
+     - the checker reads source-side data (var names, plane stamps) only
+       at delivery, which the window barrier places at least one
+       happens-before edge after the source wrote it.  A source shard
+       may grow its plane concurrently with a checker read of an older
+       stamp; growth blits, so every stamp from before the barrier is
+       visible whichever backing array the read lands on, and the live
+       length only grows, so the handle check cannot spuriously fail. *)
+
+module Engine = Psn_sim.Engine
+module Exec = Psn_sim.Exec
+module Sim_time = Psn_sim.Sim_time
+module Trace = Psn_obs.Trace
+module Metrics = Psn_obs.Metrics
+module Expr = Psn_predicates.Expr
+module Value = Psn_world.Value
+module Physical_clock = Psn_clocks.Physical_clock
+module Vector_clock = Psn_clocks.Vector_clock
+module Stamp_plane = Psn_clocks.Stamp_plane
+module Shard_net = Psn_network.Shard_net
+
+type cfg = {
+  n : int;
+  groups : int;
+  group_of : int -> int;
+  eps : Sim_time.t;
+  hold : Sim_time.t;
+  flush_period : Sim_time.t;
+  causal_stamps : bool;
+}
+
+type pending = {
+  p_update : Observation.update;
+  p_stamp : int;           (* physical stamp, ns *)
+  p_recv : Sim_time.t;     (* checker arrival time *)
+}
+
+type t = {
+  cfg : cfg;
+  exec : Exec.t;
+  net : Shard_net.t;
+  clocks : Physical_clock.t array;
+  vclocks : Vector_clock.t array;       (* causal_stamps only *)
+  planes : Stamp_plane.t array;         (* per group; causal_stamps only *)
+  checker_vc : Vector_clock.t option;
+  vars : string array array;            (* pid -> var slots, set at first emit *)
+  seqs : int array;                     (* per-source update sequence *)
+  by_group : Observation.update list ref array; (* ground-truth stream *)
+  sinks : Trace.sink array option;
+  mutable pend : pending list;          (* checker-local *)
+  env : (Expr.var, Value.t) Hashtbl.t;  (* checker-local *)
+  predicate : Expr.t;
+  mutable holds : bool;
+  mutable occs : Occurrence.t list;     (* newest first *)
+  c_updates : Metrics.counter array;    (* per group *)
+  c_occurrences : Metrics.counter;
+}
+
+let eval_safe predicate env =
+  match Expr.eval_bool ~env predicate with
+  | b -> b
+  | exception Expr.Unbound_variable _ -> false
+
+let mix_seed seed pid =
+  Int64.add seed (Int64.mul (Int64.of_int (pid + 1)) 0xC2B2AE3D27D4EB4FL)
+
+let checker_pid t = t.cfg.n
+
+(* Each source may use up to [max_vars] distinct variables; the name
+   index rides in the low bits of the seq lane so the checker can
+   reconstruct the update without a string on the wire.  Slots are
+   written once by the source's domain and read by the checker only
+   after a window barrier has ordered the write before the read. *)
+let max_vars = 4
+let var_bits = 2
+
+(* Total order on the flush batch from substrate-invariant keys only:
+   physical stamp, then source, then per-source sequence.  Arrival
+   order — the one thing a shard count can perturb among equal-time
+   deliveries — never participates. *)
+let compare_pending a b =
+  let c = compare a.p_stamp b.p_stamp in
+  if c <> 0 then c
+  else
+    let c = compare a.p_update.Observation.src b.p_update.Observation.src in
+    if c <> 0 then c
+    else compare a.p_update.Observation.seq b.p_update.Observation.seq
+
+let create ?loss ?sinks exec ~cfg ~delay ~predicate () =
+  if cfg.n <= 0 then invalid_arg "Sharded_detector.create: n must be positive";
+  if cfg.groups <= 0 then
+    invalid_arg "Sharded_detector.create: groups must be positive";
+  if Sim_time.(cfg.flush_period <= Sim_time.zero) then
+    invalid_arg "Sharded_detector.create: flush_period must be positive";
+  let n = cfg.n in
+  let seed = Exec.seed exec in
+  let group_of pid = if pid = n then 0 else cfg.group_of pid in
+  let net =
+    Shard_net.create ?loss ~label:"detector" ?sinks exec ~n:(n + 1)
+      ~groups:cfg.groups ~group_of ~delay ()
+  in
+  let clocks =
+    Array.init n (fun pid ->
+        Physical_clock.synced_within
+          (Psn_util.Rng.create ~seed:(mix_seed seed pid) ())
+          ~eps:cfg.eps)
+  in
+  let planes =
+    if cfg.causal_stamps then
+      Array.init cfg.groups (fun _ -> Stamp_plane.create ~n:(n + 1) ())
+    else [||]
+  in
+  let vclocks =
+    if cfg.causal_stamps then
+      Array.init n (fun pid -> Vector_clock.create ~n:(n + 1) ~me:pid)
+    else [||]
+  in
+  let c_updates =
+    Array.init cfg.groups (fun g ->
+        Metrics.counter
+          (Engine.metrics (Exec.engine exec ~group:g))
+          "sharded_detector.updates")
+  in
+  let c_occurrences =
+    Metrics.counter
+      (Engine.metrics (Exec.engine exec ~group:0))
+      "sharded_detector.occurrences"
+  in
+  let t =
+    {
+      cfg;
+      exec;
+      net;
+      clocks;
+      vclocks;
+      planes;
+      checker_vc =
+        (if cfg.causal_stamps then Some (Vector_clock.create ~n:(n + 1) ~me:n)
+         else None);
+      vars = Array.init n (fun _ -> Array.make max_vars "");
+      seqs = Array.make n 0;
+      by_group = Array.init cfg.groups (fun _ -> ref []);
+      sinks;
+      pend = [];
+      env = Hashtbl.create 64;
+      predicate;
+      holds = false;
+      occs = [];
+      c_updates;
+      c_occurrences;
+    }
+  in
+  (* Checker delivery: buffer with the arrival time; applied at flush. *)
+  Shard_net.set_handler net n (fun ~src ~a ~b ~c ~d ~e ->
+      let value = a and sense_time = b and stamp = c and vh = e in
+      let seq = d asr var_bits and var_idx = d land (max_vars - 1) in
+      (match t.checker_vc with
+      | Some vc when vh >= 0 ->
+          Vector_clock.receive_from t.planes.(group_of src) vc vh
+      | _ -> ());
+      let u =
+        {
+          Observation.src;
+          var = t.vars.(src).(var_idx);
+          value = Value.Int value;
+          seq;
+          sense_time;
+        }
+      in
+      let recv = Engine.now (Exec.engine exec ~group:0) in
+      t.pend <- { p_update = u; p_stamp = stamp; p_recv = recv } :: t.pend);
+  (* Fixed flush schedule on the checker's engine: every [flush_period],
+     apply all updates received at or before [now - hold].  Receive
+     times are substrate-invariant, so the batch content is too; the
+     batch order comes from [compare_pending]. *)
+  let checker_engine = Exec.engine exec ~group:0 in
+  ignore
+    (Engine.schedule_periodic checker_engine ~start:cfg.flush_period
+       ~period:cfg.flush_period (fun () ->
+         let now = Engine.now checker_engine in
+         let two_eps = 2 * cfg.eps in
+         let cutoff = Sim_time.sub now cfg.hold in
+         let ready, held =
+           List.partition
+             (fun p -> Sim_time.( <= ) p.p_recv cutoff)
+             t.pend
+         in
+         t.pend <- held;
+         let batch = List.sort compare_pending ready in
+         let arr = Array.of_list batch in
+         Array.iteri
+           (fun i p ->
+             let u = p.p_update in
+             Hashtbl.replace t.env (Observation.located u) u.Observation.value;
+             (match t.sinks with
+             | Some s ->
+                 Trace.emit s.(0) ~time:now ~pid:(checker_pid t)
+                   (Trace.Detector_update
+                      { var = u.Observation.var; seq = u.Observation.seq })
+             | None -> ());
+             let now_holds = eval_safe t.predicate (Hashtbl.find_opt t.env) in
+             if now_holds && not t.holds then begin
+               (* Race bin: an adjacent applied update from another
+                  process within the clock sync uncertainty could
+                  reorder the rise. *)
+               let raced j =
+                 j >= 0 && j < Array.length arr
+                 && arr.(j).p_update.Observation.src <> u.Observation.src
+                 && abs (arr.(j).p_stamp - p.p_stamp) < two_eps
+               in
+               let verdict =
+                 if raced (i - 1) || raced (i + 1) then Occurrence.Borderline
+                 else Occurrence.Positive
+               in
+               Metrics.tick t.c_occurrences;
+               (match t.sinks with
+               | Some s ->
+                   Trace.emit s.(0) ~time:now ~pid:(checker_pid t)
+                     (Trace.Detector_occurrence
+                        {
+                          verdict =
+                            (match verdict with
+                            | Occurrence.Positive -> "detect"
+                            | Occurrence.Borderline -> "borderline");
+                          window_ns =
+                            Sim_time.to_ns
+                              (Sim_time.sub now u.Observation.sense_time);
+                        })
+               | None -> ());
+               t.occs <-
+                 { Occurrence.detect_time = now; trigger = u; verdict }
+                 :: t.occs
+             end;
+             t.holds <- now_holds)
+           arr;
+         true));
+  t
+
+let net t = t.net
+
+let emit t ~src ~var ~value =
+  if src < 0 || src >= t.cfg.n then
+    invalid_arg "Sharded_detector.emit: src out of range";
+  let g = t.cfg.group_of src in
+  let engine = Exec.engine t.exec ~group:g in
+  let now = Engine.now engine in
+  let slots = t.vars.(src) in
+  let rec slot_of i =
+    if i >= max_vars then
+      invalid_arg "Sharded_detector.emit: more than 4 variables on one process"
+    else if slots.(i) = var then i
+    else if slots.(i) = "" then (slots.(i) <- var; i)
+    else slot_of (i + 1)
+  in
+  let var_idx = slot_of 0 in
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
+  let stamp = Physical_clock.read t.clocks.(src) ~now in
+  let vh =
+    if t.cfg.causal_stamps then
+      Vector_clock.tick_into t.planes.(g) t.vclocks.(src)
+    else -1
+  in
+  let u = { Observation.src; var; value = Value.Int value; seq; sense_time = now } in
+  let buf = t.by_group.(g) in
+  buf := u :: !buf;
+  Metrics.tick t.c_updates.(g);
+  (match t.sinks with
+  | Some s ->
+      Trace.emit s.(g) ~time:now ~pid:src (Trace.Clock_tick { clock = "physical" })
+  | None -> ());
+  Shard_net.send t.net ~src ~dst:t.cfg.n ~a:value ~b:now
+    ~c:(Sim_time.to_ns stamp) ~d:((seq lsl var_bits) lor var_idx) ~e:vh
+
+let updates t =
+  let all =
+    Array.fold_left (fun acc buf -> List.rev_append !buf acc) [] t.by_group
+  in
+  List.sort
+    (fun (a : Observation.update) (b : Observation.update) ->
+      let c = Sim_time.compare a.sense_time b.sense_time in
+      if c <> 0 then c
+      else
+        let c = compare a.src b.src in
+        if c <> 0 then c else compare a.seq b.seq)
+    all
+
+let occurrences t = List.rev t.occs
+
+let frontier t =
+  match t.checker_vc with Some vc -> Some (Vector_clock.read vc) | None -> None
+
+let plane t ~group =
+  if t.cfg.causal_stamps then Some t.planes.(group) else None

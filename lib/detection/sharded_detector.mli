@@ -1,0 +1,68 @@
+(** Hold-back consensus checker over an {!Psn_sim.Exec} substrate.
+
+    The sharded counterpart of the physical-clock linearizer: [n] sensor
+    processes (pids [0 .. n-1]) stamp their local-variable updates with
+    synced physical clocks and unicast them over a {!Psn_network.Shard_net}
+    to a checker process (pid [n], always group 0 / shard 0).  The
+    checker buffers arrivals and, on a fixed periodic flush schedule,
+    applies every update held back for at least [hold], in
+    (stamp, src, seq) order — a total order computed from
+    substrate-invariant keys, so the applied sequence (and with it every
+    occurrence) is identical on the single-queue oracle and on any shard
+    count, whatever equal-time arrival interleaving the window barrier
+    produced.  An occurrence is [Borderline] when its trigger's stamp is
+    within [2 * eps] of an adjacent applied update from another process
+    (the paper's race bin), [Positive] otherwise.
+
+    Per-shard stamp planes: with [causal_stamps] on, every source
+    additionally runs a vector clock whose stamps bump-allocate in its
+    {e group's} {!Psn_clocks.Stamp_plane} arena — each shard owns its
+    planes, writes are group-local (race-free intra-window), and the
+    checker merges received handles across planes into a causal frontier
+    after the barrier's happens-before edge.  The frontier is a
+    commutative max-merge, hence substrate-invariant; tests compare it
+    verbatim. *)
+
+type t
+
+type cfg = {
+  n : int;                       (* sensor pids 0 .. n-1; checker is pid n *)
+  groups : int;
+  group_of : int -> int;         (* sensor pid -> group; checker maps to 0 *)
+  eps : Psn_sim.Sim_time.t;      (* clock sync bound *)
+  hold : Psn_sim.Sim_time.t;     (* checker hold-back *)
+  flush_period : Psn_sim.Sim_time.t;
+  causal_stamps : bool;
+}
+
+val create :
+  ?loss:Psn_sim.Loss_model.t ->
+  ?sinks:Psn_obs.Trace.sink array ->
+  Psn_sim.Exec.t -> cfg:cfg -> delay:Psn_sim.Delay_model.t ->
+  predicate:Psn_predicates.Expr.t -> unit -> t
+(** Builds the transport (label ["detector"]), the per-pid clocks
+    (streams derived from [(Exec.seed, pid)]), the per-group planes, and
+    the checker's flush schedule on group 0's engine.  [sinks] (one per
+    group) additionally trace updates, occurrences, and the transport's
+    send/deliver/drop records. *)
+
+val emit : t -> src:int -> var:string -> value:int -> unit
+(** Called from a sense event executing on [src]'s group engine: stamps
+    the update and sends it to the checker.  Each source may use at most
+    four distinct variable names (the name index rides in the payload's
+    low bits rather than a string on the wire); a fifth raises. *)
+
+val net : t -> Psn_network.Shard_net.t
+
+val updates : t -> Observation.update list
+(** Every update emitted, merged across groups in (sense_time, src, seq)
+    order — the ground-truth stream. *)
+
+val occurrences : t -> Occurrence.t list
+
+val frontier : t -> int array option
+(** With [causal_stamps]: the checker's merged vector frontier
+    (width [n + 1]; component [n] counts checker merges). *)
+
+val plane : t -> group:int -> Psn_clocks.Stamp_plane.t option
+(** The group's stamp arena (with [causal_stamps]). *)

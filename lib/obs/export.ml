@@ -77,10 +77,12 @@ let type_name ev =
   | Span_end _ -> "span.end"
   | ev -> Trace.event_name ev
 
-let jsonl_record buf (r : Trace.record) =
+(* Everything after the sequence number: the seq-independent body shared
+   by the straight serializer and the canonical merge below. *)
+let jsonl_body buf (r : Trace.record) =
   Buffer.add_string buf
-    (Printf.sprintf "{\"seq\":%d,\"t_ns\":%d,\"pid\":%d,\"type\":\"%s\"" r.seq
-       r.time r.pid (type_name r.event));
+    (Printf.sprintf "\"t_ns\":%d,\"pid\":%d,\"type\":\"%s\"" r.time r.pid
+       (type_name r.event));
   (match r.event with
   | Mark { name } | Span_begin { name; _ } | Span_end { name; _ } ->
       Buffer.add_string buf ",\"name\":";
@@ -88,6 +90,10 @@ let jsonl_record buf (r : Trace.record) =
   | _ -> ());
   add_args buf (args_of_event r.event);
   Buffer.add_string buf "}\n"
+
+let jsonl_record buf (r : Trace.record) =
+  Buffer.add_string buf (Printf.sprintf "{\"seq\":%d," r.seq);
+  jsonl_body buf r
 
 let jsonl_to_buffer buf sink = Trace.iter (jsonl_record buf) sink
 
@@ -100,6 +106,44 @@ let write_jsonl oc sink =
   let buf = Buffer.create 4096 in
   jsonl_to_buffer buf sink;
   Buffer.output_buffer oc buf
+
+(* Canonical merge of per-shard sinks: records are ordered by
+   (time, pid, rendered body) — keys a substrate cannot perturb — and
+   re-sequenced, so the merged artifact of a sharded run is
+   byte-identical to the single-queue oracle's whenever the two runs
+   emitted the same record multiset.  Per-sink sequence numbers are
+   deliberately dropped: they encode arrival interleaving, which is the
+   one thing the window barrier is allowed to reorder among equal-time
+   events. *)
+let merged_jsonl sinks =
+  let bodies =
+    List.concat_map
+      (fun sink ->
+        List.map
+          (fun (r : Trace.record) ->
+            let b = Buffer.create 64 in
+            jsonl_body b r;
+            (r.time, r.pid, Buffer.contents b))
+          (Trace.records sink))
+      sinks
+  in
+  let sorted =
+    List.sort
+      (fun (t1, p1, b1) (t2, p2, b2) ->
+        let c = compare (t1 : int) t2 in
+        if c <> 0 then c
+        else
+          let c = compare (p1 : int) p2 in
+          if c <> 0 then c else String.compare b1 b2)
+      bodies
+  in
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i (_, _, body) ->
+      Buffer.add_string buf (Printf.sprintf "{\"seq\":%d," i);
+      Buffer.add_string buf body)
+    sorted;
+  Buffer.contents buf
 
 (* --- timeline JSONL ---------------------------------------------------- *)
 

@@ -18,6 +18,14 @@ val jsonl_to_buffer : Buffer.t -> Trace.sink -> unit
 val jsonl_string : Trace.sink -> string
 val write_jsonl : out_channel -> Trace.sink -> unit
 
+val merged_jsonl : Trace.sink list -> string
+(** Deterministic merge of per-shard sinks: records sorted by
+    (time, pid, rendered body) and re-sequenced.  The ordering keys are
+    substrate-invariant, so a sharded run's merged trace is
+    byte-identical to the single-queue oracle's when both emitted the
+    same records — per-sink sequence numbers (arrival interleaving) are
+    dropped by design. *)
+
 val timeline_jsonl_to_buffer : Buffer.t -> Metrics.timeline -> unit
 (** One line per sample: [{"t_ns":..,"values":{"metric":v,..}}], oldest
     first. *)

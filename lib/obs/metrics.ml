@@ -129,6 +129,46 @@ let reset t =
           h.h <- Stats.histogram_create ~lo:h.h_lo ~hi:h.h_hi ~bins:h.h_bins)
     t.table
 
+(* Deterministic union of per-shard snapshots: counters and histogram
+   bins sum; gauges take the last writer in argument order (shard
+   index), which is why sharded layers stick to counters and histograms
+   for anything that must merge back to the single-run value.  The
+   result is sorted by name like any [snapshot]. *)
+let merge_snapshots snaps =
+  let tbl : (string, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (name, v) ->
+          match (Hashtbl.find_opt tbl name, v) with
+          | None, _ -> Hashtbl.replace tbl name v
+          | Some (Counter a), Counter b -> Hashtbl.replace tbl name (Counter (a + b))
+          | Some (Gauge _), (Gauge _ as g) -> Hashtbl.replace tbl name g
+          | Some (Histogram a), Histogram b ->
+              if a.lo <> b.lo || a.hi <> b.hi
+                 || Array.length a.counts <> Array.length b.counts
+              then
+                invalid_arg
+                  (Printf.sprintf
+                     "Metrics.merge_snapshots: histogram %S bounds mismatch" name)
+              else
+                Hashtbl.replace tbl name
+                  (Histogram
+                     {
+                       a with
+                       counts = Array.map2 ( + ) a.counts b.counts;
+                       underflow = a.underflow + b.underflow;
+                       overflow = a.overflow + b.overflow;
+                     })
+          | Some _, _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Metrics.merge_snapshots: instrument %S kind mismatch" name))
+        snap)
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let find snap name = List.assoc_opt name snap
 
 let get_counter snap name =

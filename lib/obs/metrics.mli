@@ -61,6 +61,14 @@ val reset : t -> unit
 
 val empty_snapshot : snapshot
 
+val merge_snapshots : snapshot list -> snapshot
+(** Deterministic union: counters sum, histogram bins/overflows sum
+    (bounds must agree), gauges take the last writer in list order.
+    Merging the per-shard registries of a sharded run must reproduce the
+    single-run snapshot, so sharded layers register only counters and
+    histograms.  Raises [Invalid_argument] on instrument-kind or
+    histogram-bound mismatches. *)
+
 val find : snapshot -> string -> value option
 val get_counter : snapshot -> string -> int
 (** 0 when absent or not a counter. *)

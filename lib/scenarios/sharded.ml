@@ -1,0 +1,299 @@
+(* Shard-aware scenario workloads over the {!Psn_sim.Exec} substrate.
+
+   Each workload is constructed once — processes partitioned into a
+   fixed number of groups, every sense event pre-scheduled on its
+   group's engine from per-entity RNG streams — and then executed on
+   either substrate.  Construction happens entirely before [Exec.run],
+   on the coordinating domain, so scheduling order (and with it the
+   FIFO tie-break among equal-time events) is substrate-invariant by
+   construction.  All run-time randomness (message loss, delay) flows
+   through the transport's per-source streams.
+
+   The resulting {!Psn.Report.t} goes through the same scoring pipeline
+   as {!Psn.Runner.run}: ground-truth intervals from the merged update
+   stream, occurrence scoring with the configured tolerance.  The
+   differential suite compares these reports verbatim between the
+   single-queue oracle and sharded runs. *)
+
+module Engine = Psn_sim.Engine
+module Exec = Psn_sim.Exec
+module Sim_time = Psn_sim.Sim_time
+module Rng = Psn_util.Rng
+module Expr = Psn_predicates.Expr
+module Value = Psn_world.Value
+module D = Psn_detection
+module Sharded_detector = Psn_detection.Sharded_detector
+module Shard_net = Psn_network.Shard_net
+
+type detect_cfg = {
+  groups : int;
+  eps : Sim_time.t;
+  hold : Sim_time.t;
+  flush_period : Sim_time.t;
+  delay : Psn_sim.Delay_model.t;
+  loss : Psn_sim.Loss_model.t;
+  horizon : Sim_time.t;
+  tolerance : Sim_time.t;
+  causal_stamps : bool;
+}
+
+let default_detect =
+  {
+    groups = 4;
+    eps = Sim_time.of_ms 10;
+    hold = Sim_time.of_ms 600;
+    flush_period = Sim_time.of_ms 50;
+    delay =
+      Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 5)
+        ~max:(Sim_time.of_ms 60);
+    loss = Psn_sim.Loss_model.no_loss;
+    horizon = Sim_time.of_sec 600;
+    tolerance = Sim_time.of_sec 2;
+    causal_stamps = false;
+  }
+
+(* Entity streams decorrelated from the transport's per-source streams
+   (Shard_net mixes with a different odd constant). *)
+let entity_rng seed tag =
+  Rng.create
+    ~seed:(Int64.add seed (Int64.mul (Int64.of_int (tag + 1)) 0xBF58476D1CE4E5B9L))
+    ()
+
+(* Build detector + world, run, score — shared by every workload. *)
+let execute (dc : detect_cfg) exec ?sinks ~n ~group_of ~predicate ~init
+    ~populate () =
+  let cfg =
+    {
+      Sharded_detector.n;
+      groups = dc.groups;
+      group_of;
+      eps = dc.eps;
+      hold = dc.hold;
+      flush_period = dc.flush_period;
+      causal_stamps = dc.causal_stamps;
+    }
+  in
+  let det =
+    Sharded_detector.create ~loss:dc.loss ?sinks exec ~cfg ~delay:dc.delay
+      ~predicate ()
+  in
+  populate det;
+  Exec.run exec ~until:dc.horizon;
+  let updates = Sharded_detector.updates det in
+  let truth =
+    D.Ground_truth.intervals ~init ~updates ~predicate ~horizon:dc.horizon ()
+  in
+  let occurrences = Sharded_detector.occurrences det in
+  let summary =
+    D.Metrics.score ~tolerance:dc.tolerance ~policy:D.Metrics.As_positive
+      ~truth ~detections:occurrences ()
+  in
+  let net = Sharded_detector.net det in
+  ( {
+      Psn.Report.summary;
+      truth;
+      occurrences;
+      updates = List.length updates;
+      messages = Shard_net.sent net;
+      words = Shard_net.words net;
+      dropped = Shard_net.dropped net;
+      sim_events = Exec.events_processed exec;
+      horizon = dc.horizon;
+      metrics = Exec.merged_metrics exec;
+    },
+    det )
+
+(* {2 Exhibition hall}
+
+   The paper's §5 hall at shardable scale: [doors] badge sensors
+   partitioned into [groups] strips of the hall, occupancy predicate
+   Σ_i (x_i − y_i) > capacity.  Visitor itineraries are precomputed
+   from per-visitor streams; each crossing becomes a sense event on the
+   crossed door's group engine, so door counters stay group-local. *)
+
+type hall_cfg = {
+  doors : int;
+  capacity : int;
+  visitors : int;
+  dwell_mean : float;
+  detect : detect_cfg;
+}
+
+let hall_default =
+  { doors = 64; capacity = 15; visitors = 128; dwell_mean = 60.0;
+    detect = default_detect }
+
+let hall_predicate cfg =
+  let terms =
+    List.init cfg.doors (fun i ->
+        Expr.(var ~name:"x" ~loc:i -? var ~name:"y" ~loc:i))
+  in
+  Expr.(sum terms >? int cfg.capacity)
+
+let hall_init cfg =
+  List.concat
+    (List.init cfg.doors (fun i ->
+         [
+           ({ Expr.name = "x"; loc = i }, Value.Int 0);
+           ({ Expr.name = "y"; loc = i }, Value.Int 0);
+         ]))
+
+let hall ?(cfg = hall_default) ?sinks exec =
+  if cfg.doors <= 0 then invalid_arg "Sharded.hall: doors";
+  let dc = cfg.detect in
+  let group_of pid = pid * dc.groups / cfg.doors in
+  let seed = Exec.seed exec in
+  let report, _det =
+    execute dc exec ?sinks ~n:cfg.doors ~group_of
+      ~predicate:(hall_predicate cfg) ~init:(hall_init cfg)
+      ~populate:(fun det ->
+        let xs = Array.make cfg.doors 0 and ys = Array.make cfg.doors 0 in
+        for v = 0 to cfg.visitors - 1 do
+          let rng = entity_rng seed v in
+          let rec walk t inside =
+            let dwell = Rng.exponential rng ~mean:cfg.dwell_mean in
+            let t' = Sim_time.add t (Sim_time.of_sec_float dwell) in
+            if Sim_time.( < ) t' dc.horizon then begin
+              let door = Rng.int rng cfg.doors in
+              let engine = Exec.engine exec ~group:(group_of door) in
+              if inside then
+                Engine.schedule_at_unit engine t' (fun () ->
+                    ys.(door) <- ys.(door) + 1;
+                    Sharded_detector.emit det ~src:door ~var:"y"
+                      ~value:ys.(door))
+              else
+                Engine.schedule_at_unit engine t' (fun () ->
+                    xs.(door) <- xs.(door) + 1;
+                    Sharded_detector.emit det ~src:door ~var:"x"
+                      ~value:xs.(door));
+              walk t' (not inside)
+            end
+          in
+          walk Sim_time.zero false
+        done)
+      ()
+  in
+  report
+
+(* {2 Banking}
+
+   §6's timing-relation flavor restated as a quorum predicate over
+   [tellers] terminals: each terminal pulses [busy] around sessions
+   drawn from its own stream; the predicate fires when at least
+   [quorum] terminals are busy at once — the hall's sum with 0/1
+   variables and pulse (rather than counter) dynamics, which exercises
+   predicate falling edges under sharding. *)
+
+type banking_cfg = {
+  tellers : int;
+  quorum : int;
+  sessions_per_hour : float;
+  session_mean : float; (* seconds *)
+  detect : detect_cfg;
+}
+
+let banking_default =
+  { tellers = 12; quorum = 4; sessions_per_hour = 180.0; session_mean = 45.0;
+    detect = default_detect }
+
+let banking_predicate cfg =
+  let terms =
+    List.init cfg.tellers (fun i -> Expr.(var ~name:"busy" ~loc:i))
+  in
+  Expr.(sum terms >=? int cfg.quorum)
+
+let banking_init cfg =
+  List.init cfg.tellers (fun i ->
+      ({ Expr.name = "busy"; loc = i }, Value.Int 0))
+
+let banking ?(cfg = banking_default) ?sinks exec =
+  if cfg.tellers <= 0 then invalid_arg "Sharded.banking: tellers";
+  let dc = cfg.detect in
+  let group_of pid = pid * dc.groups / cfg.tellers in
+  let seed = Exec.seed exec in
+  let report, _det =
+    execute dc exec ?sinks ~n:cfg.tellers ~group_of
+      ~predicate:(banking_predicate cfg) ~init:(banking_init cfg)
+      ~populate:(fun det ->
+        for teller = 0 to cfg.tellers - 1 do
+          let rng = entity_rng seed teller in
+          let engine = Exec.engine exec ~group:(group_of teller) in
+          let rec sessions t =
+            let gap =
+              Rng.exponential rng ~mean:(3600.0 /. cfg.sessions_per_hour)
+            in
+            let start = Sim_time.add t (Sim_time.of_sec_float gap) in
+            let len = Rng.exponential rng ~mean:cfg.session_mean in
+            let stop = Sim_time.add start (Sim_time.of_sec_float len) in
+            if Sim_time.( < ) start dc.horizon then begin
+              Engine.schedule_at_unit engine start (fun () ->
+                  Sharded_detector.emit det ~src:teller ~var:"busy" ~value:1);
+              if Sim_time.( < ) stop dc.horizon then
+                Engine.schedule_at_unit engine stop (fun () ->
+                    Sharded_detector.emit det ~src:teller ~var:"busy" ~value:0);
+              sessions stop
+            end
+          in
+          sessions Sim_time.zero
+        done)
+      ()
+  in
+  report
+
+(* {2 Hospital}
+
+   Ward monitors sampling a bounded vital-sign random walk on per-ward
+   periods; the alarm predicate is an elevated ward-average — a
+   relational predicate whose every update moves the sum, stressing the
+   checker's apply path harder than the pulse workloads. *)
+
+type hospital_cfg = {
+  wards : int;
+  sample_period : float; (* mean seconds between samples *)
+  threshold : int;       (* alarm when Σ vitals > wards * threshold *)
+  detect : detect_cfg;
+}
+
+let hospital_default =
+  { wards = 16; sample_period = 5.0; threshold = 110; detect = default_detect }
+
+let hospital_predicate cfg =
+  let terms =
+    List.init cfg.wards (fun i -> Expr.(var ~name:"vital" ~loc:i))
+  in
+  Expr.(sum terms >? int (cfg.wards * cfg.threshold))
+
+let hospital_init cfg =
+  List.init cfg.wards (fun i ->
+      ({ Expr.name = "vital"; loc = i }, Value.Int 100))
+
+let hospital ?(cfg = hospital_default) ?sinks exec =
+  if cfg.wards <= 0 then invalid_arg "Sharded.hospital: wards";
+  let dc = cfg.detect in
+  let group_of pid = pid * dc.groups / cfg.wards in
+  let seed = Exec.seed exec in
+  let report, _det =
+    execute dc exec ?sinks ~n:cfg.wards ~group_of
+      ~predicate:(hospital_predicate cfg) ~init:(hospital_init cfg)
+      ~populate:(fun det ->
+        for ward = 0 to cfg.wards - 1 do
+          let rng = entity_rng seed ward in
+          let engine = Exec.engine exec ~group:(group_of ward) in
+          let vital = ref 100 in
+          let rec samples t =
+            let gap = Rng.exponential rng ~mean:cfg.sample_period in
+            let at = Sim_time.add t (Sim_time.of_sec_float gap) in
+            if Sim_time.( < ) at dc.horizon then begin
+              Engine.schedule_at_unit engine at (fun () ->
+                  let step = Rng.int rng 11 - 5 in
+                  vital := Stdlib.max 50 (Stdlib.min 160 (!vital + step));
+                  Sharded_detector.emit det ~src:ward ~var:"vital"
+                    ~value:!vital);
+              samples at
+            end
+          in
+          samples Sim_time.zero
+        done)
+      ()
+  in
+  report

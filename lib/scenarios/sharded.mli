@@ -1,0 +1,83 @@
+(** Shard-aware scenario workloads over {!Psn_sim.Exec}.
+
+    Substrate-invariant restatements of the exhibition hall, banking,
+    and hospital scenarios: processes are partitioned into a fixed
+    number of groups, every sense event is pre-scheduled on its group's
+    engine from per-entity RNG streams, and detection runs on the
+    {!Psn_detection.Sharded_detector} hold-back checker.  Running the
+    same configuration and seed on {!Psn_sim.Exec.single} and on
+    {!Psn_sim.Exec.sharded} with any shard count must produce equal
+    reports — the property the differential suite checks.
+
+    Each run function scores through the same pipeline as
+    {!Psn.Runner.run} (ground-truth intervals over the merged update
+    stream, tolerance-scored occurrences) and fills every
+    {!Psn.Report.t} field, including merged metrics and transport
+    costs. *)
+
+type detect_cfg = {
+  groups : int;              (** fixed partition, independent of shard count *)
+  eps : Psn_sim.Sim_time.t;  (** physical clock sync bound *)
+  hold : Psn_sim.Sim_time.t; (** checker hold-back *)
+  flush_period : Psn_sim.Sim_time.t;
+  delay : Psn_sim.Delay_model.t;
+  loss : Psn_sim.Loss_model.t;
+  horizon : Psn_sim.Sim_time.t;
+  tolerance : Psn_sim.Sim_time.t; (** scoring tolerance *)
+  causal_stamps : bool;      (** per-group stamp planes + causal frontier *)
+}
+
+val default_detect : detect_cfg
+
+(** {2 Exhibition hall} — [doors] badge sensors in group strips,
+    occupancy predicate Σ (xᵢ − yᵢ) > capacity, visitors walking on
+    precomputed itineraries.  The headline scaling workload at
+    [doors >= 1000]. *)
+
+type hall_cfg = {
+  doors : int;
+  capacity : int;
+  visitors : int;
+  dwell_mean : float; (** mean seconds per stay, each side of the doors *)
+  detect : detect_cfg;
+}
+
+val hall_default : hall_cfg
+val hall_predicate : hall_cfg -> Psn_predicates.Expr.t
+
+val hall :
+  ?cfg:hall_cfg -> ?sinks:Psn_obs.Trace.sink array -> Psn_sim.Exec.t ->
+  Psn.Report.t
+
+(** {2 Banking} — teller terminals pulsing [busy] around sessions;
+    alarm when at least [quorum] are busy at once. *)
+
+type banking_cfg = {
+  tellers : int;
+  quorum : int;
+  sessions_per_hour : float;
+  session_mean : float;
+  detect : detect_cfg;
+}
+
+val banking_default : banking_cfg
+
+val banking :
+  ?cfg:banking_cfg -> ?sinks:Psn_obs.Trace.sink array -> Psn_sim.Exec.t ->
+  Psn.Report.t
+
+(** {2 Hospital} — ward monitors sampling a bounded vital-sign walk;
+    alarm when the ward average is elevated. *)
+
+type hospital_cfg = {
+  wards : int;
+  sample_period : float;
+  threshold : int;
+  detect : detect_cfg;
+}
+
+val hospital_default : hospital_cfg
+
+val hospital :
+  ?cfg:hospital_cfg -> ?sinks:Psn_obs.Trace.sink array -> Psn_sim.Exec.t ->
+  Psn.Report.t

@@ -50,6 +50,20 @@ let sample t rng =
       Sim_time.of_sec_float
         (Psn_util.Rng.pareto rng ~scale:(Sim_time.to_sec_float scale) ~shape)
 
+(* Guaranteed minimum delay — the conservative-synchronization lookahead
+   bound: every [sample] is >= [min_delay].  For the uniform model this
+   is [min] ([sample] adds a non-negative rounded offset to it); for
+   Pareto it is the float round-trip of [scale] (u^(-1/shape) >= 1 and
+   [of_sec_float] is monotone, so no sample can round below it).  The
+   exponential models can sample arbitrarily close to zero, as can
+   Synchronous by definition. *)
+let min_delay = function
+  | Synchronous -> Sim_time.zero
+  | Bounded_uniform { min; _ } -> min
+  | Bounded_exponential _ | Unbounded_exponential _ -> Sim_time.zero
+  | Unbounded_pareto { scale; _ } ->
+      Sim_time.of_sec_float (Sim_time.to_sec_float scale)
+
 (* The Δ bound when one exists; [None] for the unbounded models. *)
 let delta = function
   | Synchronous -> Some Sim_time.zero

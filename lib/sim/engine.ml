@@ -57,6 +57,10 @@ let scenario_rng t = t.aux_rng
 let events_processed t = t.processed
 let pending t = Event_queue.length t.queue
 
+let next_time_ns t =
+  if Event_queue.is_empty t.queue then max_int
+  else Event_queue.min_time_ns t.queue
+
 let tracer t = t.tracer
 let set_tracer t s = t.tracer <- s
 let metrics t = t.metrics
@@ -94,12 +98,12 @@ let schedule_after_unit t delay action =
     invalid_arg "Engine.schedule_after_unit: negative delay";
   schedule_at_unit t (Sim_time.add t.now delay) action
 
-let create ?(seed = 42L) ?tracer ?timeline () =
+let create ?(seed = 42L) ?tracer ?timeline ?(use_default_obs = true) () =
   let metrics = Metrics.create () in
   let timeline =
     match timeline with
     | Some _ as tl -> tl
-    | None -> Metrics.default_timeline ()
+    | None -> if use_default_obs then Metrics.default_timeline () else None
   in
   let t =
     {
@@ -108,7 +112,10 @@ let create ?(seed = 42L) ?tracer ?timeline () =
       queue = Event_queue.create ~dummy:(Fast noop) ();
       rng = Psn_util.Rng.create ~seed ();
       aux_rng = Psn_util.Rng.create ~seed:(Int64.add seed 0x5DEECE66DL) ();
-      tracer = (match tracer with Some _ as s -> s | None -> Trace.default ());
+      tracer =
+        (match tracer with
+        | Some _ as s -> s
+        | None -> if use_default_obs then Trace.default () else None);
       timeline;
       metrics;
       c_scheduled = Metrics.counter metrics "engine.scheduled";

@@ -10,6 +10,7 @@ val create :
   ?seed:int64 ->
   ?tracer:Psn_obs.Trace.sink ->
   ?timeline:Psn_obs.Metrics.timeline ->
+  ?use_default_obs:bool ->
   unit -> t
 (** When [tracer] is omitted, the process-wide [Psn_obs.Trace.default]
     sink (if any) is picked up, so deeply nested engine creations trace
@@ -18,7 +19,12 @@ val create :
     engine registers an [engine.queue_depth] gauge and snapshots its
     registry every [timeline_period_ns] of simulated time, stopping when
     the rest of the queue drains (so [run] without a horizon still
-    terminates). *)
+    terminates).
+
+    [use_default_obs] (default [true]) controls that pickup: engines
+    destined for worker domains ([Sharded_engine] shards) pass [false],
+    because the process-wide defaults are not domain-safe and a shard
+    must not observe sinks installed for the coordinating run. *)
 
 val now : t -> Sim_time.t
 val rng : t -> Psn_util.Rng.t
@@ -42,6 +48,10 @@ val scenario_rng : t -> Psn_util.Rng.t
 
 val events_processed : t -> int
 val pending : t -> int
+
+val next_time_ns : t -> int
+(** Time key of the earliest pending event; [max_int] when the queue is
+    empty.  The conservative window computation reads this per shard. *)
 
 val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
 (** Raises if the time is before [now]. *)

@@ -20,10 +20,24 @@ let default_override = ref None
 
 let set_default_domains n = default_override := n
 
+(* [PSN_DOMAINS] pins the worker count from the outside — CI uses it to
+   re-run the whole suite single-domain without touching test code.  It
+   sits below [set_default_domains] so programmatic overrides still win,
+   and is read per call so a test harness can flip it. *)
+let env_domains () =
+  match Sys.getenv_opt "PSN_DOMAINS" with
+  | None | Some "" -> None
+  | Some s -> (match int_of_string_opt (String.trim s) with
+               | Some d when d >= 1 -> Some d
+               | Some _ | None -> None)
+
 let default_domains () =
   match !default_override with
   | Some d -> if d < 1 then 1 else d
-  | None -> max 1 (Domain.recommended_domain_count () - 1)
+  | None -> (
+      match env_domains () with
+      | Some d -> d
+      | None -> max 1 (Domain.recommended_domain_count () - 1))
 
 (* Global single-domain switch: tracing into a process-wide sink is not
    domain-safe, so the CLI flips this before running with --trace. Runs

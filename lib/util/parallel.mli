@@ -14,7 +14,10 @@
     deadlocking. *)
 
 val default_domains : unit -> int
-(** Recommended worker count, leaving one core for the main domain. *)
+(** Recommended worker count, leaving one core for the main domain.
+    The [PSN_DOMAINS] environment variable, when set to a positive
+    integer, pins this from the outside (CI re-runs the suite with
+    [PSN_DOMAINS=1]); a [set_default_domains] override still wins. *)
 
 val set_default_domains : int option -> unit
 (** Override what [default_domains] reports (and so what maps without

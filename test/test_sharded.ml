@@ -1,0 +1,324 @@
+(* Differential suite for the sharded execution substrate.
+
+   The correctness contract: a shard-aware workload produces identical
+   observable results — report, occurrences, merged trace bytes, causal
+   frontier — on the single-queue oracle and on the sharded engine at
+   any shard count.  Every test here builds the same workload twice
+   (same seed) and compares verbatim; [compare ... = 0] rather than
+   [=] so NaN summary fields (zero-detection runs) compare equal. *)
+
+module Engine = Psn_sim.Engine
+module Exec = Psn_sim.Exec
+module Sharded_engine = Psn_sim.Sharded_engine
+module Sim_time = Psn_sim.Sim_time
+module Delay_model = Psn_sim.Delay_model
+module Loss_model = Psn_sim.Loss_model
+module Rng = Psn_util.Rng
+module Parallel = Psn_util.Parallel
+module Trace = Psn_obs.Trace
+module Export = Psn_obs.Export
+module Metrics = Psn_obs.Metrics
+module Expr = Psn_predicates.Expr
+module Value = Psn_world.Value
+module Sharded_detector = Psn_detection.Sharded_detector
+module Sharded = Psn_scenarios.Sharded
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let ms = Sim_time.of_ms
+let shard_counts = [ 1; 2; 4 ]
+
+let delay_small =
+  Delay_model.bounded_uniform ~min:(ms 5) ~max:(ms 60)
+
+(* Run one workload on every substrate: the single oracle and sharded
+   K in {1,2,4}.  [build] receives the substrate and per-group sinks
+   and returns whatever observable the caller compares. *)
+let on_substrates ~seed ~groups ~lookahead build =
+  let run exec =
+    let sinks = Array.init groups (fun _ -> Trace.create ()) in
+    let obs = build exec sinks in
+    (obs, Export.merged_jsonl (Array.to_list sinks))
+  in
+  let oracle = run (Exec.single ~seed ()) in
+  let sharded =
+    List.map
+      (fun k -> (k, run (Exec.sharded ~seed ~shards:k ~lookahead ())))
+      shard_counts
+  in
+  (oracle, sharded)
+
+let substrate_invariant ~seed ~groups ~lookahead build =
+  let (obs0, trace0), sharded = on_substrates ~seed ~groups ~lookahead build in
+  List.for_all
+    (fun (k, (obs, trace)) ->
+      let ok = compare obs0 obs = 0 && String.equal trace0 trace in
+      if not ok then
+        QCheck.Test.fail_reportf
+          "substrate divergence at K=%d: report %s, trace %s (lengths %d vs %d)"
+          k
+          (if compare obs0 obs = 0 then "equal" else "DIFFERS")
+          (if String.equal trace0 trace then "equal" else "DIFFERS")
+          (String.length trace0) (String.length trace);
+      ok)
+    sharded
+
+(* {2 Scenario differentials: hall / banking / hospital} *)
+
+let small_detect =
+  {
+    Sharded.default_detect with
+    groups = 4;
+    flush_period = ms 100;
+    horizon = Sim_time.of_sec 120;
+    delay = delay_small;
+  }
+
+let test_hall_differential =
+  qtest ~count:6 "hall: report + merged trace identical across substrates"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cfg =
+        { Sharded.hall_default with
+          doors = 16; visitors = 24; capacity = 6; detect = small_detect }
+      in
+      substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
+        ~lookahead:(Delay_model.min_delay delay_small)
+        (fun exec sinks -> Sharded.hall ~cfg ~sinks exec))
+
+let test_banking_differential =
+  qtest ~count:6 "banking: report + merged trace identical across substrates"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cfg =
+        { Sharded.banking_default with
+          tellers = 10; quorum = 3; detect = small_detect }
+      in
+      substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
+        ~lookahead:(Delay_model.min_delay delay_small)
+        (fun exec sinks -> Sharded.banking ~cfg ~sinks exec))
+
+let test_hospital_differential =
+  qtest ~count:6 "hospital: report + merged trace identical across substrates"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cfg =
+        { Sharded.wards = 12; sample_period = 8.0; threshold = 102;
+          detect = small_detect }
+      in
+      substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
+        ~lookahead:(Delay_model.min_delay delay_small)
+        (fun exec sinks -> Sharded.hospital ~cfg ~sinks exec))
+
+(* {2 Random scripts with churn and loss}
+
+   Each process gets an arrival and a departure time (churn) and emits
+   a value walk in between; messages cross a lossy link.  The script is
+   derived purely from the seed, so both substrates construct the same
+   one; causal stamp planes are on, so the checker's merged frontier is
+   compared too. *)
+
+let script_observables ~seed ~n ~groups ~loss_p exec sinks =
+  let horizon = Sim_time.of_sec 90 in
+  let cfg =
+    {
+      Sharded_detector.n;
+      groups;
+      group_of = (fun pid -> pid * groups / n);
+      eps = ms 10;
+      hold = ms 400;
+      flush_period = ms 100;
+      causal_stamps = true;
+    }
+  in
+  let predicate =
+    Expr.(sum (List.init n (fun i -> var ~name:"v" ~loc:i)) >? int (n * 55))
+  in
+  let det =
+    Sharded_detector.create ~loss:(Loss_model.bernoulli loss_p) ~sinks exec
+      ~cfg ~delay:delay_small ~predicate ()
+  in
+  let h = Sim_time.to_sec_float horizon in
+  for pid = 0 to n - 1 do
+    let rng =
+      Rng.create
+        ~seed:(Int64.add seed (Int64.mul (Int64.of_int (pid + 7)) 0x2545F4914F6CDD1DL))
+        ()
+    in
+    let arrival = Rng.float rng (h /. 3.0) in
+    let departure = h -. Rng.float rng (h /. 3.0) in
+    let engine = Exec.engine exec ~group:(cfg.group_of pid) in
+    let v = ref 50 in
+    let rec emits t =
+      let t' = t +. Rng.exponential rng ~mean:2.5 in
+      if t' < departure then begin
+        Engine.schedule_at_unit engine (Sim_time.of_sec_float t') (fun () ->
+            v := Stdlib.max 0 (Stdlib.min 100 (!v + Rng.int rng 21 - 10));
+            Sharded_detector.emit det ~src:pid ~var:"v" ~value:!v);
+        emits t'
+      end
+    in
+    emits arrival
+  done;
+  Exec.run exec ~until:horizon;
+  ( Sharded_detector.updates det,
+    Sharded_detector.occurrences det,
+    Sharded_detector.frontier det,
+    Exec.events_processed exec,
+    Exec.merged_metrics exec )
+
+let test_script_differential =
+  qtest ~count:8 "random scripts (churn + loss): observables substrate-invariant"
+    QCheck.(triple (int_range 0 10_000) (int_range 6 18) (int_range 0 30))
+    (fun (seed, n, loss_pct) ->
+      let groups = 1 + (n / 4) in
+      substrate_invariant ~seed:(Int64.of_int seed) ~groups
+        ~lookahead:(Delay_model.min_delay delay_small)
+        (script_observables ~seed:(Int64.of_int seed) ~n ~groups
+           ~loss_p:(float_of_int loss_pct /. 100.0)))
+
+(* {2 Lookahead: Delay_model.min_delay} *)
+
+let models_with_names =
+  [
+    ("synchronous", Delay_model.synchronous);
+    ("bounded_uniform", Delay_model.bounded_uniform ~min:(ms 3) ~max:(ms 40));
+    ("bounded_exponential",
+     Delay_model.bounded_exponential ~mean:(ms 10) ~cap:(ms 200));
+    ("unbounded_exponential", Delay_model.unbounded_exponential ~mean:(ms 10));
+    ("unbounded_pareto",
+     Delay_model.unbounded_pareto ~scale:(ms 2) ~shape:1.5);
+  ]
+
+let test_min_delay_bound =
+  qtest ~count:40 "min_delay: every sampled delay respects the bound"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      List.for_all
+        (fun (name, m) ->
+          let lo = Delay_model.min_delay m in
+          let ok = ref true in
+          for _ = 1 to 500 do
+            if Sim_time.( < ) (Delay_model.sample m rng) lo then ok := false
+          done;
+          if not !ok then
+            QCheck.Test.fail_reportf "%s sampled below its min_delay" name;
+          !ok)
+        models_with_names)
+
+let test_zero_lookahead_rejected () =
+  List.iter
+    (fun bad ->
+      match Exec.sharded ~shards:2 ~lookahead:bad () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "zero/negative lookahead must be rejected")
+    [ Sim_time.zero ];
+  (* The message should steer users toward min_delay. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (match Exec.sharded ~shards:2 ~lookahead:Sim_time.zero () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "mentions lookahead" true (contains msg "lookahead")
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+(* {2 Engine-level window mechanics} *)
+
+let test_window_rounds () =
+  (* Two shards exchanging pings: rounds advance, clocks align at the
+     horizon, and events land exactly where the oracle puts them. *)
+  let lookahead = ms 10 in
+  let t = Sharded_engine.create ~shards:2 ~lookahead () in
+  let log = ref [] in
+  for s = 0 to 1 do
+    Sharded_engine.set_handler t ~shard:s
+      (fun ~dst ~w0 ~w1:_ ~w2:_ ~w3:_ ~w4:_ ~w5:_ ~w6:_ ->
+        log := (dst, w0) :: !log)
+  done;
+  (* Cross-shard ping every 25 ms, both directions. *)
+  for i = 0 to 9 do
+    let at = Sim_time.add (ms 25) (Sim_time.scale (ms 25) (float_of_int i)) in
+    Sharded_engine.post t ~src_shard:0 ~dst_shard:1 ~at ~dst:1 ~w0:i ~w1:0
+      ~w2:0 ~w3:0 ~w4:0 ~w5:0 ~w6:0;
+    Sharded_engine.post t ~src_shard:1 ~dst_shard:0 ~at ~dst:0 ~w0:(100 + i)
+      ~w1:0 ~w2:0 ~w3:0 ~w4:0 ~w5:0 ~w6:0
+  done;
+  Sharded_engine.run t ~until:(Sim_time.of_sec 1);
+  Alcotest.(check int) "all pings delivered" 20 (List.length !log);
+  Alcotest.(check bool) "windows advanced" true (Sharded_engine.windows t > 0);
+  Alcotest.(check int) "clock at horizon" (Sim_time.to_ns (Sim_time.of_sec 1))
+    (Sim_time.to_ns (Sharded_engine.now t))
+
+let test_psn_domains_env () =
+  let prev = try Some (Sys.getenv "PSN_DOMAINS") with Not_found -> None in
+  let restore () =
+    match prev with
+    | Some v -> Unix.putenv "PSN_DOMAINS" v
+    | None -> Unix.putenv "PSN_DOMAINS" ""
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "PSN_DOMAINS" "3";
+      Alcotest.(check int) "PSN_DOMAINS pins default_domains" 3
+        (Parallel.default_domains ());
+      Unix.putenv "PSN_DOMAINS" "not-a-number";
+      Alcotest.(check bool) "garbage ignored" true
+        (Parallel.default_domains () >= 1))
+
+(* {2 Metrics merge} *)
+
+let test_merge_snapshots () =
+  let r1 = Metrics.create () and r2 = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter r1 "c.shared");
+  Metrics.incr ~by:4 (Metrics.counter r2 "c.shared");
+  Metrics.incr ~by:7 (Metrics.counter r2 "c.only2");
+  let h1 = Metrics.histogram r1 ~lo:0.0 ~hi:10.0 ~bins:5 "h" in
+  let h2 = Metrics.histogram r2 ~lo:0.0 ~hi:10.0 ~bins:5 "h" in
+  Metrics.observe h1 1.0;
+  Metrics.observe h2 1.0;
+  Metrics.observe h2 99.0;
+  let merged = Metrics.merge_snapshots [ Metrics.snapshot r1; Metrics.snapshot r2 ] in
+  Alcotest.(check int) "counters sum" 7 (Metrics.get_counter merged "c.shared");
+  Alcotest.(check int) "singleton passes through" 7
+    (Metrics.get_counter merged "c.only2");
+  (match Metrics.find merged "h" with
+  | Some (Metrics.Histogram { counts; overflow; _ }) ->
+      Alcotest.(check int) "bins sum" 2 (Array.fold_left ( + ) 0 counts);
+      Alcotest.(check int) "overflow sums" 1 overflow
+  | _ -> Alcotest.fail "histogram missing from merge");
+  (* Kind mismatch must raise, not silently coerce. *)
+  let r3 = Metrics.create () in
+  Metrics.set (Metrics.gauge r3 "c.shared") 1.0;
+  match Metrics.merge_snapshots [ Metrics.snapshot r1; Metrics.snapshot r3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise"
+
+let () =
+  Alcotest.run "psn_sharded"
+    [
+      ( "differential",
+        [
+          test_hall_differential;
+          test_banking_differential;
+          test_hospital_differential;
+          test_script_differential;
+        ] );
+      ( "lookahead",
+        [
+          test_min_delay_bound;
+          Alcotest.test_case "zero lookahead rejected" `Quick
+            test_zero_lookahead_rejected;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "window rounds + clock alignment" `Quick
+            test_window_rounds;
+          Alcotest.test_case "PSN_DOMAINS env knob" `Quick
+            test_psn_domains_env;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "merge_snapshots" `Quick test_merge_snapshots ] );
+    ]
