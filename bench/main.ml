@@ -150,6 +150,29 @@ let predicate_eval =
   Test.make ~name:"predicate.eval(8 doors)" (Staged.stage @@ fun () ->
       ignore (eval_bool ~env:(Hashtbl.find_opt tbl) predicate))
 
+(* Compiled twin of [predicate_eval]: same predicate and bindings, one
+   compile, per-op cost is the flat-bytecode run over int slots.  The
+   speedup line in bench-compare pairs these two subjects. *)
+let predicate_eval_compiled =
+  let open Psn_predicates.Expr in
+  let predicate =
+    sum (List.init 8 (fun i -> var ~name:"x" ~loc:i -? var ~name:"y" ~loc:i))
+    >? int 100
+  in
+  let prog = Psn_predicates.Compiled.compile predicate in
+  let env = Psn_predicates.Compiled.create_env prog in
+  List.iter
+    (fun i ->
+      Psn_predicates.Compiled.set_int env
+        (Psn_predicates.Compiled.slot prog { name = "x"; loc = i })
+        (20 + i);
+      Psn_predicates.Compiled.set_int env
+        (Psn_predicates.Compiled.slot prog { name = "y"; loc = i })
+        5)
+    (List.init 8 (fun i -> i));
+  Test.make ~name:"predicate.eval.compiled(8 doors)" (Staged.stage @@ fun () ->
+      ignore (Psn_predicates.Compiled.eval_bool prog env))
+
 (* Independent (no communication) stamps: the worst case where every one
    of the (k+1)^n cuts is consistent. *)
 let independent_stamps ~n ~k =
@@ -365,6 +388,68 @@ let hall_run_sharded k =
            (Psn_scenarios.Sharded.hall ~cfg:sharded_hall_cfg
               (Psn_sim.Exec.sharded ~shards:k ~lookahead ()))))
 
+(* --- PR8 partitioned-checker subjects ------------------------------------ *)
+
+(* Checker flush cost under a conjunctive predicate, at a fixed update
+   count (1000) and growing n.  Groups hold 25 sources each, so the
+   per-group compiled residual — the unit of work a partitioned apply
+   re-evaluates — is constant in n; the verdict-edge fold is
+   O(log groups).  The n=100 → n=1000 pair therefore measures whether
+   apply cost really decoupled from predicate width (the interpreted
+   checker re-walked all n conjuncts per applied update); the K=1 → K=4
+   pair adds the window-barrier overhead. *)
+let detector_flush ~n ~k =
+  let delay =
+    Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 2)
+      ~max:(Sim_time.of_ms 5)
+  in
+  let groups = n / 25 in
+  let cfg =
+    {
+      Psn_detection.Sharded_detector.n;
+      groups;
+      group_of = (fun pid -> pid * groups / n);
+      eps = Sim_time.of_ms 1;
+      hold = Sim_time.of_ms 20;
+      flush_period = Sim_time.of_ms 10;
+      causal_stamps = false;
+    }
+  in
+  let predicate =
+    let open Psn_predicates.Expr in
+    match List.init n (fun i -> var ~name:"v" ~loc:i >=? int 0) with
+    | first :: rest -> List.fold_left ( &&& ) first rest
+    | [] -> assert false
+  in
+  let horizon = Sim_time.of_ms 1_050 in
+  Test.make ~name:(Printf.sprintf "detector.flush(n=%d, K=%d)" n k)
+    (Staged.stage @@ fun () ->
+      let exec =
+        Psn_sim.Exec.sharded ~shards:k
+          ~lookahead:(Psn_sim.Delay_model.min_delay delay) ()
+      in
+      let det =
+        Psn_detection.Sharded_detector.create exec ~cfg ~delay ~predicate ()
+      in
+      (* 10k updates, round-robin over the sources at 0.1 ms spacing
+         (1 s span): enough applied updates that the apply path, not the
+         O(n) detector construction, dominates the measurement. *)
+      for j = 0 to 9_999 do
+        let src = j mod n in
+        Psn_sim.Engine.schedule_at_unit
+          (Psn_sim.Exec.engine exec ~group:(cfg.group_of src))
+          (Sim_time.of_us ((j + 1) * 100))
+          (fun () ->
+            Psn_detection.Sharded_detector.emit det ~src ~var:"v" ~value:j)
+      done;
+      Psn_sim.Exec.run exec ~until:horizon;
+      ignore
+        (Sys.opaque_identity (Psn_detection.Sharded_detector.occurrences det)))
+
+let detector_flush_100 = detector_flush ~n:100 ~k:1
+let detector_flush_1000 = detector_flush ~n:1000 ~k:1
+let detector_flush_1000_k4 = detector_flush ~n:1000 ~k:4
+
 (* --- PR6 trace-analytics subjects ---------------------------------------- *)
 
 (* A synthetic, time-ordered record stream: 4k flow edges into checker 0
@@ -421,9 +506,10 @@ let subjects =
       ] );
     ( "infra",
       [
-        engine_event; engine_event_traced; predicate_eval; lattice_count;
-        detector_run; hall_run_single; hall_run_sharded 1; hall_run_sharded 2;
-        hall_run_sharded 4;
+        engine_event; engine_event_traced; predicate_eval;
+        predicate_eval_compiled; lattice_count; detector_run; hall_run_single;
+        hall_run_sharded 1; hall_run_sharded 2; hall_run_sharded 4;
+        detector_flush_100; detector_flush_1000; detector_flush_1000_k4;
       ] );
     ( "middleware",
       [ flood_ring; causal_burst; causal_burst_copy; snapshot_round; mutex_round ] );

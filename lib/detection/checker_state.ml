@@ -13,6 +13,7 @@ type transition = Rose | Fell | Same
 type t = {
   predicate : Expr.t;
   env : (Expr.var, Value.t) Hashtbl.t;
+  env_fn : Expr.var -> Value.t option; (* hoisted: one lookup closure per checker *)
   mutable holds : bool;
 }
 
@@ -24,8 +25,8 @@ let eval_safe predicate env_fn =
 let create ?(init = []) predicate =
   let env = Hashtbl.create 16 in
   List.iter (fun (v, value) -> Hashtbl.replace env v value) init;
-  let t = { predicate; env; holds = false } in
-  t.holds <- eval_safe predicate (Hashtbl.find_opt env);
+  let t = { predicate; env; env_fn = Hashtbl.find_opt env; holds = false } in
+  t.holds <- eval_safe predicate t.env_fn;
   t
 
 let holds t = t.holds
@@ -38,7 +39,7 @@ let apply t (u : Observation.update) =
   let var = Observation.located u in
   let prev = Hashtbl.find_opt t.env var in
   Hashtbl.replace t.env var u.value;
-  let now_holds = eval_safe t.predicate (Hashtbl.find_opt t.env) in
+  let now_holds = eval_safe t.predicate t.env_fn in
   let transition =
     match (t.holds, now_holds) with
     | false, true -> Rose

@@ -4,18 +4,68 @@
 
    Cross-domain discipline, for every mutable piece:
 
-     - per-group update buffers, vector clocks, and stamp planes are
-       written only by events of that group, which the substrate runs on
-       one shard (one domain at a time);
-     - the checker's pending buffer, predicate env, and occurrence list
-       are written only by checker events (shard 0);
+     - per-group update buffers, vector clocks, stamp planes, and
+       sub-checker state (pending arena, compiled residual env, group
+       verdict) are written only by events of that group, which the
+       substrate runs on one shard (one domain at a time);
+     - the checker's pending arena, verdict tree, edge queues, and
+       occurrence list are written only by checker events (shard 0);
      - the checker reads source-side data (var names, plane stamps) only
        at delivery, which the window barrier places at least one
        happens-before edge after the source wrote it.  A source shard
        may grow its plane concurrently with a checker read of an older
        stamp; growth blits, so every stamp from before the barrier is
        visible whichever backing array the read lands on, and the live
-       length only grows, so the handle check cannot spuriously fail. *)
+       length only grows, so the handle check cannot spuriously fail.
+
+   Checker backends (selected with [?checker], default [Auto]):
+
+     - [Interp]: the PR 7 path — Hashtbl env, [Expr.eval_bool] per
+       applied update (the lookup closure now hoisted to one per
+       checker, not one per update).  Kept as the differential oracle.
+     - [Compiled]: same central evaluation through a
+       [Psn_predicates.Compiled] program over int slots.  Handles any
+       predicate; each applied update still re-evaluates the whole
+       program, but without lookups, boxing, or closure calls.
+     - [Partitioned] (conjunctive predicates only): every group runs a
+       sub-checker on its own shard, holding the compiled residual of
+       its conjuncts.  Each update's arrival is mirrored to the source
+       group's sub-checker, which replays the central hold-back
+       schedule locally and publishes only rising/falling *edges* of
+       its group verdict to the checker over the substrate's raw
+       channel; the checker folds edges through a flat AND-combining
+       tree.  An applied update then costs O(1) at the sub-checker
+       (residual eval over the group's variables) plus O(log groups)
+       at the fold — independent of n.
+
+   Partitioned timing (P = flush_period, H = hold, in ns):
+
+     - the checker flushes at k*P and applies arrivals with
+       recv <= k*P - H;
+     - group g's sub-checker flushes at F_k = k*P - H + 1 and applies
+       arrivals with recv <= F_k - 1 = k*P - H — the same batch
+       restricted to group g, in the same (stamp, src, seq) order, so
+       its edge stream per flush matches the central batch exactly;
+     - edges post at k*P - 1: they arrive after every source's
+       F_k-time events and before the k*P flush, and the post spans
+       (k*P - 1) - F_k = H - 2 >= lookahead (admission requires
+       H >= min_delay + 2), which satisfies the mailbox rings'
+       conservative-window contract on any shard count.
+
+   Mirror deliveries reuse the transport's send-time draws
+   ([send_timed]): loss and delay come from the source's own stream, so
+   the sub-checker sees exactly the arrivals the checker sees, and the
+   schedule stays a pure function of the seed.  Raw-channel events emit
+   no trace records and no transport metrics, so the merged trace bytes
+   of a run are identical across all three backends.
+
+   Semantic note: [Partitioned] evaluates every group's residual, where
+   the central evaluators short-circuit across groups.  Verdicts agree
+   (AND is total over safe-false conjuncts), but a predicate whose
+   *typability* depends on cross-group short-circuiting (a false
+   conjunct masking a type error in a later group) would raise here.
+   Detector updates are int-valued, so residuals of admitted
+   conjunctive predicates cannot hit this. *)
 
 module Engine = Psn_sim.Engine
 module Exec = Psn_sim.Exec
@@ -23,6 +73,7 @@ module Sim_time = Psn_sim.Sim_time
 module Trace = Psn_obs.Trace
 module Metrics = Psn_obs.Metrics
 module Expr = Psn_predicates.Expr
+module Compiled = Psn_predicates.Compiled
 module Value = Psn_world.Value
 module Physical_clock = Psn_clocks.Physical_clock
 module Vector_clock = Psn_clocks.Vector_clock
@@ -39,11 +90,83 @@ type cfg = {
   causal_stamps : bool;
 }
 
-type pending = {
-  p_update : Observation.update;
-  p_stamp : int;           (* physical stamp, ns *)
-  p_recv : Sim_time.t;     (* checker arrival time *)
+type checker = Interp | Compiled | Partitioned | Auto
+
+(* Per-group verdict-edge queue, checker-local.  Four int lanes per
+   edge: stamp, src, seq (the applied update that flipped the group
+   verdict) and the new verdict.  FIFO; resets to offset 0 whenever it
+   drains, so steady state never grows. *)
+type edge_queue = {
+  mutable eq_buf : int array;
+  mutable eq_head : int;
+  mutable eq_len : int;
 }
+
+let edge_stride = 4
+
+let push_edge eq ~stamp ~src ~seq ~verdict =
+  if eq.eq_head = eq.eq_len then begin
+    eq.eq_head <- 0;
+    eq.eq_len <- 0
+  end;
+  let need = eq.eq_len + edge_stride in
+  if need > Array.length eq.eq_buf then begin
+    let cap = ref (max (edge_stride * 16) (Array.length eq.eq_buf)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let nb = Array.make !cap 0 in
+    Array.blit eq.eq_buf 0 nb 0 eq.eq_len;
+    eq.eq_buf <- nb
+  end;
+  let b = eq.eq_buf and o = eq.eq_len in
+  b.(o) <- stamp;
+  b.(o + 1) <- src;
+  b.(o + 2) <- seq;
+  b.(o + 3) <- verdict;
+  eq.eq_len <- o + edge_stride
+
+let edge_at_head eq ~stamp ~src ~seq =
+  eq.eq_head < eq.eq_len
+  && eq.eq_buf.(eq.eq_head) = stamp
+  && eq.eq_buf.(eq.eq_head + 1) = src
+  && eq.eq_buf.(eq.eq_head + 2) = seq
+
+let pop_edge eq =
+  let v = eq.eq_buf.(eq.eq_head + 3) in
+  eq.eq_head <- eq.eq_head + edge_stride;
+  if eq.eq_head = eq.eq_len then begin
+    eq.eq_head <- 0;
+    eq.eq_len <- 0
+  end;
+  v
+
+(* Group sub-checker: compiled residual of the group's conjuncts plus a
+   local hold-back arena mirroring the checker's.  Group-local. *)
+type sub = {
+  sub_prog : Compiled.t;
+  sub_env : Compiled.env;
+  sub_slots : int array; (* (src * max_vars + var_idx) -> slot; -2 unknown *)
+  sub_pend : Pending_arena.t;
+  mutable sub_holds : bool;
+}
+
+type impl =
+  | Interp_impl of {
+      env : (Expr.var, Value.t) Hashtbl.t;
+      env_fn : Expr.var -> Value.t option; (* hoisted: one closure, ever *)
+    }
+  | Compiled_impl of {
+      prog : Compiled.t;
+      cenv : Compiled.env;
+      slots : int array; (* (src * max_vars + var_idx) -> slot; -2 unknown *)
+    }
+  | Partitioned_impl of {
+      tree : Verdict_tree.t;
+      edges : edge_queue array;    (* per group; checker-local *)
+      subs : sub option array;     (* per group; group-local *)
+      c_edges : Metrics.counter array; (* per group *)
+    }
 
 type t = {
   cfg : cfg;
@@ -57,9 +180,9 @@ type t = {
   seqs : int array;                     (* per-source update sequence *)
   by_group : Observation.update list ref array; (* ground-truth stream *)
   sinks : Trace.sink array option;
-  mutable pend : pending list;          (* checker-local *)
-  env : (Expr.var, Value.t) Hashtbl.t;  (* checker-local *)
+  pend : Pending_arena.t;               (* checker-local *)
   predicate : Expr.t;
+  impl : impl;
   mutable holds : bool;
   mutable occs : Occurrence.t list;     (* newest first *)
   c_updates : Metrics.counter array;    (* per group *)
@@ -68,6 +191,11 @@ type t = {
 
 let eval_safe predicate env =
   match Expr.eval_bool ~env predicate with
+  | b -> b
+  | exception Expr.Unbound_variable _ -> false
+
+let eval_safe_compiled prog cenv =
+  match Compiled.eval_bool prog cenv with
   | b -> b
   | exception Expr.Unbound_variable _ -> false
 
@@ -84,19 +212,31 @@ let checker_pid t = t.cfg.n
 let max_vars = 4
 let var_bits = 2
 
-(* Total order on the flush batch from substrate-invariant keys only:
-   physical stamp, then source, then per-source sequence.  Arrival
-   order — the one thing a shard count can perturb among equal-time
-   deliveries — never participates. *)
-let compare_pending a b =
-  let c = compare a.p_stamp b.p_stamp in
-  if c <> 0 then c
-  else
-    let c = compare a.p_update.Observation.src b.p_update.Observation.src in
-    if c <> 0 then c
-    else compare a.p_update.Observation.seq b.p_update.Observation.seq
+(* Lazily memoized (src, var_idx) -> compiled slot.  The name table is
+   written at the source's first emit; both the sub-checker (same
+   shard) and the checker (after a barrier) read it only for updates
+   that were emitted, so the entry is always populated. *)
+let memo_slot slots (vars : string array array) prog ~src ~var_idx =
+  let key = (src * max_vars) + var_idx in
+  let s = slots.(key) in
+  if s <> -2 then s
+  else begin
+    let s = Compiled.slot prog { Expr.name = vars.(src).(var_idx); loc = src } in
+    slots.(key) <- s;
+    s
+  end
 
-let create ?loss ?sinks exec ~cfg ~delay ~predicate () =
+(* Virtual raw-channel addresses, past the transport's pid range
+   [0 .. n] (sources plus checker). *)
+let sub_addr cfg g = cfg.n + 1 + g
+let edge_addr cfg g = cfg.n + 1 + cfg.groups + g
+
+let eval_safe_unbound e =
+  match Expr.eval_bool ~env:(fun _ -> None) e with
+  | b -> b
+  | exception Expr.Unbound_variable _ -> false
+
+let create ?loss ?sinks ?(checker = Auto) exec ~cfg ~delay ~predicate () =
   if cfg.n <= 0 then invalid_arg "Sharded_detector.create: n must be positive";
   if cfg.groups <= 0 then
     invalid_arg "Sharded_detector.create: groups must be positive";
@@ -136,6 +276,95 @@ let create ?loss ?sinks exec ~cfg ~delay ~predicate () =
       (Engine.metrics (Exec.engine exec ~group:0))
       "sharded_detector.occurrences"
   in
+  let hold_ns = Sim_time.to_ns cfg.hold in
+  let period_ns = Sim_time.to_ns cfg.flush_period in
+  (* Partitioned admission, from substrate-invariant configuration only
+     (never from the shard count or the engine's lookahead, which would
+     let the oracle and a sharded run pick different backends): the
+     predicate decomposes into per-source conjuncts, and the hold-back
+     leaves room for the edge protocol's H - 2 post span to cover the
+     transport's minimum delay — the largest lookahead any engine this
+     transport can legally run on would promise. *)
+  let conj = Expr.conjuncts predicate in
+  let min_delay_ns = Sim_time.to_ns (Psn_sim.Delay_model.min_delay delay) in
+  let partitionable =
+    match conj with
+    | Some parts ->
+        List.for_all (fun (loc, _) -> loc >= 0 && loc < n) parts
+        && hold_ns >= min_delay_ns + 2
+    | None -> false
+  in
+  let mode =
+    match checker with
+    | Interp -> `Interp
+    | Compiled -> `Compiled
+    | Partitioned ->
+        if not partitionable then
+          invalid_arg
+            "Sharded_detector.create: Partitioned needs a conjunctive \
+             predicate over in-range locations and hold >= min_delay + 2";
+        `Partitioned
+    | Auto -> if partitionable then `Partitioned else `Compiled
+  in
+  let impl =
+    match mode with
+    | `Interp ->
+        let env = Hashtbl.create 64 in
+        Interp_impl { env; env_fn = Hashtbl.find_opt env }
+    | `Compiled ->
+        let prog = Compiled.compile predicate in
+        Compiled_impl
+          {
+            prog;
+            cenv = Compiled.create_env prog;
+            slots = Array.make (n * max_vars) (-2);
+          }
+    | `Partitioned ->
+        let parts = Option.get conj in
+        let residuals = Array.make cfg.groups None in
+        List.iter
+          (fun (loc, c) ->
+            let g = cfg.group_of loc in
+            residuals.(g) <-
+              (match residuals.(g) with
+              | None -> Some c
+              | Some acc -> Some (Expr.And (acc, c))))
+          parts;
+        let subs =
+          Array.map
+            (fun residual ->
+              match residual with
+              | None -> None
+              | Some r ->
+                  let prog = Compiled.compile r in
+                  Some
+                    {
+                      sub_prog = prog;
+                      sub_env = Compiled.create_env prog;
+                      sub_slots = Array.make (n * max_vars) (-2);
+                      sub_pend = Pending_arena.create ();
+                      sub_holds = eval_safe_unbound r;
+                    })
+            residuals
+        in
+        let init_leaves =
+          Array.map
+            (fun s -> match s with Some s -> s.sub_holds | None -> true)
+            subs
+        in
+        let tree = Verdict_tree.create ~leaves:cfg.groups init_leaves in
+        let edges =
+          Array.init cfg.groups (fun _ ->
+              { eq_buf = [||]; eq_head = 0; eq_len = 0 })
+        in
+        let c_edges =
+          Array.init cfg.groups (fun g ->
+              Metrics.counter
+                (Engine.metrics (Exec.engine exec ~group:g))
+                "sharded_detector.edges")
+        in
+        Partitioned_impl { tree; edges; subs; c_edges }
+  in
   let t =
     {
       cfg;
@@ -151,9 +380,9 @@ let create ?loss ?sinks exec ~cfg ~delay ~predicate () =
       seqs = Array.make n 0;
       by_group = Array.init cfg.groups (fun _ -> ref []);
       sinks;
-      pend = [];
-      env = Hashtbl.create 64;
+      pend = Pending_arena.create ();
       predicate;
+      impl;
       holds = false;
       occs = [];
       c_updates;
@@ -168,85 +397,173 @@ let create ?loss ?sinks exec ~cfg ~delay ~predicate () =
       | Some vc when vh >= 0 ->
           Vector_clock.receive_from t.planes.(group_of src) vc vh
       | _ -> ());
-      let u =
-        {
-          Observation.src;
-          var = t.vars.(src).(var_idx);
-          value = Value.Int value;
-          seq;
-          sense_time;
-        }
-      in
       let recv = Engine.now (Exec.engine exec ~group:0) in
-      t.pend <- { p_update = u; p_stamp = stamp; p_recv = recv } :: t.pend);
+      Pending_arena.add t.pend ~recv:(Sim_time.to_ns recv) ~stamp ~src ~seq
+        ~var_idx ~value ~sense:sense_time);
+  (* Partitioned plumbing: the raw channel carries update mirrors to the
+     group sub-checkers and verdict edges back to the checker. *)
+  (match t.impl with
+  | Partitioned_impl p ->
+      Shard_net.set_raw_handler net (fun ~dst ~w0 ~w1 ~w2 ~w3 ~w4 ->
+          if dst >= edge_addr cfg 0 then begin
+            (* Verdict edge; runs on the checker's shard. *)
+            let g = dst - edge_addr cfg 0 in
+            push_edge p.edges.(g) ~stamp:w0 ~src:w1 ~seq:w2 ~verdict:w3
+          end
+          else begin
+            (* Update mirror; runs on the source group's shard. *)
+            let g = dst - sub_addr cfg 0 in
+            match p.subs.(g) with
+            | Some sub ->
+                let src = w0 and value = w1 and sense = w2 and stamp = w3 in
+                let recv = Engine.now (Exec.engine exec ~group:g) in
+                Pending_arena.add sub.sub_pend ~recv:(Sim_time.to_ns recv)
+                  ~stamp ~src ~seq:(w4 asr var_bits)
+                  ~var_idx:(w4 land (max_vars - 1))
+                  ~value ~sense
+            | None -> ()
+          end);
+      (* Sub-checker flushes at F_k = k*P - H + 1 replay the central
+         hold-back schedule one tick early, so each flush's edges can
+         post at k*P - 1 — before the checker's k*P flush and H - 2
+         past the flush itself. *)
+      let k0 = max 1 ((hold_ns + period_ns - 1) / period_ns) in
+      let start = Sim_time.of_ns (((k0 * period_ns) - hold_ns) + 1) in
+      Array.iteri
+        (fun g sub_opt ->
+          match sub_opt with
+          | None -> ()
+          | Some sub ->
+              let engine_g = Exec.engine exec ~group:g in
+              ignore
+                (Engine.schedule_periodic engine_g ~start
+                   ~period:cfg.flush_period (fun () ->
+                     let now_ns = Sim_time.to_ns (Engine.now engine_g) in
+                     let m =
+                       Pending_arena.take_ready sub.sub_pend
+                         ~cutoff:(now_ns - 1)
+                     in
+                     for i = 0 to m - 1 do
+                       let src = Pending_arena.src sub.sub_pend i in
+                       let var_idx = Pending_arena.var_idx sub.sub_pend i in
+                       let slot =
+                         memo_slot sub.sub_slots t.vars sub.sub_prog ~src
+                           ~var_idx
+                       in
+                       if slot >= 0 then begin
+                         Compiled.set_int sub.sub_env slot
+                           (Pending_arena.value sub.sub_pend i);
+                         let v = eval_safe_compiled sub.sub_prog sub.sub_env in
+                         if v <> sub.sub_holds then begin
+                           sub.sub_holds <- v;
+                           Metrics.tick p.c_edges.(g);
+                           Shard_net.post_raw net ~src_group:g ~dst_group:0
+                             ~at:(Sim_time.of_ns (now_ns + hold_ns - 2))
+                             ~dst:(edge_addr cfg g)
+                             ~w0:(Pending_arena.stamp sub.sub_pend i)
+                             ~w1:src
+                             ~w2:(Pending_arena.seq sub.sub_pend i)
+                             ~w3:(if v then 1 else 0) ~w4:0
+                         end
+                       end
+                     done;
+                     true))
+        )
+        p.subs
+  | _ -> ());
   (* Fixed flush schedule on the checker's engine: every [flush_period],
      apply all updates received at or before [now - hold].  Receive
      times are substrate-invariant, so the batch content is too; the
-     batch order comes from [compare_pending]. *)
+     batch order comes from the arena's (stamp, src, seq) sort. *)
   let checker_engine = Exec.engine exec ~group:0 in
   ignore
     (Engine.schedule_periodic checker_engine ~start:cfg.flush_period
        ~period:cfg.flush_period (fun () ->
          let now = Engine.now checker_engine in
-         let two_eps = 2 * cfg.eps in
-         let cutoff = Sim_time.sub now cfg.hold in
-         let ready, held =
-           List.partition
-             (fun p -> Sim_time.( <= ) p.p_recv cutoff)
-             t.pend
-         in
-         t.pend <- held;
-         let batch = List.sort compare_pending ready in
-         let arr = Array.of_list batch in
-         Array.iteri
-           (fun i p ->
-             let u = p.p_update in
-             Hashtbl.replace t.env (Observation.located u) u.Observation.value;
+         let now_ns = Sim_time.to_ns now in
+         let two_eps = 2 * Sim_time.to_ns cfg.eps in
+         let m = Pending_arena.take_ready t.pend ~cutoff:(now_ns - hold_ns) in
+         for i = 0 to m - 1 do
+           let src = Pending_arena.src t.pend i in
+           let seq = Pending_arena.seq t.pend i in
+           let var_idx = Pending_arena.var_idx t.pend i in
+           let value = Pending_arena.value t.pend i in
+           let stamp = Pending_arena.stamp t.pend i in
+           let var_name = t.vars.(src).(var_idx) in
+           (match t.sinks with
+           | Some s ->
+               Trace.emit s.(0) ~time:now ~pid:(checker_pid t)
+                 (Trace.Detector_update { var = var_name; seq })
+           | None -> ());
+           let now_holds =
+             match t.impl with
+             | Interp_impl { env; env_fn } ->
+                 Hashtbl.replace env
+                   { Expr.name = var_name; loc = src }
+                   (Value.Int value);
+                 eval_safe t.predicate env_fn
+             | Compiled_impl { prog; cenv; slots } ->
+                 let slot = memo_slot slots t.vars prog ~src ~var_idx in
+                 if slot >= 0 then Compiled.set_int cenv slot value;
+                 eval_safe_compiled prog cenv
+             | Partitioned_impl { tree; edges; _ } ->
+                 let g = cfg.group_of src in
+                 let eq = edges.(g) in
+                 if edge_at_head eq ~stamp ~src ~seq then
+                   Verdict_tree.set tree g (pop_edge eq = 1);
+                 Verdict_tree.root tree
+           in
+           if now_holds && not t.holds then begin
+             (* Race bin: an adjacent applied update from another
+                process within the clock sync uncertainty could
+                reorder the rise. *)
+             let raced j =
+               j >= 0 && j < m
+               && Pending_arena.src t.pend j <> src
+               && abs (Pending_arena.stamp t.pend j - stamp) < two_eps
+             in
+             let verdict =
+               if raced (i - 1) || raced (i + 1) then Occurrence.Borderline
+               else Occurrence.Positive
+             in
+             Metrics.tick t.c_occurrences;
+             let sense = Pending_arena.sense t.pend i in
              (match t.sinks with
              | Some s ->
                  Trace.emit s.(0) ~time:now ~pid:(checker_pid t)
-                   (Trace.Detector_update
-                      { var = u.Observation.var; seq = u.Observation.seq })
+                   (Trace.Detector_occurrence
+                      {
+                        verdict =
+                          (match verdict with
+                          | Occurrence.Positive -> "detect"
+                          | Occurrence.Borderline -> "borderline");
+                        window_ns = now_ns - sense;
+                      })
              | None -> ());
-             let now_holds = eval_safe t.predicate (Hashtbl.find_opt t.env) in
-             if now_holds && not t.holds then begin
-               (* Race bin: an adjacent applied update from another
-                  process within the clock sync uncertainty could
-                  reorder the rise. *)
-               let raced j =
-                 j >= 0 && j < Array.length arr
-                 && arr.(j).p_update.Observation.src <> u.Observation.src
-                 && abs (arr.(j).p_stamp - p.p_stamp) < two_eps
-               in
-               let verdict =
-                 if raced (i - 1) || raced (i + 1) then Occurrence.Borderline
-                 else Occurrence.Positive
-               in
-               Metrics.tick t.c_occurrences;
-               (match t.sinks with
-               | Some s ->
-                   Trace.emit s.(0) ~time:now ~pid:(checker_pid t)
-                     (Trace.Detector_occurrence
-                        {
-                          verdict =
-                            (match verdict with
-                            | Occurrence.Positive -> "detect"
-                            | Occurrence.Borderline -> "borderline");
-                          window_ns =
-                            Sim_time.to_ns
-                              (Sim_time.sub now u.Observation.sense_time);
-                        })
-               | None -> ());
-               t.occs <-
-                 { Occurrence.detect_time = now; trigger = u; verdict }
-                 :: t.occs
-             end;
-             t.holds <- now_holds)
-           arr;
+             let u =
+               {
+                 Observation.src;
+                 var = var_name;
+                 value = Value.Int value;
+                 seq;
+                 sense_time = Sim_time.of_ns sense;
+               }
+             in
+             t.occs <-
+               { Occurrence.detect_time = now; trigger = u; verdict } :: t.occs
+           end;
+           t.holds <- now_holds
+         done;
          true));
   t
 
 let net t = t.net
+
+let checker_kind t =
+  match t.impl with
+  | Interp_impl _ -> Interp
+  | Compiled_impl _ -> Compiled
+  | Partitioned_impl _ -> Partitioned
 
 let emit t ~src ~var ~value =
   if src < 0 || src >= t.cfg.n then
@@ -279,8 +596,23 @@ let emit t ~src ~var ~value =
   | Some s ->
       Trace.emit s.(g) ~time:now ~pid:src (Trace.Clock_tick { clock = "physical" })
   | None -> ());
-  Shard_net.send t.net ~src ~dst:t.cfg.n ~a:value ~b:now
-    ~c:(Sim_time.to_ns stamp) ~d:((seq lsl var_bits) lor var_idx) ~e:vh
+  let seqvar = (seq lsl var_bits) lor var_idx in
+  let at =
+    Shard_net.send_timed t.net ~src ~dst:t.cfg.n ~a:value ~b:now
+      ~c:(Sim_time.to_ns stamp) ~d:seqvar ~e:vh
+  in
+  (* Mirror surviving arrivals into the group's sub-checker at the same
+     delivery time (the draw already happened on this source's stream,
+     so the mirror is free of new randomness and substrate-invariant). *)
+  match t.impl with
+  | Partitioned_impl p when not (Sim_time.is_negative at) -> (
+      match p.subs.(g) with
+      | Some _ ->
+          Shard_net.post_raw t.net ~src_group:g ~dst_group:g ~at
+            ~dst:(sub_addr t.cfg g) ~w0:src ~w1:value ~w2:now
+            ~w3:(Sim_time.to_ns stamp) ~w4:seqvar
+      | None -> ())
+  | _ -> ()
 
 let updates t =
   let all =
@@ -291,8 +623,8 @@ let updates t =
       let c = Sim_time.compare a.sense_time b.sense_time in
       if c <> 0 then c
       else
-        let c = compare a.src b.src in
-        if c <> 0 then c else compare a.seq b.seq)
+        let c = Stdlib.compare (a.src : int) b.src in
+        if c <> 0 then c else Stdlib.compare (a.seq : int) b.seq)
     all
 
 let occurrences t = List.rev t.occs

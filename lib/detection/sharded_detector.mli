@@ -25,6 +25,28 @@
 
 type t
 
+(** Checker backend — same verdicts, same occurrences, same trace bytes
+    on any choice; only the evaluation cost model differs.
+
+    - [Interp]: Hashtbl env + {!Psn_predicates.Expr.eval_bool} per
+      applied update.  The differential oracle.
+    - [Compiled]: one {!Psn_predicates.Compiled} program over int slots,
+      re-evaluated per applied update.  Works for any predicate.
+    - [Partitioned]: conjunctive predicates only ({!Psn_predicates.Expr.conjuncts}).
+      Each group's shard runs a sub-checker over the compiled residual of
+      its conjuncts and publishes only rising/falling edges of the group
+      verdict through the substrate's mailbox rings; the checker folds
+      edges through an AND-combining tree, making an applied update
+      O(group residual + log groups) instead of O(predicate).  Requires
+      every conjunct's location in [0 .. n-1] and
+      [hold >= Delay_model.min_delay delay + 2ns] (the edge protocol
+      posts [hold - 2] ahead, which must cover the engine lookahead; the
+      bound is written in configuration terms so the oracle and every
+      shard count admit the same predicates).  [create] raises
+      [Invalid_argument] when forced on an inadmissible predicate.
+    - [Auto] (default): [Partitioned] when admissible, else [Compiled]. *)
+type checker = Interp | Compiled | Partitioned | Auto
+
 type cfg = {
   n : int;                       (* sensor pids 0 .. n-1; checker is pid n *)
   groups : int;
@@ -38,13 +60,18 @@ type cfg = {
 val create :
   ?loss:Psn_sim.Loss_model.t ->
   ?sinks:Psn_obs.Trace.sink array ->
+  ?checker:checker ->
   Psn_sim.Exec.t -> cfg:cfg -> delay:Psn_sim.Delay_model.t ->
   predicate:Psn_predicates.Expr.t -> unit -> t
 (** Builds the transport (label ["detector"]), the per-pid clocks
     (streams derived from [(Exec.seed, pid)]), the per-group planes, and
     the checker's flush schedule on group 0's engine.  [sinks] (one per
     group) additionally trace updates, occurrences, and the transport's
-    send/deliver/drop records. *)
+    send/deliver/drop records.  [checker] defaults to [Auto]. *)
+
+val checker_kind : t -> checker
+(** The resolved backend: [Interp], [Compiled], or [Partitioned]
+    (never [Auto]). *)
 
 val emit : t -> src:int -> var:string -> value:int -> unit
 (** Called from a sense event executing on [src]'s group engine: stamps

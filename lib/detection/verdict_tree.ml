@@ -1,0 +1,50 @@
+(* Flat int AND-combining tree over per-group verdicts.
+
+   The sharded checker folds group-verdict edges into a global
+   conjunction: leaf g holds group g's current verdict (1 = its residual
+   conjuncts hold), an internal node the AND of its children, the root
+   the whole predicate.  Stored as the classic implicit segment tree —
+   [2 * width] ints, root at 1, leaf g at [width + g] — so an edge costs
+   one leaf write plus a parent walk: O(log groups), no allocation.
+
+   Width is the group count rounded up to a power of two; padding leaves
+   are 1, the AND identity, so they never mask a real verdict. *)
+
+type t = {
+  width : int;
+  nodes : int array; (* nodes.(1) root; nodes.(width + g) leaf g *)
+}
+
+let create ~leaves init =
+  if leaves <= 0 then invalid_arg "Verdict_tree.create: leaves must be positive";
+  if Array.length init > leaves then
+    invalid_arg "Verdict_tree.create: more init values than leaves";
+  let width = ref 1 in
+  while !width < leaves do
+    width := !width * 2
+  done;
+  let width = !width in
+  let nodes = Array.make (2 * width) 1 in
+  Array.iteri (fun g v -> nodes.(width + g) <- (if v then 1 else 0)) init;
+  for i = width - 1 downto 1 do
+    nodes.(i) <- nodes.(2 * i) land nodes.((2 * i) + 1)
+  done;
+  { width; nodes }
+
+let set t leaf v =
+  if leaf < 0 || leaf >= t.width then invalid_arg "Verdict_tree.set: leaf out of range";
+  let nodes = t.nodes in
+  let i = ref (t.width + leaf) in
+  nodes.(!i) <- (if v then 1 else 0);
+  i := !i / 2;
+  while !i >= 1 do
+    let fresh = nodes.(2 * !i) land nodes.((2 * !i) + 1) in
+    nodes.(!i) <- fresh;
+    i := !i / 2
+  done
+
+let get t leaf =
+  if leaf < 0 || leaf >= t.width then invalid_arg "Verdict_tree.get: leaf out of range";
+  t.nodes.(t.width + leaf) = 1
+
+let root t = t.nodes.(1) = 1

@@ -1,0 +1,19 @@
+(** Flat int AND-combining tree over per-group verdicts.
+
+    The sharded checker's recombination stage: leaf [g] is group [g]'s
+    current residual verdict, the root their conjunction.  A verdict
+    edge costs one leaf write plus a parent walk — O(log leaves), no
+    allocation — so folding an applied update is independent of the
+    total variable count. *)
+
+type t
+
+val create : leaves:int -> bool array -> t
+(** [create ~leaves init] builds a tree of [leaves] verdicts (rounded up
+    internally to a power of two; padding is the AND identity).
+    [init.(g)] seeds leaf [g]; leaves beyond [Array.length init] start
+    true — groups that contribute no conjunct never veto. *)
+
+val set : t -> int -> bool -> unit
+val get : t -> int -> bool
+val root : t -> bool

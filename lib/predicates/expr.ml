@@ -57,7 +57,13 @@ let sum = function
 
 exception Unbound_variable of var
 
-(* Evaluate under an environment giving each located variable a value. *)
+(* Evaluate under an environment giving each located variable a value.
+
+   Operand order is part of the semantics: left operand first, then
+   right, then conversions in operand order.  [Compiled] replays this
+   exact order, so which exception an ill-typed or partially-bound
+   expression raises is identical between the two evaluators — the
+   property the differential suite checks constructor-for-constructor. *)
 let rec eval ~env expr =
   match expr with
   | Const v -> v
@@ -65,11 +71,14 @@ let rec eval ~env expr =
       match env v with Some value -> value | None -> raise (Unbound_variable v))
   | Not e -> Value.Bool (not (Value.to_bool (eval ~env e)))
   | And (a, b) ->
-      Value.Bool (Value.to_bool (eval ~env a) && Value.to_bool (eval ~env b))
+      let va = Value.to_bool (eval ~env a) in
+      Value.Bool (va && Value.to_bool (eval ~env b))
   | Or (a, b) ->
-      Value.Bool (Value.to_bool (eval ~env a) || Value.to_bool (eval ~env b))
+      let va = Value.to_bool (eval ~env a) in
+      Value.Bool (va || Value.to_bool (eval ~env b))
   | Cmp (op, a, b) ->
-      let va = eval ~env a and vb = eval ~env b in
+      let va = eval ~env a in
+      let vb = eval ~env b in
       let c = Value.compare_num va vb in
       let r =
         match op with
@@ -82,8 +91,11 @@ let rec eval ~env expr =
       in
       Value.Bool r
   | Arith (op, a, b) ->
-      let va = Value.to_float (eval ~env a) and vb = Value.to_float (eval ~env b) in
-      let r = match op with Add -> va +. vb | Sub -> va -. vb | Mul -> va *. vb in
+      let va = eval ~env a in
+      let vb = eval ~env b in
+      let fa = Value.to_float va in
+      let fb = Value.to_float vb in
+      let r = match op with Add -> fa +. fb | Sub -> fa -. fb | Mul -> fa *. fb in
       Value.Float r
 
 let eval_bool ~env expr = Value.to_bool (eval ~env expr)

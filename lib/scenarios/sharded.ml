@@ -35,6 +35,7 @@ type detect_cfg = {
   horizon : Sim_time.t;
   tolerance : Sim_time.t;
   causal_stamps : bool;
+  checker : Sharded_detector.checker;
 }
 
 let default_detect =
@@ -50,6 +51,7 @@ let default_detect =
     horizon = Sim_time.of_sec 600;
     tolerance = Sim_time.of_sec 2;
     causal_stamps = false;
+    checker = Sharded_detector.Auto;
   }
 
 (* Entity streams decorrelated from the transport's per-source streams
@@ -74,8 +76,8 @@ let execute (dc : detect_cfg) exec ?sinks ~n ~group_of ~predicate ~init
     }
   in
   let det =
-    Sharded_detector.create ~loss:dc.loss ?sinks exec ~cfg ~delay:dc.delay
-      ~predicate ()
+    Sharded_detector.create ~loss:dc.loss ?sinks ~checker:dc.checker exec ~cfg
+      ~delay:dc.delay ~predicate ()
   in
   populate det;
   Exec.run exec ~until:dc.horizon;
@@ -266,6 +268,78 @@ let hospital_predicate cfg =
 let hospital_init cfg =
   List.init cfg.wards (fun i ->
       ({ Expr.name = "vital"; loc = i }, Value.Int 100))
+
+(* {2 Calm}
+
+   The conjunctive counterpart of the relational workloads: [monitors]
+   processes each random-walk a load value with downward drift and
+   occasional spikes, and the predicate is ∧_i (load_i <= limit) — a
+   rising edge means "every monitor calm again".  Because the predicate
+   decomposes into per-source conjuncts, the [Auto] checker runs it on
+   the partitioned backend (per-group compiled residuals, verdict edges,
+   combining tree); the workload exists to drive that path through the
+   differential and cross-backend suites. *)
+
+type calm_cfg = {
+  monitors : int;
+  limit : int;
+  sample_period : float; (* mean seconds between samples *)
+  detect : detect_cfg;
+}
+
+let calm_default =
+  { monitors = 12; limit = 60; sample_period = 5.0; detect = default_detect }
+
+let calm_predicate cfg =
+  let terms =
+    List.init cfg.monitors (fun i ->
+        Expr.(var ~name:"load" ~loc:i <=? int cfg.limit))
+  in
+  match terms with
+  | [] -> invalid_arg "Sharded.calm_predicate: monitors"
+  | first :: rest -> List.fold_left Expr.( &&& ) first rest
+
+let calm_init cfg =
+  List.init cfg.monitors (fun i ->
+      ({ Expr.name = "load"; loc = i }, Value.Int 80))
+
+let calm ?(cfg = calm_default) ?sinks exec =
+  if cfg.monitors <= 0 then invalid_arg "Sharded.calm: monitors";
+  let dc = cfg.detect in
+  let group_of pid = pid * dc.groups / cfg.monitors in
+  let seed = Exec.seed exec in
+  let report, _det =
+    execute dc exec ?sinks ~n:cfg.monitors ~group_of
+      ~predicate:(calm_predicate cfg) ~init:(calm_init cfg)
+      ~populate:(fun det ->
+        for m = 0 to cfg.monitors - 1 do
+          let rng = entity_rng seed m in
+          let engine = Exec.engine exec ~group:(group_of m) in
+          let load = ref 80 in
+          let rec samples t =
+            let gap = Rng.exponential rng ~mean:cfg.sample_period in
+            let at = Sim_time.add t (Sim_time.of_sec_float gap) in
+            if Sim_time.( < ) at dc.horizon then begin
+              Engine.schedule_at_unit engine at (fun () ->
+                  (* Downward-drifting walk (step in -6 .. +4) with rare
+                     spikes, so the all-calm conjunction keeps flipping:
+                     drift pulls every monitor under [limit], a spike
+                     breaks one conjunct, the drift repairs it. *)
+                  let spiked = Rng.int rng 25 = 0 in
+                  load :=
+                    (if spiked then 70 + Rng.int rng 30
+                     else
+                       let step = Rng.int rng 11 - 6 in
+                       Stdlib.max 0 (Stdlib.min 100 (!load + step)));
+                  Sharded_detector.emit det ~src:m ~var:"load" ~value:!load);
+              samples at
+            end
+          in
+          samples Sim_time.zero
+        done)
+      ()
+  in
+  report
 
 let hospital ?(cfg = hospital_default) ?sinks exec =
   if cfg.wards <= 0 then invalid_arg "Sharded.hospital: wards";

@@ -25,6 +25,8 @@ type detect_cfg = {
   horizon : Psn_sim.Sim_time.t;
   tolerance : Psn_sim.Sim_time.t; (** scoring tolerance *)
   causal_stamps : bool;      (** per-group stamp planes + causal frontier *)
+  checker : Psn_detection.Sharded_detector.checker;
+      (** predicate-evaluation backend; [Auto] in {!default_detect} *)
 }
 
 val default_detect : detect_cfg
@@ -64,6 +66,26 @@ val banking_default : banking_cfg
 
 val banking :
   ?cfg:banking_cfg -> ?sinks:Psn_obs.Trace.sink array -> Psn_sim.Exec.t ->
+  Psn.Report.t
+
+(** {2 Calm} — the conjunctive workload: monitors random-walk a load
+    value (downward drift, rare spikes) and the predicate is
+    ∧ᵢ (loadᵢ <= limit), so [Auto] resolves to the partitioned
+    checker (per-group compiled residuals + verdict-edge combining
+    tree).  A rising edge is "every monitor calm again". *)
+
+type calm_cfg = {
+  monitors : int;
+  limit : int;
+  sample_period : float;
+  detect : detect_cfg;
+}
+
+val calm_default : calm_cfg
+val calm_predicate : calm_cfg -> Psn_predicates.Expr.t
+
+val calm :
+  ?cfg:calm_cfg -> ?sinks:Psn_obs.Trace.sink array -> Psn_sim.Exec.t ->
   Psn.Report.t
 
 (** {2 Hospital} — ward monitors sampling a bounded vital-sign walk;

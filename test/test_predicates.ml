@@ -2,6 +2,7 @@
    conjunctive/relational classification, modalities and specs. *)
 
 module Expr = Psn_predicates.Expr
+module Compiled = Psn_predicates.Compiled
 module Modality = Psn_predicates.Modality
 module Spec = Psn_predicates.Spec
 module Value = Psn_world.Value
@@ -106,6 +107,288 @@ let test_pp () =
   let e = var ~name:"x" ~loc:0 +? int 1 >? int 2 in
   Alcotest.(check string) "pp" "((x_0 + 1) > 2)" (to_string e)
 
+(* {2 Compiled differential: random predicates × random environments}
+
+   The compiled evaluator must agree with the interpreter on the value
+   — or on the exception, constructor for constructor (same unbound
+   variable, same [Type_error] message).  Environments deliberately mix
+   types and leave variables unbound so both failure modes are hit. *)
+
+let var_pool =
+  [ ("x", 0); ("x", 1); ("y", 0); ("y", 2); ("b", 1); ("b", 3); ("s", 2);
+    ("s", 3) ]
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range (-5) 5);
+        map (fun f -> Value.Float (float_of_int f /. 2.0)) (int_range (-8) 8);
+        map (fun b -> Value.Bool b) bool;
+        map (fun s -> Value.String s) (oneofl [ "a"; "bb"; "z" ]);
+      ])
+
+let gen_expr_sized =
+  QCheck.Gen.fix (fun self n ->
+      QCheck.Gen.(
+        let leaf =
+          oneof
+            [
+              map (fun v -> Expr.Const v) gen_value;
+              map (fun (name, loc) -> Expr.var ~name ~loc) (oneofl var_pool);
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (1, leaf);
+              (2, map (fun e -> Expr.Not e) (self (n - 1)));
+              (3, map2 (fun a b -> Expr.And (a, b)) (self (n / 2)) (self (n / 2)));
+              (3, map2 (fun a b -> Expr.Or (a, b)) (self (n / 2)) (self (n / 2)));
+              ( 3,
+                map3
+                  (fun op a b -> Expr.Cmp (op, a, b))
+                  (oneofl [ Expr.Eq; Ne; Lt; Le; Gt; Ge ])
+                  (self (n / 2)) (self (n / 2)) );
+              ( 3,
+                map3
+                  (fun op a b -> Expr.Arith (op, a, b))
+                  (oneofl [ Expr.Add; Sub; Mul ])
+                  (self (n / 2)) (self (n / 2)) );
+            ]))
+
+let gen_expr = QCheck.Gen.(int_range 0 12 >>= gen_expr_sized)
+
+(* One optional binding per pool variable. *)
+let gen_bindings =
+  QCheck.Gen.(list_repeat (List.length var_pool) (opt gen_value))
+
+let bindings_to_list opts =
+  List.concat
+    (List.map2
+       (fun (name, loc) v ->
+         match v with
+         | Some value -> [ ({ Expr.name; loc }, value) ]
+         | None -> [])
+       var_pool opts)
+
+let pp_bindings bs =
+  String.concat "; "
+    (List.map
+       (fun ((v : Expr.var), value) ->
+         Printf.sprintf "%s_%d=%s" v.name v.loc (Value.to_string value))
+       bs)
+
+let arb_expr_env =
+  QCheck.make
+    ~print:(fun (e, opts) ->
+      Printf.sprintf "%s under [%s]" (Expr.to_string e)
+        (pp_bindings (bindings_to_list opts)))
+    QCheck.Gen.(pair gen_expr gen_bindings)
+
+type outcome =
+  | Value of Value.t
+  | Unbound of Expr.var
+  | Type_err of string
+
+let outcome f =
+  match f () with
+  | v -> Value v
+  | exception Expr.Unbound_variable v -> Unbound v
+  | exception Value.Type_error m -> Type_err m
+
+let pp_outcome = function
+  | Value v -> "value " ^ Value.to_string v
+  | Unbound v -> Printf.sprintf "Unbound_variable %s_%d" v.name v.loc
+  | Type_err m -> Printf.sprintf "Type_error %S" m
+
+let qtest ?(count = 1000) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let compiled_matches_interp (e, opts) =
+  let bindings = bindings_to_list opts in
+  let env_fn (v : Expr.var) = List.assoc_opt v bindings in
+  let prog = Compiled.compile e in
+  let cenv = Compiled.create_env prog in
+  List.iter
+    (fun (v, value) ->
+      let s = Compiled.slot prog v in
+      if s >= 0 then Compiled.set cenv s value)
+    bindings;
+  let oracle = outcome (fun () -> Expr.eval ~env:env_fn e) in
+  let compiled = outcome (fun () -> Compiled.eval prog cenv) in
+  let same =
+    match (oracle, compiled) with
+    | Value a, Value b -> Stdlib.compare a b = 0
+    | Unbound a, Unbound b -> a = b
+    | Type_err a, Type_err b -> String.equal a b
+    | _ -> false
+  in
+  if not same then
+    QCheck.Test.fail_reportf "interp %s <> compiled %s" (pp_outcome oracle)
+      (pp_outcome compiled);
+  (* Re-running against the same reused scratch stacks must be stable. *)
+  let again = outcome (fun () -> Compiled.eval prog cenv) in
+  again = compiled
+
+(* {2 Conjunct partition round-trip}
+
+   The sharded checker splits a conjunctive predicate into per-group
+   residuals (AND of the group's conjuncts, original order) and
+   recombines with a boolean AND over group verdicts.  Over int-valued
+   environments — the detectors' value domain — that recombination must
+   equal whole-predicate evaluation, unbound variables read as false
+   either way. *)
+
+let gen_local_conjunct loc =
+  QCheck.Gen.(
+    let atom =
+      map3
+        (fun name op k -> Expr.Cmp (op, Expr.var ~name ~loc, Expr.int k))
+        (oneofl [ "x"; "y" ])
+        (oneofl [ Expr.Eq; Ne; Lt; Le; Gt; Ge ])
+        (int_range (-3) 3)
+    in
+    frequency
+      [ (3, atom); (1, map2 (fun a b -> Expr.Or (a, b)) atom atom);
+        (1, map (fun a -> Expr.Not a) atom) ])
+
+let gen_conjunctive =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun k ->
+    list_repeat k (int_range 0 3 >>= gen_local_conjunct) >>= fun parts ->
+    return
+      (match parts with
+      | [] -> assert false
+      | e :: rest -> (List.fold_left Expr.( &&& ) e rest, k)))
+
+let gen_int_bindings =
+  QCheck.Gen.(
+    list_repeat 8
+      (opt (map (fun i -> Value.Int i) (int_range (-3) 3))))
+
+let int_bindings opts =
+  let vars =
+    [ ("x", 0); ("x", 1); ("x", 2); ("x", 3); ("y", 0); ("y", 1); ("y", 2);
+      ("y", 3) ]
+  in
+  List.concat
+    (List.map2
+       (fun (name, loc) v ->
+         match v with
+         | Some value -> [ ({ Expr.name; loc }, value) ]
+         | None -> [])
+       vars opts)
+
+let arb_conjunctive =
+  QCheck.make
+    ~print:(fun ((e, _), opts) ->
+      Printf.sprintf "%s under [%s]" (Expr.to_string e)
+        (pp_bindings (int_bindings opts)))
+    QCheck.Gen.(pair gen_conjunctive gen_int_bindings)
+
+let eval_safe env_fn e =
+  match Expr.eval_bool ~env:env_fn e with
+  | b -> b
+  | exception Expr.Unbound_variable _ -> false
+
+let conjunct_partition_round_trip (((e, k), opts) : (Expr.t * int) * _) =
+  let bindings = int_bindings opts in
+  let env_fn (v : Expr.var) = List.assoc_opt v bindings in
+  match Expr.conjuncts e with
+  | None -> QCheck.Test.fail_reportf "expected conjunctive: %s" (Expr.to_string e)
+  | Some parts ->
+      if List.length parts <> k then
+        QCheck.Test.fail_reportf "expected %d conjuncts, got %d" k
+          (List.length parts);
+      (* Multiset of localized conjuncts survives the split. *)
+      let key (loc, c) = Printf.sprintf "%d:%s" loc (Expr.to_string c) in
+      let sorted l = List.sort Stdlib.compare (List.map key l) in
+      let rec flat = function
+        | Expr.And (a, b) -> flat a @ flat b
+        | c -> [ c ]
+      in
+      let original =
+        List.map (fun c -> (Option.get (Expr.sole_location c), c)) (flat e)
+      in
+      if sorted parts <> sorted original then
+        QCheck.Test.fail_reportf "conjunct multiset changed";
+      (* Group residuals (loc mod 2), recombined with boolean AND,
+         evaluate like the whole predicate — interpreted and compiled. *)
+      let groups = 2 in
+      let residual g =
+        match List.filter (fun (loc, _) -> loc mod groups = g) parts with
+        | [] -> None
+        | (_, c) :: rest ->
+            Some (List.fold_left (fun acc (_, c) -> Expr.(acc &&& c)) c rest)
+      in
+      let whole = eval_safe env_fn e in
+      let folded = ref true in
+      for g = 0 to groups - 1 do
+        match residual g with
+        | None -> ()
+        | Some r ->
+            let prog = Compiled.compile r in
+            let cenv = Compiled.create_env prog in
+            List.iter
+              (fun (v, value) ->
+                let s = Compiled.slot prog v in
+                if s >= 0 then Compiled.set cenv s value)
+              bindings;
+            let interp_g = eval_safe env_fn r in
+            let compiled_g =
+              match Compiled.eval_bool prog cenv with
+              | b -> b
+              | exception Expr.Unbound_variable _ -> false
+            in
+            if interp_g <> compiled_g then
+              QCheck.Test.fail_reportf "group %d: interp %b <> compiled %b" g
+                interp_g compiled_g;
+            folded := !folded && interp_g
+      done;
+      if whole <> !folded then
+        QCheck.Test.fail_reportf "whole %b <> folded %b for %s" whole !folded
+          (Expr.to_string e);
+      true
+
+let test_compiled_slots () =
+  let e =
+    (var ~name:"x" ~loc:0 >? int 1)
+    &&& (var ~name:"y" ~loc:1 +? var ~name:"x" ~loc:0 >? int 2)
+  in
+  let prog = Compiled.compile e in
+  Alcotest.(check int) "nvars" 2 (Compiled.nvars prog);
+  Alcotest.(check int) "slot x0" 0 (Compiled.slot prog { Expr.name = "x"; loc = 0 });
+  Alcotest.(check int) "slot y1" 1 (Compiled.slot prog { Expr.name = "y"; loc = 1 });
+  Alcotest.(check int) "absent" (-1) (Compiled.slot prog { Expr.name = "z"; loc = 0 });
+  let cenv = Compiled.create_env prog in
+  Compiled.set_int cenv 0 3;
+  Alcotest.(check bool) "partial env unbound" true
+    (try ignore (Compiled.eval_bool prog cenv); false
+     with Expr.Unbound_variable v -> v.name = "y" && v.loc = 1);
+  Compiled.set_int cenv 1 0;
+  Alcotest.(check bool) "bound true" true (Compiled.eval_bool prog cenv);
+  Alcotest.(check bool) "get" true
+    (Compiled.get cenv 0 = Some (Value.Int 3));
+  Compiled.clear cenv 1;
+  Alcotest.(check bool) "cleared unbound again" true
+    (try ignore (Compiled.eval_bool prog cenv); false
+     with Expr.Unbound_variable _ -> true)
+
+let test_compiled_short_circuit () =
+  (* False left conjunct must mask an unbound right one, as in eval. *)
+  let e =
+    (int 1 >? int 2) &&& (var ~name:"x" ~loc:0 >? int 0)
+  in
+  let prog = Compiled.compile e in
+  Alcotest.(check bool) "masked unbound" false
+    (Compiled.eval_bool prog (Compiled.create_env prog));
+  let e = (int 2 >? int 1) ||| (var ~name:"x" ~loc:0 >? int 0) in
+  let prog = Compiled.compile e in
+  Alcotest.(check bool) "or masks too" true
+    (Compiled.eval_bool prog (Compiled.create_env prog))
+
 let test_modality () =
   Alcotest.(check string) "inst" "instantaneous" (Modality.to_string Modality.Instantaneous);
   Alcotest.(check bool) "inst single axis" true
@@ -151,6 +434,15 @@ let () =
           Alcotest.test_case "cross-loc disjunction" `Quick
             test_disjunction_not_conjunctive_across_locs;
           Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "slots" `Quick test_compiled_slots;
+          Alcotest.test_case "short circuit" `Quick test_compiled_short_circuit;
+          qtest "compiled = interp (value and exception)" arb_expr_env
+            compiled_matches_interp;
+          qtest ~count:500 "conjunct partition round-trip" arb_conjunctive
+            conjunct_partition_round_trip;
         ] );
       ( "spec",
         [

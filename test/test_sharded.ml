@@ -111,6 +111,147 @@ let test_hospital_differential =
         ~lookahead:(Delay_model.min_delay delay_small)
         (fun exec sinks -> Sharded.hospital ~cfg ~sinks exec))
 
+let test_calm_differential =
+  qtest ~count:6 "calm (partitioned checker): report + merged trace identical"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let cfg =
+        { Sharded.calm_default with monitors = 10; detect = small_detect }
+      in
+      substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
+        ~lookahead:(Delay_model.min_delay delay_small)
+        (fun exec sinks -> Sharded.calm ~cfg ~sinks exec))
+
+(* {2 Checker backends}
+
+   The three predicate-evaluation backends must agree on everything the
+   wire can see.  [Interp] is the PR 7 checker verbatim; [Compiled] and
+   [Partitioned] replay it.  Raw-channel protocol events (update
+   mirrors, verdict edges) add engine events and an edge counter, so
+   cross-backend comparison takes the report minus [sim_events] and
+   [metrics]; merged trace bytes are compared verbatim — the raw
+   channel must never trace. *)
+
+let report_core (r : Psn.Report.t) =
+  ( r.summary, r.truth, r.occurrences, r.updates, r.messages, r.words,
+    r.dropped )
+
+let calm_backends seed =
+  let with_checker checker exec =
+    let sinks = Array.init 4 (fun _ -> Trace.create ()) in
+    let cfg =
+      { Sharded.calm_default with
+        monitors = 10;
+        detect = { small_detect with checker } }
+    in
+    let r = Sharded.calm ~cfg ~sinks exec in
+    (report_core r, Export.merged_jsonl (Array.to_list sinks))
+  in
+  let substrates =
+    (fun () -> Exec.single ~seed ())
+    :: List.map
+         (fun k () ->
+           Exec.sharded ~seed ~shards:k
+             ~lookahead:(Delay_model.min_delay delay_small) ())
+         shard_counts
+  in
+  List.for_all
+    (fun mk ->
+      let core0, trace0 = with_checker Sharded_detector.Interp (mk ()) in
+      List.for_all
+        (fun (name, checker) ->
+          let core, trace = with_checker checker (mk ()) in
+          let ok = compare core0 core = 0 && String.equal trace0 trace in
+          if not ok then
+            QCheck.Test.fail_reportf
+              "calm backend %s diverges from Interp: core %s, trace %s" name
+              (if compare core0 core = 0 then "equal" else "DIFFERS")
+              (if String.equal trace0 trace then "equal" else "DIFFERS");
+          ok)
+        [ ("Compiled", Sharded_detector.Compiled);
+          ("Partitioned", Sharded_detector.Partitioned);
+          ("Auto", Sharded_detector.Auto) ])
+    substrates
+
+let test_calm_backends =
+  qtest ~count:4 "calm: Interp/Compiled/Partitioned byte-identical observables"
+    QCheck.(int_range 0 10_000)
+    (fun seed -> calm_backends (Int64.of_int seed))
+
+let relational_backends seed =
+  (* Relational predicates have no partitioned decomposition, so Auto
+     falls back to the compiled whole-predicate path; reports (including
+     sim_events and metrics — no protocol events exist) and traces must
+     equal Interp's exactly. *)
+  let with_checker checker =
+    let exec =
+      Exec.sharded ~seed ~shards:2
+        ~lookahead:(Delay_model.min_delay delay_small) ()
+    in
+    let sinks = Array.init 4 (fun _ -> Trace.create ()) in
+    let cfg =
+      { Sharded.banking_default with
+        tellers = 10;
+        quorum = 3;
+        detect = { small_detect with checker } }
+    in
+    let r = Sharded.banking ~cfg ~sinks exec in
+    (r, Export.merged_jsonl (Array.to_list sinks))
+  in
+  let r0, trace0 = with_checker Sharded_detector.Interp in
+  List.for_all
+    (fun checker ->
+      let r, trace = with_checker checker in
+      compare r0 r = 0 && String.equal trace0 trace)
+    [ Sharded_detector.Compiled; Sharded_detector.Auto ]
+
+let test_relational_backends =
+  qtest ~count:6 "banking: Compiled/Auto report equals Interp verbatim"
+    QCheck.(int_range 0 10_000)
+    (fun seed -> relational_backends (Int64.of_int seed))
+
+let test_backend_resolution () =
+  let cfg =
+    {
+      Sharded_detector.n = 4;
+      groups = 2;
+      group_of = (fun pid -> pid / 2);
+      eps = ms 10;
+      hold = ms 400;
+      flush_period = ms 100;
+      causal_stamps = false;
+    }
+  in
+  let conjunctive =
+    Expr.(
+      (var ~name:"v" ~loc:0 <=? int 5)
+      &&& (var ~name:"v" ~loc:1 <=? int 5)
+      &&& (var ~name:"v" ~loc:3 <=? int 5))
+  in
+  let relational =
+    Expr.(sum (List.init 4 (fun i -> var ~name:"v" ~loc:i)) >? int 10)
+  in
+  let kind ?checker ?(cfg = cfg) predicate =
+    Sharded_detector.checker_kind
+      (Sharded_detector.create ?checker (Exec.single ()) ~cfg
+         ~delay:delay_small ~predicate ())
+  in
+  Alcotest.(check bool) "auto picks partitioned for conjuncts" true
+    (kind conjunctive = Sharded_detector.Partitioned);
+  Alcotest.(check bool) "auto falls back to compiled for relational" true
+    (kind relational = Sharded_detector.Compiled);
+  Alcotest.(check bool) "interp can be forced" true
+    (kind ~checker:Sharded_detector.Interp conjunctive = Sharded_detector.Interp);
+  (* Forcing Partitioned on a relational predicate must raise. *)
+  (match kind ~checker:Sharded_detector.Partitioned relational with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Partitioned on relational must raise");
+  (* A hold too small for the edge protocol disqualifies partitioning
+     (the bound is configuration-only, so every substrate agrees). *)
+  let tight = { cfg with hold = Delay_model.min_delay delay_small } in
+  Alcotest.(check bool) "tight hold falls back to compiled" true
+    (kind ~cfg:tight conjunctive = Sharded_detector.Compiled)
+
 (* {2 Random scripts with churn and loss}
 
    Each process gets an arrival and a departure time (churn) and emits
@@ -304,7 +445,15 @@ let () =
           test_hall_differential;
           test_banking_differential;
           test_hospital_differential;
+          test_calm_differential;
           test_script_differential;
+        ] );
+      ( "checker backends",
+        [
+          test_calm_backends;
+          test_relational_backends;
+          Alcotest.test_case "backend resolution" `Quick
+            test_backend_resolution;
         ] );
       ( "lookahead",
         [
