@@ -494,6 +494,26 @@ let analyze_posthoc =
 let analyze_online =
   analyze_replay ~name:"analyze.online(4k edges)" ~horizon_ns:(Some 50_000)
 
+(* --- PR9 shard-observability subject -------------------------------------- *)
+
+(* The K=4 sharded hall run plus a full [Analyze.sharded] pass over its
+   window counters.  Against infra/hall.run.sharded(4) — the identical
+   run, whose engine records the same always-on flat-int counters — the
+   ratio isolates the post-hoc analysis cost and bounds the whole
+   observability tax at a few percent. *)
+let shardstats_overhead =
+  let lookahead =
+    Psn_sim.Delay_model.min_delay sharded_hall_cfg.detect.delay
+  in
+  Test.make ~name:"shardstats.overhead" (Staged.stage @@ fun () ->
+      let exec = Psn_sim.Exec.sharded ~shards:4 ~lookahead () in
+      ignore
+        (Sys.opaque_identity
+           (Psn_scenarios.Sharded.hall ~cfg:sharded_hall_cfg exec));
+      match Psn_sim.Exec.stats exec with
+      | Some st -> ignore (Sys.opaque_identity (Psn_obs.Analyze.sharded st))
+      | None -> ())
+
 (* Named subject groups; names in reports are "group/subject". *)
 let subjects =
   [
@@ -519,7 +539,7 @@ let subjects =
         pool_dispatch;
       ] );
     ("lattice", [ lattice_count_4x6; lattice_count_generic; modal_definitely ]);
-    ("obs", [ analyze_posthoc; analyze_online ]);
+    ("obs", [ analyze_posthoc; analyze_online; shardstats_overhead ]);
   ]
 
 (* Per-subject sampling budget, seconds.  The default keeps the full

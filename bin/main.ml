@@ -542,19 +542,202 @@ let analyze_cmd =
         (const run $ seed $ horizon_s $ delta_ms $ clock $ file $ run_live
        $ horizon_ms $ json_out $ top))
 
+(* Sharded scenarios (the Exec substrate): hall, banking, hospital,
+   calm — runnable under shardstats and profile. *)
+
+module Sharded_sc = Psn_scenarios.Sharded
+
+let sharded_scenario_arg =
+  let sc =
+    Arg.enum
+      [ ("hall", `Hall); ("banking", `Banking); ("hospital", `Hospital);
+        ("calm", `Calm) ]
+  in
+  (sc, "hall, banking, hospital, or calm")
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"K" ~doc:"Shard count for the sharded engine.")
+
+let run_sharded_scenario ~seed ~shards ~horizon_s ?sinks sc =
+  let detect =
+    { Sharded_sc.default_detect with horizon = Sim_time.of_sec horizon_s }
+  in
+  let lookahead = Psn_sim.Delay_model.min_delay detect.Sharded_sc.delay in
+  let exec = Psn_sim.Exec.sharded ~seed ~shards ~lookahead () in
+  let report =
+    match sc with
+    | `Hall ->
+        Sharded_sc.hall ~cfg:{ Sharded_sc.hall_default with detect } ?sinks exec
+    | `Banking ->
+        Sharded_sc.banking
+          ~cfg:{ Sharded_sc.banking_default with detect }
+          ?sinks exec
+    | `Hospital ->
+        Sharded_sc.hospital
+          ~cfg:{ Sharded_sc.wards = 12; sample_period = 8.0; threshold = 102;
+                 detect }
+          ?sinks exec
+    | `Calm ->
+        Sharded_sc.calm ~cfg:{ Sharded_sc.calm_default with detect } ?sinks exec
+  in
+  (report, exec)
+
+(* shardstats *)
+
+let shardstats_cmd =
+  let doc =
+    "Shard-aware runtime observability: per-window per-shard event counts, \
+     busy/wait/drain host-time attribution, load-imbalance coefficients, \
+     and an Amdahl projected-speedup curve — live over a sharded scenario \
+     run ($(b,--run)), or post-hoc over a psn-shardstats/1 JSON FILE \
+     written by $(b,--json)."
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"psn-shardstats/1 JSON dump to re-analyze post-hoc.")
+  in
+  let run_live =
+    let sc, names = sharded_scenario_arg in
+    Arg.(
+      value
+      & opt (some sc) None
+      & info [ "run" ] ~docv:"SCENARIO"
+          ~doc:
+            ("Run " ^ names
+           ^ " on the sharded engine (K = $(b,--shards)) and report its \
+              window statistics."))
+  in
+  let horizon_s =
+    Arg.(
+      value & opt int 60
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Simulated duration of the $(b,--run) scenario.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the psn-shardstats/1 JSON document (raw per-window data \
+             plus the analysis) to stdout instead of the text report.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write a host-time Gantt of the run to $(docv) (Chrome \
+             trace_event JSON): shard = pid row, window = slice, \
+             coordinator drain/fold = explicit slices, cross-shard mail = \
+             flow arrows.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--run): collect per-group sim traces and write the \
+             merged Chrome document to $(docv), one tid block per group.")
+  in
+  let write_file path content ~what =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    Fmt.epr "shardstats: %s -> %s@." what path
+  in
+  let output ~json ~chrome_out st =
+    if json then print_endline (Psn_obs.Analyze.sharded_to_json st)
+    else print_string (Psn_obs.Analyze.render_sharded st);
+    Option.iter
+      (fun path ->
+        write_file path (Psn_obs.Export.shard_chrome_string st)
+          ~what:"window gantt")
+      chrome_out
+  in
+  let run seed file run_live shards horizon_s json chrome_out trace_out =
+    match (file, run_live) with
+    | Some _, Some _ -> `Error (false, "pass either FILE or --run, not both")
+    | None, None ->
+        `Error (false, "nothing to report: pass a FILE or --run SCENARIO")
+    | Some path, None -> (
+        match
+          let contents =
+            In_channel.with_open_bin path In_channel.input_all
+          in
+          Result.bind (Psn_obs.Json.of_string contents)
+            Psn_obs.Shard_stats.of_json
+        with
+        | Ok st ->
+            output ~json ~chrome_out st;
+            `Ok ()
+        | Error e -> `Error (false, Printf.sprintf "%s: %s" path e)
+        | exception Sys_error msg -> `Error (false, msg))
+    | None, Some sc ->
+        let sinks =
+          Option.map
+            (fun _ ->
+              Array.init Sharded_sc.default_detect.Sharded_sc.groups (fun _ ->
+                  Psn_obs.Trace.create ()))
+            trace_out
+        in
+        let report, exec =
+          run_sharded_scenario ~seed ~shards ~horizon_s ?sinks sc
+        in
+        if not json then print_report report;
+        (match Psn_sim.Exec.stats exec with
+        | Some st -> output ~json ~chrome_out st
+        | None -> ());
+        Option.iter
+          (fun path ->
+            match sinks with
+            | Some sinks ->
+                write_file path
+                  (Psn_obs.Export.merged_chrome (Array.to_list sinks))
+                  ~what:"merged trace"
+            | None -> ())
+          trace_out;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "shardstats" ~doc)
+    Term.(
+      ret
+        (const run $ seed $ file $ run_live $ shards_arg $ horizon_s $ json
+       $ chrome_out $ trace_out))
+
 (* profile *)
 
 let profile_cmd =
   let doc =
-    "Run an experiment under the host-time profiler: per-phase wall time \
-     and GC deltas (psn-profile/1 JSON). Host readings stay in the \
-     profile artifact; simulated-time traces are unaffected."
+    "Run an experiment — or a sharded scenario ($(b,--run)) — under the \
+     host-time profiler: per-phase wall time and GC deltas (psn-profile/1 \
+     JSON). Sharded runs split into sharded.window (parallel execution) \
+     and sharded.drain (coordinator barrier) phases. Host readings stay \
+     in the profile artifact; simulated-time traces are unaffected."
   in
   let id =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,list)).")
+  in
+  let run_live =
+    let sc, names = sharded_scenario_arg in
+    Arg.(
+      value
+      & opt (some sc) None
+      & info [ "run" ] ~docv:"SCENARIO"
+          ~doc:
+            ("Profile a sharded scenario run instead of an experiment: "
+           ^ names ^ " on $(b,--shards) shards, 60 s horizon."))
   in
   let out =
     Arg.(
@@ -563,33 +746,53 @@ let profile_cmd =
       & info [ "out"; "o" ] ~docv:"FILE"
           ~doc:"Write the JSON profile to $(docv) instead of stdout.")
   in
-  let run quick id out =
-    match Psn_experiments.Experiments.find id with
-    | None -> `Error (false, Printf.sprintf "unknown experiment %S" id)
-    | Some e ->
+  let emit profile out =
+    Fmt.pr "%a" Psn_obs.Profile.pp profile;
+    match out with
+    | None -> print_endline (Psn_obs.Profile.to_json profile)
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Psn_obs.Profile.to_json profile);
+            output_char oc '\n');
+        Fmt.epr "profile: %d phases -> %s@."
+          (List.length (Psn_obs.Profile.phases profile))
+          path
+  in
+  let run quick seed id run_live shards out =
+    match (id, run_live) with
+    | Some _, Some _ ->
+        `Error (false, "pass either an experiment ID or --run, not both")
+    | None, None ->
+        `Error (false, "nothing to profile: pass an ID or --run SCENARIO")
+    | Some id, None -> (
+        match Psn_experiments.Experiments.find id with
+        | None -> `Error (false, Printf.sprintf "unknown experiment %S" id)
+        | Some e ->
+            let profile = Psn_obs.Profile.create () in
+            let outcome =
+              Psn_obs.Profile.with_default profile (fun () ->
+                  Psn_obs.Profile.phase "total" (fun () -> e.run ~quick ()))
+            in
+            Psn_experiments.Exp_common.print outcome;
+            print_newline ();
+            emit profile out;
+            `Ok ())
+    | None, Some sc ->
         let profile = Psn_obs.Profile.create () in
-        let outcome =
+        let report, _exec =
           Psn_obs.Profile.with_default profile (fun () ->
-              Psn_obs.Profile.phase "total" (fun () -> e.run ~quick ()))
+              Psn_obs.Profile.phase "total" (fun () ->
+                  run_sharded_scenario ~seed ~shards ~horizon_s:60 sc))
         in
-        Psn_experiments.Exp_common.print outcome;
-        print_newline ();
-        Fmt.pr "%a" Psn_obs.Profile.pp profile;
-        (match out with
-        | None -> print_endline (Psn_obs.Profile.to_json profile)
-        | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () ->
-                output_string oc (Psn_obs.Profile.to_json profile);
-                output_char oc '\n');
-            Fmt.epr "profile: %d phases -> %s@."
-              (List.length (Psn_obs.Profile.phases profile))
-              path);
+        print_report report;
+        emit profile out;
         `Ok ()
   in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(ret (const run $ quick $ id $ out))
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(ret (const run $ quick $ seed $ id $ run_live $ shards_arg $ out))
 
 let main =
   let doc =
@@ -599,8 +802,9 @@ let main =
   Cmd.group
     (Cmd.info "psn-sim" ~version:"1.0.0" ~doc)
     [
-      list_cmd; experiment_cmd; trace_cmd; analyze_cmd; profile_cmd; hall_cmd;
-      office_cmd; hospital_cmd; habitat_cmd; banking_cmd; lattice_cmd;
+      list_cmd; experiment_cmd; trace_cmd; analyze_cmd; profile_cmd;
+      shardstats_cmd; hall_cmd; office_cmd; hospital_cmd; habitat_cmd;
+      banking_cmd; lattice_cmd;
     ]
 
 let () = exit (Cmd.eval main)

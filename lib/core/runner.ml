@@ -143,4 +143,5 @@ let run ?init ?(policy = D.Metrics.As_positive) (config : Config.t) ~spec
     sim_events = Engine.events_processed engine;
     horizon = config.horizon;
     metrics = Psn_obs.Metrics.snapshot (Engine.metrics engine);
+    sharding = None;
   }

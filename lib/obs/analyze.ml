@@ -888,3 +888,288 @@ let to_json ?(top = 16) t =
       ]
   in
   to_string doc
+
+(* --- sharded-run analysis ---------------------------------------------- *)
+
+(* Everything below reads a [Shard_stats.t] — host-time counters the
+   sharded engine recorded at its barriers — and derives the three
+   answers ROADMAP item 1 left open: where wall time goes
+   (parallel / drain / fold / other), how unevenly the shards are
+   loaded, and what speedup C cores would buy (an Amdahl projection
+   from the measured per-window busy profile, not a hand-wave).
+
+   The projection model: serial work (coordinator drain + fold +
+   unattributed time + dispatch overhead) does not scale; each
+   window's parallel region takes at least its critical path
+   [max_s busy] and at least its total busy time divided over C
+   cores.  T(1) under this model is exactly serial + total busy, so
+   the curve starts at 1.0 by construction. *)
+
+type shard_row = {
+  sh_events : int;
+  sh_busy_ns : int;
+  sh_wait_ns : int;  (* Σ over windows of (par_ns - busy), clamped *)
+  sh_sent : int;
+  sh_recv : int;
+}
+
+type sharded_report = {
+  sr_shards : int;
+  sr_lookahead_ns : int;
+  sr_windows : int;
+  sr_events : int;
+  sr_limit_lookahead : int;
+  sr_limit_queue : int;
+  sr_limit_horizon : int;
+  sr_wall_ns : int;  (* measured run wall; T(1) when unmeasured *)
+  sr_par_ns : int;  (* Σ parallel regions *)
+  sr_drain_ns : int;  (* coordinator drains, epilogue included *)
+  sr_fold_ns : int;  (* next-window folds, epilogue included *)
+  sr_other_ns : int;  (* wall - parallel - drain - fold, clamped *)
+  sr_busy_ns : int;  (* Σ over shards and windows *)
+  sr_critical_ns : int;  (* Σ over windows of max_s busy *)
+  sr_dispatch_ns : int;  (* Σ over windows of (par - Σ busy), clamped *)
+  sr_parallel_frac : float;
+  sr_serial_frac : float;
+  sr_imbalance_events : float;
+  sr_imbalance_busy : float;
+  sr_cross_msgs : int;
+  sr_pending : int;
+  sr_peak_mail_ints : int;
+  sr_per_shard : shard_row array;
+  sr_amdahl : (int * float) array;  (* cores, projected speedup *)
+  sr_amdahl_limit : float;  (* C -> infinity asymptote *)
+}
+
+let sharded st =
+  let k = Shard_stats.shards st in
+  let n = Shard_stats.windows st in
+  let limits = [| 0; 0; 0 |] in
+  let drain = ref (Shard_stats.epilogue_drain_ns st) in
+  let fold = ref (Shard_stats.epilogue_fold_ns st) in
+  let par = ref 0 in
+  let busy_tot = ref 0 in
+  let crit = ref 0 in
+  let dispatch = ref 0 in
+  let sum_max_e = ref 0 in
+  let sum_e = ref 0 in
+  let sum_max_b = ref 0 in
+  let events = Array.make k 0 in
+  let busy = Array.make k 0 in
+  let wait = Array.make k 0 in
+  let sent = Array.make k 0 in
+  let recv = Array.make k 0 in
+  for w = 0 to n - 1 do
+    let li =
+      match Shard_stats.limit st w with
+      | Shard_stats.Lookahead -> 0
+      | Shard_stats.Queue -> 1
+      | Shard_stats.Horizon -> 2
+    in
+    limits.(li) <- limits.(li) + 1;
+    drain := !drain + Shard_stats.drain_ns st w;
+    fold := !fold + Shard_stats.fold_ns st w;
+    let p = Shard_stats.par_ns st w in
+    par := !par + p;
+    let bw = ref 0 and max_b = ref 0 and max_e = ref 0 in
+    for s = 0 to k - 1 do
+      let e = Shard_stats.events st w ~shard:s in
+      let b = Shard_stats.busy_ns st w ~shard:s in
+      events.(s) <- events.(s) + e;
+      busy.(s) <- busy.(s) + b;
+      wait.(s) <- wait.(s) + max 0 (p - b);
+      bw := !bw + b;
+      if b > !max_b then max_b := b;
+      if e > !max_e then max_e := e;
+      sum_e := !sum_e + e
+    done;
+    busy_tot := !busy_tot + !bw;
+    crit := !crit + !max_b;
+    dispatch := !dispatch + max 0 (p - !bw);
+    sum_max_e := !sum_max_e + !max_e;
+    sum_max_b := !sum_max_b + !max_b;
+    if k > 1 then
+      for src = 0 to k - 1 do
+        for dst = 0 to k - 1 do
+          let m = Shard_stats.traffic st w ~src ~dst in
+          sent.(src) <- sent.(src) + m;
+          recv.(dst) <- recv.(dst) + m
+        done
+      done
+  done;
+  let serial = !drain + !fold in
+  let t1 = serial + !dispatch + !busy_tot in
+  let wall =
+    let m = Shard_stats.run_wall_ns st in
+    if m > 0 then m else t1
+  in
+  let other = max 0 (wall - !par - serial) in
+  let t_of cores =
+    let acc = ref (serial + other + !dispatch) in
+    for w = 0 to n - 1 do
+      let bw = ref 0 and max_b = ref 0 in
+      for s = 0 to k - 1 do
+        let b = Shard_stats.busy_ns st w ~shard:s in
+        bw := !bw + b;
+        if b > !max_b then max_b := b
+      done;
+      acc := !acc + max !max_b ((!bw + cores - 1) / cores)
+    done;
+    !acc
+  in
+  let t1' = serial + other + !dispatch + !busy_tot in
+  let speedup tc = if tc <= 0 then 1.0 else float_of_int t1' /. float_of_int tc in
+  let cores =
+    let base = [ 1; 2; 4; 8; 16; 32 ] in
+    if List.mem k base then base
+    else List.sort_uniq compare (k :: base)
+  in
+  let frac num = if wall <= 0 then 0.0 else float_of_int num /. float_of_int wall in
+  let imb sum_max sum =
+    if sum <= 0 then 1.0
+    else float_of_int (k * sum_max) /. float_of_int sum
+  in
+  {
+    sr_shards = k;
+    sr_lookahead_ns = Shard_stats.lookahead_ns st;
+    sr_windows = n;
+    sr_events = !sum_e;
+    sr_limit_lookahead = limits.(0);
+    sr_limit_queue = limits.(1);
+    sr_limit_horizon = limits.(2);
+    sr_wall_ns = wall;
+    sr_par_ns = !par;
+    sr_drain_ns = !drain;
+    sr_fold_ns = !fold;
+    sr_other_ns = other;
+    sr_busy_ns = !busy_tot;
+    sr_critical_ns = !crit;
+    sr_dispatch_ns = !dispatch;
+    sr_parallel_frac = frac !par;
+    sr_serial_frac = (if wall <= 0 then 0.0 else frac (max 0 (wall - !par)));
+    sr_imbalance_events = imb !sum_max_e !sum_e;
+    sr_imbalance_busy = imb !sum_max_b !busy_tot;
+    sr_cross_msgs = Shard_stats.drained_total st;
+    sr_pending = Shard_stats.pending st;
+    sr_peak_mail_ints = Shard_stats.peak_mail_ints st;
+    sr_per_shard =
+      Array.init k (fun s ->
+          {
+            sh_events = events.(s);
+            sh_busy_ns = busy.(s);
+            sh_wait_ns = wait.(s);
+            sh_sent = sent.(s);
+            sh_recv = recv.(s);
+          });
+    sr_amdahl =
+      Array.of_list (List.map (fun c -> (c, speedup (t_of c))) cores);
+    sr_amdahl_limit =
+      (let t_inf = serial + other + !dispatch + !crit in
+       speedup t_inf);
+  }
+
+let render_sharded st =
+  let r = sharded st in
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ms ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e6) in
+  let pct f = Printf.sprintf "%.1f%%" (100.0 *. f) in
+  pf "== sharded run: %d shards, %d windows, lookahead %s ms ==\n" r.sr_shards
+    r.sr_windows (ms r.sr_lookahead_ns);
+  pf "events %d | cross-shard msgs %d (pending %d, peak ring %d ints)\n"
+    r.sr_events r.sr_cross_msgs r.sr_pending r.sr_peak_mail_ints;
+  pf "windows: %d lookahead-limited, %d queue-limited, %d horizon-limited\n"
+    r.sr_limit_lookahead r.sr_limit_queue r.sr_limit_horizon;
+  pf "wall %s ms = parallel %s + drain %s + fold %s + other %s\n"
+    (ms r.sr_wall_ns) (pct r.sr_parallel_frac)
+    (pct (if r.sr_wall_ns <= 0 then 0.0
+          else float_of_int r.sr_drain_ns /. float_of_int r.sr_wall_ns))
+    (pct (if r.sr_wall_ns <= 0 then 0.0
+          else float_of_int r.sr_fold_ns /. float_of_int r.sr_wall_ns))
+    (pct (if r.sr_wall_ns <= 0 then 0.0
+          else float_of_int r.sr_other_ns /. float_of_int r.sr_wall_ns));
+  pf "busy %s ms over %d shards; critical path %s ms; dispatch %s ms\n"
+    (ms r.sr_busy_ns) r.sr_shards (ms r.sr_critical_ns) (ms r.sr_dispatch_ns);
+  pf "load imbalance: %.3f (events), %.3f (busy)\n" r.sr_imbalance_events
+    r.sr_imbalance_busy;
+  pf "%6s %10s %10s %10s %8s %8s\n" "shard" "events" "busy ms" "wait ms"
+    "sent" "recv";
+  Array.iteri
+    (fun s row ->
+      pf "%6d %10d %10s %10s %8d %8d\n" s row.sh_events (ms row.sh_busy_ns)
+        (ms row.sh_wait_ns) row.sh_sent row.sh_recv)
+    r.sr_per_shard;
+  pf "Amdahl projection:";
+  Array.iter
+    (fun (c, s) -> pf " x%.2f @%d" s c)
+    r.sr_amdahl;
+  pf " | limit x%.2f\n" r.sr_amdahl_limit;
+  Buffer.contents buf
+
+let sharded_to_json st =
+  let r = sharded st in
+  let open Json in
+  let analysis =
+    Obj
+      [
+        ("wall_ns", Int r.sr_wall_ns);
+        ( "attribution",
+          Obj
+            [
+              ("parallel_ns", Int r.sr_par_ns);
+              ("drain_ns", Int r.sr_drain_ns);
+              ("fold_ns", Int r.sr_fold_ns);
+              ("other_ns", Int r.sr_other_ns);
+              ("busy_ns", Int r.sr_busy_ns);
+              ("critical_ns", Int r.sr_critical_ns);
+              ("dispatch_ns", Int r.sr_dispatch_ns);
+              ("parallel_frac", Float r.sr_parallel_frac);
+              ("serial_frac", Float r.sr_serial_frac);
+            ] );
+        ( "limits",
+          Obj
+            [
+              ("lookahead", Int r.sr_limit_lookahead);
+              ("queue", Int r.sr_limit_queue);
+              ("horizon", Int r.sr_limit_horizon);
+            ] );
+        ( "imbalance",
+          Obj
+            [
+              ("events", Float r.sr_imbalance_events);
+              ("busy", Float r.sr_imbalance_busy);
+            ] );
+        ( "per_shard",
+          List
+            (Array.to_list
+               (Array.mapi
+                  (fun s row ->
+                    Obj
+                      [
+                        ("shard", Int s);
+                        ("events", Int row.sh_events);
+                        ("busy_ns", Int row.sh_busy_ns);
+                        ("wait_ns", Int row.sh_wait_ns);
+                        ("sent", Int row.sh_sent);
+                        ("recv", Int row.sh_recv);
+                      ])
+                  r.sr_per_shard)) );
+        ( "amdahl",
+          Obj
+            [
+              ( "cores",
+                List
+                  (Array.to_list
+                     (Array.map (fun (c, _) -> Int c) r.sr_amdahl)) );
+              ( "speedup",
+                List
+                  (Array.to_list
+                     (Array.map (fun (_, s) -> Float s) r.sr_amdahl)) );
+              ("limit", Float r.sr_amdahl_limit);
+            ] );
+      ]
+  in
+  to_string
+    (Obj
+       ((("schema", Str "psn-shardstats/1") :: Shard_stats.raw_members st)
+       @ [ ("analysis", analysis) ]))

@@ -99,3 +99,73 @@ val render : ?top:int -> t -> string
 
 val to_json : ?top:int -> t -> string
 (** Same content as [render] under schema ["psn-analyze/1"]. *)
+
+(** {2 Sharded-run analysis}
+
+    Post-hoc analysis of the {!Shard_stats} counters a sharded run
+    recorded: wall-time attribution (parallel region vs. coordinator
+    drain/fold vs. unattributed), per-shard load and barrier wait,
+    load-imbalance coefficients, and an Amdahl-style projected-speedup
+    curve derived from the measured per-window busy profile — serial
+    work does not scale, and each window takes at least its critical
+    path [max over shards of busy] and at least its total busy time
+    divided over the projected core count.  All inputs are host-time
+    readings; nothing here touches sim artifacts. *)
+
+type shard_row = {
+  sh_events : int;
+  sh_busy_ns : int;
+  sh_wait_ns : int;
+      (** Σ over windows of (parallel-region time − this shard's busy
+          time): time the shard sat at the barrier. *)
+  sh_sent : int;  (** cross-shard messages sent *)
+  sh_recv : int;
+}
+
+type sharded_report = {
+  sr_shards : int;
+  sr_lookahead_ns : int;
+  sr_windows : int;
+  sr_events : int;
+  sr_limit_lookahead : int;  (** windows cut by the conservative bound *)
+  sr_limit_queue : int;  (** windows after which the queues went quiet *)
+  sr_limit_horizon : int;  (** windows clipped by [until] *)
+  sr_wall_ns : int;
+      (** measured run wall time; the model's T(1) when no run was
+          timed (hand-built stats). *)
+  sr_par_ns : int;
+  sr_drain_ns : int;
+  sr_fold_ns : int;
+  sr_other_ns : int;
+  sr_busy_ns : int;
+  sr_critical_ns : int;
+  sr_dispatch_ns : int;
+      (** parallel-region time not covered by any shard's busy time:
+          pool hand-off overhead. *)
+  sr_parallel_frac : float;
+  sr_serial_frac : float;
+  sr_imbalance_events : float;
+      (** [K · Σ_w max_s events / Σ_w Σ_s events] — 1.0 is perfectly
+          balanced, K is one shard doing everything.  Event-based, so
+          deterministic for a given seed. *)
+  sr_imbalance_busy : float;  (** same shape over busy host-ns *)
+  sr_cross_msgs : int;
+  sr_pending : int;
+  sr_peak_mail_ints : int;
+  sr_per_shard : shard_row array;
+  sr_amdahl : (int * float) array;
+      (** (cores, projected speedup); starts at (1, 1.0) by
+          construction. *)
+  sr_amdahl_limit : float;  (** the C → ∞ asymptote *)
+}
+
+val sharded : Shard_stats.t -> sharded_report
+
+val render_sharded : Shard_stats.t -> string
+(** Text report: totals, window-limit classification, wall-time
+    attribution, per-shard table, imbalance, Amdahl curve. *)
+
+val sharded_to_json : Shard_stats.t -> string
+(** ["psn-shardstats/1"] document: the raw {!Shard_stats.raw_members}
+    (so {!Shard_stats.of_json} can re-analyze it) plus the derived
+    ["analysis"] object. *)

@@ -196,6 +196,63 @@ let chrome_flow_slice buf ~sep ~slice_name ~phase ~ts_us ~cpid ~tid ~flow ~seq
        "{\"name\":\"msg\",\"cat\":\"net\",\"ph\":\"%s\"%s,\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%d}"
        phase bp flow ts_us cpid tid)
 
+(* One trace record as Chrome events.  [tid_base] offsets every thread
+   id, so per-group sinks of a sharded run can render side by side —
+   shard g owns the tid block starting at its base — while the
+   single-sink export keeps base 0 and its historical bytes. *)
+let chrome_record ~tid_base buf sep (r : Trace.record) =
+  let ts_us = ts_us_of_ns r.time in
+  let cpid = chrome_pid r.pid in
+  match r.event with
+  | Span_begin { name; lane } | Span_end { name; lane } ->
+      let ph = match r.event with Span_begin _ -> "B" | _ -> "E" in
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      Json.escape_to_buffer buf name;
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d}}"
+           ph ts_us cpid (tid_base + lane) r.seq)
+  | Net_send { flow; _ } ->
+      chrome_flow_slice buf ~sep ~slice_name:"net.send" ~phase:"s" ~ts_us
+        ~cpid ~tid:tid_base ~flow ~seq:r.seq ~args:(args_of_event r.event)
+  | Net_deliver { flow; _ } ->
+      chrome_flow_slice buf ~sep ~slice_name:"net.deliver" ~phase:"f" ~ts_us
+        ~cpid ~tid:tid_base ~flow ~seq:r.seq ~args:(args_of_event r.event)
+  | Net_drop { flow; _ } ->
+      (* A drop still finishes its flow: without the "f" endpoint the
+         send's "s" arrow dangles (Perfetto hides it) and the loss is
+         invisible.  The arrow lands on a thin net.drop slice at the
+         receiver, so dropped messages read exactly like deliveries
+         that died at the medium. *)
+      chrome_flow_slice buf ~sep ~slice_name:"net.drop" ~phase:"f" ~ts_us
+        ~cpid ~tid:tid_base ~flow ~seq:r.seq ~args:(args_of_event r.event)
+  | Detector_occurrence { window_ns; _ } when window_ns > 0 ->
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"detector.occurrence\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d"
+           (ts_us_of_ns (r.time - window_ns))
+           (ts_us_of_ns window_ns) cpid (tid_base + Trace.lane_window) r.seq);
+      add_args buf (args_of_event r.event);
+      Buffer.add_string buf "}}"
+  | _ ->
+      sep ();
+      Buffer.add_string buf "{\"name\":";
+      Json.escape_to_buffer buf (Trace.event_name r.event);
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d"
+           ts_us cpid tid_base r.seq);
+      add_args buf (args_of_event r.event);
+      Buffer.add_string buf "}}"
+
+let process_name_row buf ~cpid ~name =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+       cpid name)
+
 let chrome_to_buffer ?timeline buf sink =
   Buffer.add_string buf "{\"traceEvents\":[";
   (* Name the tracks: one metadata event per distinct pid, in order. *)
@@ -214,64 +271,9 @@ let chrome_to_buffer ?timeline buf sink =
     (fun pid ->
       let name = if pid = Trace.engine_pid then "engine" else Printf.sprintf "proc %d" pid in
       sep ();
-      Buffer.add_string buf
-        (Printf.sprintf
-           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
-           (chrome_pid pid) name))
+      process_name_row buf ~cpid:(chrome_pid pid) ~name)
     sorted_pids;
-  let instant buf (r : Trace.record) ts_us =
-    Buffer.add_string buf "{\"name\":";
-    Json.escape_to_buffer buf (Trace.event_name r.event);
-    Buffer.add_string buf
-      (Printf.sprintf
-         ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%d"
-         ts_us (chrome_pid r.pid) r.seq);
-    add_args buf (args_of_event r.event);
-    Buffer.add_string buf "}}"
-  in
-  Trace.iter
-    (fun (r : Trace.record) ->
-      let ts_us = ts_us_of_ns r.time in
-      let cpid = chrome_pid r.pid in
-      match r.event with
-      | Span_begin { name; lane } | Span_end { name; lane } ->
-          let ph =
-            match r.event with Span_begin _ -> "B" | _ -> "E"
-          in
-          sep ();
-          Buffer.add_string buf "{\"name\":";
-          Json.escape_to_buffer buf name;
-          Buffer.add_string buf
-            (Printf.sprintf
-               ",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d}}"
-               ph ts_us cpid lane r.seq)
-      | Net_send { flow; _ } ->
-          chrome_flow_slice buf ~sep ~slice_name:"net.send" ~phase:"s" ~ts_us
-            ~cpid ~tid:0 ~flow ~seq:r.seq ~args:(args_of_event r.event)
-      | Net_deliver { flow; _ } ->
-          chrome_flow_slice buf ~sep ~slice_name:"net.deliver" ~phase:"f"
-            ~ts_us ~cpid ~tid:0 ~flow ~seq:r.seq ~args:(args_of_event r.event)
-      | Net_drop { flow; _ } ->
-          (* A drop still finishes its flow: without the "f" endpoint the
-             send's "s" arrow dangles (Perfetto hides it) and the loss is
-             invisible.  The arrow lands on a thin net.drop slice at the
-             receiver, so dropped messages read exactly like deliveries
-             that died at the medium. *)
-          chrome_flow_slice buf ~sep ~slice_name:"net.drop" ~phase:"f" ~ts_us
-            ~cpid ~tid:0 ~flow ~seq:r.seq ~args:(args_of_event r.event)
-      | Detector_occurrence { window_ns; _ } when window_ns > 0 ->
-          sep ();
-          Buffer.add_string buf
-            (Printf.sprintf
-               "{\"name\":\"detector.occurrence\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"seq\":%d"
-               (ts_us_of_ns (r.time - window_ns))
-               (ts_us_of_ns window_ns) cpid Trace.lane_window r.seq);
-          add_args buf (args_of_event r.event);
-          Buffer.add_string buf "}}"
-      | _ ->
-          sep ();
-          instant buf r ts_us)
-    sink;
+  Trace.iter (chrome_record ~tid_base:0 buf sep) sink;
   (match timeline with
   | None -> ()
   | Some tl ->
@@ -300,4 +302,175 @@ let chrome_string ?timeline sink =
 let write_chrome ?timeline oc sink =
   let buf = Buffer.create 4096 in
   chrome_to_buffer ?timeline buf sink;
+  Buffer.output_buffer oc buf
+
+(* --- merged Chrome export for per-group sinks --------------------------- *)
+
+(* One Chrome document for the per-group sinks of a sharded run.  The
+   single-sink export maps a span's lane straight to the Chrome tid, so
+   merging per-group sinks naively would collide every group onto lanes
+   0/1.  Here sink [g] renders into its own tid block
+   [g * stride + lane], with [stride] wide enough for the deepest lane
+   any sink used — a deterministic shard-id -> tid mapping.  Emission
+   order is sinks in list order, records in emission order, so the
+   bytes are a pure function of the sink contents. *)
+let merged_chrome_to_buffer buf sinks =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let pids = Hashtbl.create 16 in
+  let max_lane = ref (Trace.lane_window + 1) in
+  List.iter
+    (fun sink ->
+      Trace.iter
+        (fun (r : Trace.record) ->
+          Hashtbl.replace pids r.pid ();
+          match r.event with
+          | Span_begin { lane; _ } | Span_end { lane; _ } ->
+              if lane + 1 > !max_lane then max_lane := lane + 1
+          | _ -> ())
+        sink)
+    sinks;
+  let stride = !max_lane in
+  let sorted_pids =
+    List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) pids [])
+  in
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n"
+  in
+  List.iter
+    (fun pid ->
+      let name =
+        if pid = Trace.engine_pid then "engine"
+        else Printf.sprintf "proc %d" pid
+      in
+      sep ();
+      process_name_row buf ~cpid:(chrome_pid pid) ~name)
+    sorted_pids;
+  List.iteri
+    (fun g sink ->
+      Trace.iter (chrome_record ~tid_base:(g * stride) buf sep) sink)
+    sinks;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let merged_chrome sinks =
+  let buf = Buffer.create 4096 in
+  merged_chrome_to_buffer buf sinks;
+  Buffer.contents buf
+
+let write_merged_chrome oc sinks =
+  let buf = Buffer.create 4096 in
+  merged_chrome_to_buffer buf sinks;
+  Buffer.output_buffer oc buf
+
+(* --- shard-window Gantt from Shard_stats -------------------------------- *)
+
+(* Host-time Gantt of a sharded run: coordinator barrier work on pid 0
+   (drain and fold slices), each shard's per-window busy time on pid
+   s + 1, and a flow arrow per (src, dst) pair that exchanged mail
+   across a barrier.  The time axis is a synthetic host-ns cursor —
+   slices are laid end to end in execution order (drain, fold, then the
+   parallel region), which is exactly the serial/parallel structure the
+   Amdahl analysis attributes.  Deterministic given the stats values,
+   so hand-built stats golden cleanly. *)
+let shard_chrome_to_buffer buf st =
+  let k = Shard_stats.shards st in
+  let n = Shard_stats.windows st in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n"
+  in
+  sep ();
+  process_name_row buf ~cpid:0 ~name:"coordinator";
+  for s = 0 to k - 1 do
+    sep ();
+    process_name_row buf ~cpid:(s + 1) ~name:(Printf.sprintf "shard %d" s)
+  done;
+  let slice ~name ~ts ~dur ~cpid ~args =
+    sep ();
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":0,\"args\":{\"window\":%d"
+         name (ts_us_of_ns ts) (ts_us_of_ns dur) cpid (fst args));
+    add_args buf (snd args);
+    Buffer.add_string buf "}}"
+  in
+  let cursor = ref 0 in
+  let prev_par_start = ref 0 in
+  let prev_busy = Array.make k 0 in
+  for w = 0 to n - 1 do
+    let drain = Shard_stats.drain_ns st w in
+    let fold = Shard_stats.fold_ns st w in
+    slice ~name:"barrier.drain" ~ts:!cursor ~dur:drain ~cpid:0
+      ~args:
+        ( w,
+          [
+            ("msgs", string_of_int (Shard_stats.mail_msgs st w));
+            ("ints", string_of_int (Shard_stats.mail_ints st w));
+          ] );
+    cursor := !cursor + drain;
+    slice ~name:"barrier.fold" ~ts:!cursor ~dur:fold ~cpid:0 ~args:(w, []);
+    cursor := !cursor + fold;
+    let par_start = !cursor in
+    for s = 0 to k - 1 do
+      slice ~name:"window" ~ts:par_start
+        ~dur:(Shard_stats.busy_ns st w ~shard:s)
+        ~cpid:(s + 1)
+        ~args:
+          ( w,
+            [
+              ("events", string_of_int (Shard_stats.events st w ~shard:s));
+              ( "limit",
+                Printf.sprintf "%S"
+                  (Shard_stats.limit_to_string (Shard_stats.limit st w)) );
+              ("start_ns", string_of_int (Shard_stats.start_ns st w));
+              ("end_ns", string_of_int (Shard_stats.end_ns st w));
+            ] )
+    done;
+    (* Mail drained at this barrier was posted during the previous
+       window: arrow from the sender's previous slice to the receiver's
+       current one. *)
+    if w > 0 then
+      for src = 0 to k - 1 do
+        for dst = 0 to k - 1 do
+          let msgs = Shard_stats.traffic st w ~src ~dst in
+          if msgs > 0 then begin
+            let flow = (((w * k) + src) * k) + dst in
+            let args = [ ("msgs", string_of_int msgs) ] in
+            chrome_flow_slice buf ~sep ~slice_name:"mail.out" ~phase:"s"
+              ~ts_us:(ts_us_of_ns (!prev_par_start + prev_busy.(src)))
+              ~cpid:(src + 1) ~tid:0 ~flow ~seq:w ~args;
+            chrome_flow_slice buf ~sep ~slice_name:"mail.in" ~phase:"f"
+              ~ts_us:(ts_us_of_ns par_start) ~cpid:(dst + 1) ~tid:0 ~flow
+              ~seq:w ~args
+          end
+        done
+      done;
+    for s = 0 to k - 1 do
+      prev_busy.(s) <- Shard_stats.busy_ns st w ~shard:s
+    done;
+    prev_par_start := par_start;
+    cursor := !cursor + Shard_stats.par_ns st w
+  done;
+  let ep_drain = Shard_stats.epilogue_drain_ns st in
+  let ep_fold = Shard_stats.epilogue_fold_ns st in
+  if ep_drain > 0 || ep_fold > 0 then begin
+    slice ~name:"barrier.drain" ~ts:!cursor ~dur:ep_drain ~cpid:0
+      ~args:
+        (n, [ ("msgs", string_of_int (Shard_stats.epilogue_mail_msgs st)) ]);
+    cursor := !cursor + ep_drain;
+    slice ~name:"barrier.fold" ~ts:!cursor ~dur:ep_fold ~cpid:0 ~args:(n, [])
+  end;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let shard_chrome_string st =
+  let buf = Buffer.create 4096 in
+  shard_chrome_to_buffer buf st;
+  Buffer.contents buf
+
+let write_shard_chrome oc st =
+  let buf = Buffer.create 4096 in
+  shard_chrome_to_buffer buf st;
   Buffer.output_buffer oc buf

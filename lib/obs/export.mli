@@ -40,3 +40,23 @@ val chrome_to_buffer : ?timeline:Metrics.timeline -> Buffer.t -> Trace.sink -> u
 
 val chrome_string : ?timeline:Metrics.timeline -> Trace.sink -> string
 val write_chrome : ?timeline:Metrics.timeline -> out_channel -> Trace.sink -> unit
+
+val merged_chrome : Trace.sink list -> string
+(** One Chrome document for the per-group sinks of a sharded run.
+    Sink [g]'s events render in tid block [g * stride + lane] (with
+    [stride] the deepest span lane any sink used, at least 2), so
+    shard id maps to tid deterministically instead of every group
+    colliding on lanes 0/1 as with per-sink {!chrome_string}. *)
+
+val write_merged_chrome : out_channel -> Trace.sink list -> unit
+
+val shard_chrome_string : Shard_stats.t -> string
+(** Host-time Gantt of a sharded run from its {!Shard_stats}: shard =
+    pid row (one ["window"] slice per barrier window, carrying events
+    and the window's limit), coordinator = pid 0 (explicit
+    ["barrier.drain"] / ["barrier.fold"] slices), cross-shard mail =
+    flow arrows from the sending window to the receiving one.  The
+    time axis is a synthetic host-ns cursor laying slices end to end
+    in execution order. *)
+
+val write_shard_chrome : out_channel -> Shard_stats.t -> unit

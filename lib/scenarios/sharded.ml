@@ -102,6 +102,14 @@ let execute (dc : detect_cfg) exec ?sinks ~n ~group_of ~predicate ~init
       sim_events = Exec.events_processed exec;
       horizon = dc.horizon;
       metrics = Exec.merged_metrics exec;
+      sharding =
+        (if Exec.is_sharded exec then
+           Some
+             {
+               Psn.Report.si_windows = Exec.windows exec;
+               si_per_shard = Exec.shard_snapshots exec;
+             }
+         else None);
     },
     det )
 

@@ -140,3 +140,15 @@ let merged_metrics t =
   match t.kind with
   | Single s -> Psn_obs.Metrics.snapshot (Engine.metrics s.s_engine)
   | Sharded se -> Sharded_engine.merged_metrics se
+
+let stats t =
+  match t.kind with
+  | Single _ -> None
+  | Sharded se -> Some (Sharded_engine.stats se)
+
+let shard_snapshots t =
+  match t.kind with
+  | Single s -> [| Psn_obs.Metrics.snapshot (Engine.metrics s.s_engine) |]
+  | Sharded se ->
+      Array.init (Sharded_engine.shards se) (fun s ->
+          Psn_obs.Metrics.snapshot (Engine.metrics (Sharded_engine.engine se s)))

@@ -69,3 +69,13 @@ val merged_metrics : t -> Psn_obs.Metrics.snapshot
     {!Psn_obs.Metrics.merge_snapshots} of the shard registries for
     {!sharded}.  Sharded layers register only counters and histograms,
     so the two agree. *)
+
+val stats : t -> Psn_obs.Shard_stats.t option
+(** The sharded engine's per-window observability counters
+    ({!Sharded_engine.stats}); [None] on the single substrate, which
+    has no windows or barriers to attribute. *)
+
+val shard_snapshots : t -> Psn_obs.Metrics.snapshot array
+(** Per-shard registry snapshots (a one-element array for {!single}) —
+    the un-merged view behind {!merged_metrics}, for per-shard
+    breakdowns in reports. *)

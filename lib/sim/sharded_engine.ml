@@ -63,6 +63,8 @@ type t = {
   mail : mailbox array; (* src * k + dst; diagonal entries stay empty *)
   mutable window_end : int; (* exclusive end of the last window run *)
   mutable rounds : int;
+  stats : Psn_obs.Shard_stats.t;
+      (* host-time window/barrier counters; never feeds a sim artifact *)
 }
 
 let create ?(seed = 42L) ~shards ~lookahead () =
@@ -91,6 +93,9 @@ let create ?(seed = 42L) ~shards ~lookahead () =
     mail = Array.init (shards * shards) (fun _ -> { buf = [||]; len = 0 });
     window_end = 0;
     rounds = 0;
+    stats =
+      Psn_obs.Shard_stats.create ~shards
+        ~lookahead_ns:(Sim_time.to_ns lookahead);
   }
 
 let shards t = t.k
@@ -98,6 +103,7 @@ let lookahead t = t.lookahead
 let engine t s = t.shard.(s).engine
 let windows t = t.rounds
 let now t = Engine.now t.shard.(0).engine
+let stats t = t.stats
 
 let set_handler t ~shard h = t.shard.(shard).handler <- Some h
 
@@ -172,17 +178,23 @@ let post t ~src_shard ~dst_shard ~at ~dst ~w0 ~w1 ~w2 ~w3 ~w4 ~w5 ~w6 =
     b.(o + 1) <- dst;
     b.(o + 2) <- w0; b.(o + 3) <- w1; b.(o + 4) <- w2; b.(o + 5) <- w3;
     b.(o + 6) <- w4; b.(o + 7) <- w5; b.(o + 8) <- w6;
-    box.len <- need
+    box.len <- need;
+    (* Shard-local slot of the conservation counter: safe mid-window. *)
+    Psn_obs.Shard_stats.note_posted t.stats ~src:src_shard
   end
 
 (* Barrier drain: coordinator only.  Deterministic src-major, dst-minor,
    FIFO-within-box order; every entry must land at or past the window
    end the lookahead promised. *)
 let drain t =
+  let occupancy = ref 0 in
   for src = 0 to t.k - 1 do
     for dst = 0 to t.k - 1 do
       let box = t.mail.((src * t.k) + dst) in
       if box.len > 0 then begin
+        occupancy := !occupancy + box.len;
+        Psn_obs.Shard_stats.note_traffic t.stats ~src ~dst
+          ~msgs:(box.len / stride);
         let sh = t.shard.(dst) in
         let b = box.buf in
         let o = ref 0 in
@@ -207,34 +219,62 @@ let drain t =
         box.len <- 0
       end
     done
-  done
+  done;
+  Psn_obs.Shard_stats.note_occupancy t.stats ~ints:!occupancy
+
+let global_next t =
+  Array.fold_left
+    (fun acc s -> min acc (Engine.next_time_ns s.engine))
+    max_int t.shard
 
 let run t ~until =
+  let st = t.stats in
+  let r0 = Psn_obs.Shard_stats.now_ns () in
   let until_ns = Sim_time.to_ns until in
   let continue = ref true in
   while !continue do
     (* Drain before measuring: the previous window's cross-shard sends —
        and any posts made before the first [run] (initial conditions) —
        must be in the queues for the global minimum to see them. *)
-    drain t;
-    let next =
-      Array.fold_left
-        (fun acc s -> min acc (Engine.next_time_ns s.engine))
-        max_int t.shard
-    in
-    if next > until_ns then continue := false
+    Psn_obs.Shard_stats.round_begin st;
+    let d0 = Psn_obs.Shard_stats.now_ns () in
+    Psn_obs.Profile.phase "sharded.drain" (fun () -> drain t);
+    let d1 = Psn_obs.Shard_stats.now_ns () in
+    Psn_obs.Shard_stats.drain_done st ~host_ns:(d1 - d0);
+    let next = global_next t in
+    let d2 = Psn_obs.Shard_stats.now_ns () in
+    Psn_obs.Shard_stats.fold_done st ~host_ns:(d2 - d1);
+    (* Only now — with the rings drained into the queues — is the
+       previous window's limit knowable. *)
+    Psn_obs.Shard_stats.classify_prev st ~next_ns:next;
+    if next > until_ns then begin
+      Psn_obs.Shard_stats.round_abort st;
+      continue := false
+    end
     else begin
       let cand = next + t.lookahead in
       let cand = if cand < next then max_int else cand (* overflow *) in
       let w_end = min cand (until_ns + 1) in
       t.window_end <- w_end;
+      Psn_obs.Shard_stats.window_open st ~start_ns:next ~end_ns:w_end;
       let w_last = Sim_time.of_ns (w_end - 1) in
-      ignore
-        (Psn_util.Parallel.init t.k (fun s ->
-             Engine.run ~until:w_last t.shard.(s).engine));
+      Psn_obs.Profile.phase "sharded.window" (fun () ->
+          ignore
+            (Psn_util.Parallel.init t.k (fun s ->
+                 let b0 = Psn_obs.Shard_stats.now_ns () in
+                 let sh = t.shard.(s) in
+                 Engine.run ~until:w_last sh.engine;
+                 (* Writes only slot [s]; the pool join publishes it. *)
+                 Psn_obs.Shard_stats.shard_report st ~shard:s
+                   ~events_total:(Engine.events_processed sh.engine)
+                   ~busy_ns:(Psn_obs.Shard_stats.now_ns () - b0))));
+      Psn_obs.Shard_stats.window_close st ~clipped:(cand > until_ns + 1)
+        ~par_ns:(Psn_obs.Shard_stats.now_ns () - d2);
       t.rounds <- t.rounds + 1
     end
   done;
   (* Align every clock on the horizon (queues hold only events beyond
      it, so this drains nothing). *)
-  Array.iter (fun s -> Engine.run ~until s.engine) t.shard
+  Array.iter (fun s -> Engine.run ~until s.engine) t.shard;
+  Psn_obs.Shard_stats.run_done st
+    ~wall_ns:(Psn_obs.Shard_stats.now_ns () - r0)

@@ -86,3 +86,14 @@ val events_processed : t -> int
 
 val merged_metrics : t -> Psn_obs.Metrics.snapshot
 (** {!Psn_obs.Metrics.merge_snapshots} of the per-shard registries. *)
+
+val stats : t -> Psn_obs.Shard_stats.t
+(** The run's per-window observability counters: per-shard events and
+    busy host time, coordinator drain/fold time, mailbox traffic, and
+    window-limit classification, recorded at every barrier.  Host-time
+    readings live only here (the {!Psn_obs.Profile} quarantine rule):
+    same-seed sim artifacts — traces, metrics, reports — are
+    byte-identical whether or not stats are consumed.  [run] also
+    brackets its phases as {!Psn_obs.Profile.phase} ["sharded.drain"]
+    / ["sharded.window"], so [psn-sim profile] works on sharded
+    scenarios. *)

@@ -85,7 +85,7 @@ let test_hall_differential =
       in
       substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
         ~lookahead:(Delay_model.min_delay delay_small)
-        (fun exec sinks -> Sharded.hall ~cfg ~sinks exec))
+        (fun exec sinks -> Psn.Report.core (Sharded.hall ~cfg ~sinks exec)))
 
 let test_banking_differential =
   qtest ~count:6 "banking: report + merged trace identical across substrates"
@@ -97,7 +97,7 @@ let test_banking_differential =
       in
       substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
         ~lookahead:(Delay_model.min_delay delay_small)
-        (fun exec sinks -> Sharded.banking ~cfg ~sinks exec))
+        (fun exec sinks -> Psn.Report.core (Sharded.banking ~cfg ~sinks exec)))
 
 let test_hospital_differential =
   qtest ~count:6 "hospital: report + merged trace identical across substrates"
@@ -109,7 +109,7 @@ let test_hospital_differential =
       in
       substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
         ~lookahead:(Delay_model.min_delay delay_small)
-        (fun exec sinks -> Sharded.hospital ~cfg ~sinks exec))
+        (fun exec sinks -> Psn.Report.core (Sharded.hospital ~cfg ~sinks exec)))
 
 let test_calm_differential =
   qtest ~count:6 "calm (partitioned checker): report + merged trace identical"
@@ -120,7 +120,7 @@ let test_calm_differential =
       in
       substrate_invariant ~seed:(Int64.of_int seed) ~groups:4
         ~lookahead:(Delay_model.min_delay delay_small)
-        (fun exec sinks -> Sharded.calm ~cfg ~sinks exec))
+        (fun exec sinks -> Psn.Report.core (Sharded.calm ~cfg ~sinks exec)))
 
 (* {2 Checker backends}
 
