@@ -403,6 +403,7 @@ let detector_flush ~n ~k =
     Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 2)
       ~max:(Sim_time.of_ms 5)
   in
+  let arena = Psn_detection.Detector_arena.create () in
   let groups = n / 25 in
   let cfg =
     {
@@ -429,7 +430,8 @@ let detector_flush ~n ~k =
           ~lookahead:(Psn_sim.Delay_model.min_delay delay) ()
       in
       let det =
-        Psn_detection.Sharded_detector.create exec ~cfg ~delay ~predicate ()
+        Psn_detection.Sharded_detector.create ~arena exec ~cfg ~delay
+          ~predicate ()
       in
       (* 10k updates, round-robin over the sources at 0.1 ms spacing
          (1 s span): enough applied updates that the apply path, not the
@@ -514,6 +516,95 @@ let shardstats_overhead =
       | Some st -> ignore (Sys.opaque_identity (Psn_obs.Analyze.sharded st))
       | None -> ())
 
+(* --- PR10 streaming-lattice subjects -------------------------------------- *)
+
+module Streaming = Psn_lattice.Streaming
+
+(* Bounded-slab synthetic stream: 4 processes in near-lockstep rounds,
+   each event carrying knowledge of every other process up to one round
+   back, so the live slab stays a few cuts wide whatever the run length.
+   The 10k/100k pair plus the peak_live_cuts evidence rows appended
+   below carry the bounded-memory claim in psn-bench/1 form: ns/op
+   grows ~10x with the event count while the peak occupancy rows stay
+   identical. *)
+let stream_n = 4
+
+let stream_walk ~events =
+  let rounds = events / stream_n in
+  let s =
+    Streaming.create ~n:stream_n ~holds:(fun c -> c.(0) land 1 = 0) ()
+  in
+  let stamp = Array.make stream_n 0 in
+  for k = 0 to rounds - 1 do
+    for i = 0 to stream_n - 1 do
+      for j = 0 to stream_n - 1 do
+        stamp.(j) <- (if j = i then k + 1 else max 0 (k - 1))
+      done;
+      Streaming.observe s ~pid:i ~stamp
+    done
+  done;
+  Streaming.finish s;
+  s
+
+let lattice_stream ~label ~events =
+  Test.make ~name:(Printf.sprintf "lattice.stream(events=%s)" label)
+    (Staged.stage @@ fun () ->
+      ignore (Sys.opaque_identity (stream_walk ~events)))
+
+let lattice_stream_10k = lattice_stream ~label:"10k" ~events:10_000
+let lattice_stream_100k = lattice_stream ~label:"100k" ~events:100_000
+
+(* End-to-end online detection: 3 monitors (the cut lattice is
+   exponential in concurrency, so modal walks run narrow), 2k updates
+   round-robin at 0.5 ms spacing with 2–5 ms delays — slower than the
+   inter-update gap, so flushes see genuinely concurrent stamps — on the
+   10 ms hold-back flush schedule.  The arena is shared across
+   iterations, so per-op construction is the amortized recycle path, not
+   the O(n) fresh build ([Profile] splits it out as detector.setup). *)
+let detector_stream_flush =
+  let delay =
+    Psn_sim.Delay_model.bounded_uniform ~min:(Sim_time.of_ms 2)
+      ~max:(Sim_time.of_ms 5)
+  in
+  let n = 3 in
+  let cfg =
+    {
+      Psn_detection.Streaming_detector.n;
+      groups = 1;
+      group_of = (fun _ -> 0);
+      eps = Sim_time.of_ms 1;
+      hold = Sim_time.of_ms 20;
+      flush_period = Sim_time.of_ms 10;
+      cap = 200_000;
+    }
+  in
+  let predicate =
+    let open Psn_predicates.Expr in
+    match List.init n (fun i -> var ~name:"v" ~loc:i >=? int 0) with
+    | first :: rest -> List.fold_left ( &&& ) first rest
+    | [] -> assert false
+  in
+  let arena = Psn_detection.Detector_arena.create () in
+  Test.make ~name:(Printf.sprintf "detector.stream.flush(n=%d)" n)
+    (Staged.stage @@ fun () ->
+      let exec = Psn_sim.Exec.single () in
+      let det =
+        Psn_detection.Streaming_detector.create ~arena exec ~cfg ~delay
+          ~predicate ()
+      in
+      for j = 0 to 1_999 do
+        let src = j mod n in
+        Psn_sim.Engine.schedule_at_unit
+          (Psn_sim.Exec.engine exec ~group:0)
+          (Sim_time.of_us ((j + 1) * 500))
+          (fun () ->
+            Psn_detection.Streaming_detector.emit det ~src ~var:"v" ~value:j)
+      done;
+      Psn_sim.Exec.run exec ~until:(Sim_time.of_ms 1_050);
+      Psn_detection.Streaming_detector.finish det;
+      ignore
+        (Sys.opaque_identity (Psn_detection.Streaming_detector.edges det)))
+
 (* Named subject groups; names in reports are "group/subject". *)
 let subjects =
   [
@@ -530,6 +621,7 @@ let subjects =
         predicate_eval_compiled; lattice_count; detector_run; hall_run_single;
         hall_run_sharded 1; hall_run_sharded 2; hall_run_sharded 4;
         detector_flush_100; detector_flush_1000; detector_flush_1000_k4;
+        detector_stream_flush;
       ] );
     ( "middleware",
       [ flood_ring; causal_burst; causal_burst_copy; snapshot_round; mutex_round ] );
@@ -538,7 +630,11 @@ let subjects =
         engine_create; engine_event_unit; queue_1k; queue_100k; net_broadcast;
         pool_dispatch;
       ] );
-    ("lattice", [ lattice_count_4x6; lattice_count_generic; modal_definitely ]);
+    ( "lattice",
+      [
+        lattice_count_4x6; lattice_count_generic; modal_definitely;
+        lattice_stream_10k; lattice_stream_100k;
+      ] );
     ("obs", [ analyze_posthoc; analyze_online; shardstats_overhead ]);
   ]
 
@@ -625,6 +721,32 @@ let run_microbenches ?only () =
             analyzed)
     subjects;
   List.sort compare !results
+
+(* Slab-occupancy evidence for the streaming subjects, reported through
+   the same psn-bench/1 rows as the timing estimates (these rows are
+   counts of cuts, not ns/op).  They are deterministic — the walk is
+   pure over the synthetic stream — so bench-compare holds them to a
+   tight per-subject threshold (peak_live_cuts=1 in the Makefile/CI
+   invocations): any growth of either peak past its committed baseline
+   fails CI, which is the bounded-memory acceptance criterion (flat
+   peak across a 10x event count).  Rows obey --only the same way the
+   timing subjects do: the evidence name contains its subject's name. *)
+let stream_evidence_rows ?only () =
+  let keep name =
+    match only with
+    | None -> true
+    | Some pats -> List.exists (contains name) pats
+  in
+  List.filter_map
+    (fun (label, events) ->
+      let name =
+        Printf.sprintf "lattice/lattice.stream(events=%s).peak_live_cuts" label
+      in
+      if keep name then
+        let s = stream_walk ~events in
+        Some (name, Some (float_of_int (Streaming.peak_live_cuts s)))
+      else None)
+    [ ("10k", 10_000); ("100k", 100_000) ]
 
 let print_rows rows =
   print_endline "== E10: clock and infrastructure microbenchmarks ==";
@@ -858,7 +980,10 @@ let () =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let rows = run_microbenches ?only:!only () in
+  let rows =
+    List.sort compare
+      (run_microbenches ?only:!only () @ stream_evidence_rows ?only:!only ())
+  in
   print_rows rows;
   (match !json with Some path -> write_json path rows | None -> ());
   let regression =

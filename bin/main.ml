@@ -794,6 +794,289 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(ret (const run $ quick $ seed $ id $ run_live $ shards_arg $ out))
 
+(* detect: online Possibly/Definitely through the streaming frontier
+   lattice. *)
+
+let detect_cmd =
+  let doc =
+    "Online modal detection: run the streamed monitor workload and decide \
+     Possibly/Definitely through the streaming frontier lattice \
+     ($(b,--stream), the default) or the packed post-hoc oracle replayed \
+     over the exact prefix the walk consumed ($(b,--posthoc)); \
+     $(b,--differential) runs both and fails on any divergence.  Reports \
+     the bounded-memory evidence (peak live cuts / events) either way."
+  in
+  let monitors =
+    Arg.(
+      value & opt int 3
+      & info [ "monitors" ] ~docv:"N"
+          ~doc:
+            "Monitor processes.  The cut lattice is exponential in \
+             concurrency; keep this small.")
+  in
+  let window_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "window" ] ~docv:"MS"
+          ~doc:"Checker flush window (the hold-back flush period).")
+  in
+  let horizon_s_small =
+    Arg.(
+      value & opt int 120
+      & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Simulated duration.")
+  in
+  let cap =
+    Arg.(
+      value & opt int 200_000
+      & info [ "cap" ] ~docv:"CUTS"
+          ~doc:"Live-slab width bound; past it the walk freezes undecided.")
+  in
+  let stream_flag =
+    Arg.(
+      value & flag
+      & info [ "stream" ] ~doc:"Report the streaming verdicts (default).")
+  in
+  let posthoc =
+    Arg.(
+      value & flag
+      & info [ "posthoc" ]
+          ~doc:
+            "Report the packed post-hoc verdicts over the consumed prefix \
+             instead.")
+  in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Run both engines and fail unless verdicts and committed-cut \
+             counts agree.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print a psn-detect/1 JSON summary to stdout.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the merged per-group trace (JSONL) to $(docv).")
+  in
+  let run seed shards horizon_s window_ms monitors cap stream_flag posthoc
+      differential json trace_out =
+    ignore stream_flag;
+    if monitors <= 0 then `Error (false, "--monitors must be positive")
+    else if posthoc && stream_flag then
+      `Error (false, "pass --stream or --posthoc, not both")
+    else begin
+      let groups = max 1 (min 2 monitors) in
+      let cfg =
+        {
+          Sharded_sc.stream_default with
+          s_monitors = monitors;
+          s_cap = cap;
+          s_detect =
+            {
+              Sharded_sc.stream_default.Sharded_sc.s_detect with
+              groups;
+              flush_period = Sim_time.of_ms window_ms;
+              horizon = Sim_time.of_sec horizon_s;
+            };
+        }
+      in
+      let dc = cfg.Sharded_sc.s_detect in
+      let lookahead = Psn_sim.Delay_model.min_delay dc.Sharded_sc.delay in
+      let exec =
+        if shards <= 1 then Psn_sim.Exec.single ~seed ()
+        else Psn_sim.Exec.sharded ~seed ~shards ~lookahead ()
+      in
+      let sinks =
+        Option.map
+          (fun _ -> Array.init groups (fun _ -> Psn_obs.Trace.create ()))
+          trace_out
+      in
+      let need_packed = posthoc || differential in
+      let captured = Array.make monitors [] in
+      let on_observe =
+        if need_packed then
+          Some
+            (fun ~pid ~stamp ->
+              captured.(pid) <- Array.copy stamp :: captured.(pid))
+        else None
+      in
+      let r, det = Sharded_sc.stream ~cfg ?sinks ?on_observe exec in
+      let packed =
+        if not need_packed then None
+        else begin
+          let stamps =
+            Array.map (fun l -> Array.of_list (List.rev l)) captured
+          in
+          let writes =
+            Array.init monitors (fun i ->
+                Psn_detection.Streaming_detector.updates det
+                |> List.filter
+                     (fun (u : Psn_detection.Observation.update) -> u.src = i)
+                |> List.sort
+                     (fun (a : Psn_detection.Observation.update) b ->
+                       Stdlib.compare a.seq b.seq)
+                |> List.map (fun (u : Psn_detection.Observation.update) ->
+                       (u.var, u.value))
+                |> Array.of_list)
+          in
+          let holds =
+            Psn_lattice.Modal.holds_of_expr ~init:[] ~updates:writes
+              (Sharded_sc.stream_predicate cfg)
+          in
+          Some
+            ( Psn_lattice.Modal.possibly stamps ~holds,
+              Psn_lattice.Modal.definitely stamps ~holds,
+              Psn_lattice.Lattice.count_consistent stamps )
+        end
+      in
+      let diff_ok =
+        match packed with
+        | None -> None
+        | Some (p, d, c) ->
+            Some
+              (r.Sharded_sc.sr_possibly = p
+              && r.Sharded_sc.sr_definitely = d
+              &&
+              match (r.Sharded_sc.sr_committed, c) with
+              | Psn_lattice.Packed.Exact a, Psn_lattice.Packed.Exact b -> a = b
+              | _ -> true (* capped on either side: counts are lower bounds *))
+      in
+      if differential && diff_ok = Some false then
+        `Error (false, "differential: streaming and packed verdicts DIVERGED")
+      else begin
+        let mode, (poss, defi, committed) =
+          if posthoc then ("posthoc", Option.get packed)
+          else
+            ( "stream",
+              ( r.Sharded_sc.sr_possibly,
+                r.Sharded_sc.sr_definitely,
+                r.Sharded_sc.sr_committed ) )
+        in
+        let committed_n, committed_exact =
+          match committed with
+          | Psn_lattice.Packed.Exact n -> (n, true)
+          | Psn_lattice.Packed.At_least n -> (n, false)
+        in
+        let edge_kind (e : Psn_detection.Streaming_detector.edge) =
+          match e.edge with
+          | Psn_lattice.Streaming.Possibly_holds l -> ("possibly", Some l)
+          | Psn_lattice.Streaming.Definitely_holds l -> ("definitely", Some l)
+          | Psn_lattice.Streaming.Possibly_fails -> ("possibly_fails", None)
+          | Psn_lattice.Streaming.Definitely_fails -> ("definitely_fails", None)
+        in
+        if json then begin
+          let open Psn_obs.Json in
+          let opt_bool = function Some b -> Bool b | None -> Null in
+          let doc =
+            Obj
+              ([
+                 ("format", Str "psn-detect/1");
+                 ("mode", Str mode);
+                 ("seed", Int (Int64.to_int seed));
+                 ("shards", Int shards);
+                 ("monitors", Int monitors);
+                 ("window_ms", Int window_ms);
+                 ("horizon_s", Int horizon_s);
+                 ("cap", Int cap);
+                 ("events", Int r.Sharded_sc.sr_observed);
+                 ("updates", Int r.Sharded_sc.sr_updates);
+                 ("possibly", opt_bool poss);
+                 ("definitely", opt_bool defi);
+                 ("committed_cuts", Int committed_n);
+                 ("committed_exact", Bool committed_exact);
+                 ("peak_live_cuts", Int r.Sharded_sc.sr_peak_live_cuts);
+                 ("peak_live_events", Int r.Sharded_sc.sr_peak_live_events);
+                 ("messages", Int r.Sharded_sc.sr_messages);
+                 ("dropped", Int r.Sharded_sc.sr_dropped);
+                 ( "edges",
+                   List
+                     (List.map
+                        (fun (e : Psn_detection.Streaming_detector.edge) ->
+                          let kind, level = edge_kind e in
+                          Obj
+                            [
+                              ("kind", Str kind);
+                              ( "level",
+                                match level with
+                                | Some l -> Int l
+                                | None -> Null );
+                              ("at_ns", Int (Sim_time.to_ns e.at));
+                            ])
+                        r.Sharded_sc.sr_edges) );
+               ]
+              @
+              match diff_ok with
+              | Some ok -> [ ("differential", Str (if ok then "ok" else "diverged")) ]
+              | None -> [])
+          in
+          print_endline (to_string doc)
+        end
+        else begin
+          let pp_verdict ppf = function
+            | Some true -> Fmt.string ppf "true"
+            | Some false -> Fmt.string ppf "false"
+            | None -> Fmt.string ppf "undecided"
+          in
+          Fmt.pr "mode             : %s@." mode;
+          Fmt.pr "monitors         : %d  shards: %d  window: %d ms@." monitors
+            shards window_ms;
+          Fmt.pr "events observed  : %d  (updates emitted %d)@."
+            r.Sharded_sc.sr_observed r.Sharded_sc.sr_updates;
+          Fmt.pr "possibly         : %a@." pp_verdict poss;
+          Fmt.pr "definitely       : %a@." pp_verdict defi;
+          Fmt.pr "committed cuts   : %s%d@."
+            (if committed_exact then "" else ">= ")
+            committed_n;
+          Fmt.pr "peak live cuts   : %d@." r.Sharded_sc.sr_peak_live_cuts;
+          Fmt.pr "peak live events : %d@." r.Sharded_sc.sr_peak_live_events;
+          Fmt.pr "messages         : %d (dropped %d)@." r.Sharded_sc.sr_messages
+            r.Sharded_sc.sr_dropped;
+          Fmt.pr "verdict edges    : %d@."
+            (List.length r.Sharded_sc.sr_edges);
+          List.iter
+            (fun (e : Psn_detection.Streaming_detector.edge) ->
+              let kind, level = edge_kind e in
+              Fmt.pr "  %-16s %s at %a@." kind
+                (match level with
+                | Some l -> Printf.sprintf "level=%d" l
+                | None -> "(finish)")
+                Sim_time.pp e.at)
+            r.Sharded_sc.sr_edges;
+          match diff_ok with
+          | Some true -> Fmt.pr "differential     : streaming == packed@."
+          | Some false ->
+              Fmt.pr "differential     : DIVERGED@." (* unreachable: errored *)
+          | None -> ()
+        end;
+        Option.iter
+          (fun path ->
+            match sinks with
+            | Some sinks ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc
+                      (Psn_obs.Export.merged_jsonl (Array.to_list sinks)));
+                Fmt.epr "detect: merged trace -> %s@." path
+            | None -> ())
+          trace_out;
+        `Ok ()
+      end
+    end
+  in
+  Cmd.v (Cmd.info "detect" ~doc)
+    Term.(
+      ret
+        (const run $ seed $ shards_arg $ horizon_s_small $ window_ms $ monitors
+       $ cap $ stream_flag $ posthoc $ differential $ json $ trace_out))
+
 let main =
   let doc =
     "Execution and time models for pervasive sensor networks: simulator, \
@@ -803,8 +1086,8 @@ let main =
     (Cmd.info "psn-sim" ~version:"1.0.0" ~doc)
     [
       list_cmd; experiment_cmd; trace_cmd; analyze_cmd; profile_cmd;
-      shardstats_cmd; hall_cmd; office_cmd; hospital_cmd; habitat_cmd;
-      banking_cmd; lattice_cmd;
+      shardstats_cmd; detect_cmd; hall_cmd; office_cmd; hospital_cmd;
+      habitat_cmd; banking_cmd; lattice_cmd;
     ]
 
 let () = exit (Cmd.eval main)

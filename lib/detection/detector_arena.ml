@@ -1,0 +1,59 @@
+(* Reusable construction arena: caches the O(n) per-pid arrays a
+   detector build allocates, keyed by what they are a function of.  See
+   the .mli for the reuse-soundness argument. *)
+
+module Physical_clock = Psn_clocks.Physical_clock
+module Sim_time = Psn_sim.Sim_time
+
+(* Same per-pid stream derivation as the detectors use inline, so an
+   arena-built clock array is bit-identical to a fresh one. *)
+let mix_seed seed pid =
+  Int64.add seed (Int64.mul (Int64.of_int (pid + 1)) 0xC2B2AE3D27D4EB4FL)
+
+type t = {
+  mutable clock_key : int64 * int * int;  (* seed, eps_ns, n; n = -1 empty *)
+  mutable clocks : Physical_clock.t array;
+  mutable vars : string array array;
+  mutable vars_width : int;
+  mutable seqs : int array;
+  mutable builds : int;
+}
+
+let create () =
+  {
+    clock_key = (0L, 0, -1);
+    clocks = [||];
+    vars = [||];
+    vars_width = 0;
+    seqs = [||];
+    builds = 0;
+  }
+
+let clocks t ~seed ~eps ~n =
+  let key = (seed, Sim_time.to_ns eps, n) in
+  if t.clock_key <> key then begin
+    t.clocks <-
+      Array.init n (fun pid ->
+          Physical_clock.synced_within
+            (Psn_util.Rng.create ~seed:(mix_seed seed pid) ())
+            ~eps);
+    t.clock_key <- key;
+    t.builds <- t.builds + 1
+  end;
+  t.clocks
+
+let vars t ~n ~max_vars =
+  if Array.length t.vars <> n || t.vars_width <> max_vars then begin
+    t.vars <- Array.init n (fun _ -> Array.make max_vars "");
+    t.vars_width <- max_vars
+  end
+  else
+    Array.iter (fun row -> Array.fill row 0 max_vars "") t.vars;
+  t.vars
+
+let seqs t ~n =
+  if Array.length t.seqs <> n then t.seqs <- Array.make n 0
+  else Array.fill t.seqs 0 n 0;
+  t.seqs
+
+let builds t = t.builds

@@ -1,0 +1,40 @@
+(** Reusable construction arena for the sharded/streaming detectors.
+
+    Building a checker over [n] sources allocates O(n) small objects —
+    one synced physical clock (with its RNG) per pid, the per-source
+    variable-name tables, the sequence counters.  Benchmarks and sweeps
+    that rebuild the same configuration every iteration
+    ([detector.flush(n=1000)], the n=1000 hall) pay that setup on every
+    run even though the values are a pure function of [(seed, eps, n)].
+    An arena caches them: the first [create] under a given key builds,
+    later ones reuse, and mutable tables are recycled in place (names
+    cleared, counters zeroed) — O(n) [Array.fill]s instead of O(n)
+    allocations, and no per-iteration clock/RNG churn.
+
+    Reuse is sound because detector-held physical clocks are read-only
+    after construction ([synced_within] clocks receive no corrections),
+    so a cached clock array is bit-identical to a rebuilt one for the
+    same [(seed, eps, n)]; a key change rebuilds.  Arenas are
+    single-domain (construction happens on the coordinating domain
+    before [Exec.run]) and must not be shared between live detectors —
+    hand each concurrently-alive detector its own arena, or none. *)
+
+type t
+
+val create : unit -> t
+
+val clocks :
+  t -> seed:int64 -> eps:Psn_sim.Sim_time.t -> n:int ->
+  Psn_clocks.Physical_clock.t array
+(** The per-pid [synced_within] clock array for this key, built once and
+    reused while [(seed, eps, n)] stays the same.  Streams derive from
+    [(seed, pid)] with the detectors' mixing constant. *)
+
+val vars : t -> n:int -> max_vars:int -> string array array
+(** Per-source variable-name tables, every slot cleared to [""]. *)
+
+val seqs : t -> n:int -> int array
+(** Per-source sequence counters, zeroed. *)
+
+val builds : t -> int
+(** Times a clock array was (re)built — 1 under steady reuse. *)

@@ -236,7 +236,8 @@ let eval_safe_unbound e =
   | b -> b
   | exception Expr.Unbound_variable _ -> false
 
-let create ?loss ?sinks ?(checker = Auto) exec ~cfg ~delay ~predicate () =
+let create ?loss ?sinks ?(checker = Auto) ?arena exec ~cfg ~delay ~predicate () =
+  Psn_obs.Profile.phase "detector.setup" @@ fun () ->
   if cfg.n <= 0 then invalid_arg "Sharded_detector.create: n must be positive";
   if cfg.groups <= 0 then
     invalid_arg "Sharded_detector.create: groups must be positive";
@@ -250,10 +251,13 @@ let create ?loss ?sinks ?(checker = Auto) exec ~cfg ~delay ~predicate () =
       ~groups:cfg.groups ~group_of ~delay ()
   in
   let clocks =
-    Array.init n (fun pid ->
-        Physical_clock.synced_within
-          (Psn_util.Rng.create ~seed:(mix_seed seed pid) ())
-          ~eps:cfg.eps)
+    match arena with
+    | Some a -> Detector_arena.clocks a ~seed ~eps:cfg.eps ~n
+    | None ->
+        Array.init n (fun pid ->
+            Physical_clock.synced_within
+              (Psn_util.Rng.create ~seed:(mix_seed seed pid) ())
+              ~eps:cfg.eps)
   in
   let planes =
     if cfg.causal_stamps then
@@ -376,8 +380,14 @@ let create ?loss ?sinks ?(checker = Auto) exec ~cfg ~delay ~predicate () =
       checker_vc =
         (if cfg.causal_stamps then Some (Vector_clock.create ~n:(n + 1) ~me:n)
          else None);
-      vars = Array.init n (fun _ -> Array.make max_vars "");
-      seqs = Array.make n 0;
+      vars =
+        (match arena with
+        | Some a -> Detector_arena.vars a ~n ~max_vars
+        | None -> Array.init n (fun _ -> Array.make max_vars ""));
+      seqs =
+        (match arena with
+        | Some a -> Detector_arena.seqs a ~n
+        | None -> Array.make n 0);
       by_group = Array.init cfg.groups (fun _ -> ref []);
       sinks;
       pend = Pending_arena.create ();

@@ -61,13 +61,17 @@ val create :
   ?loss:Psn_sim.Loss_model.t ->
   ?sinks:Psn_obs.Trace.sink array ->
   ?checker:checker ->
+  ?arena:Detector_arena.t ->
   Psn_sim.Exec.t -> cfg:cfg -> delay:Psn_sim.Delay_model.t ->
   predicate:Psn_predicates.Expr.t -> unit -> t
 (** Builds the transport (label ["detector"]), the per-pid clocks
     (streams derived from [(Exec.seed, pid)]), the per-group planes, and
     the checker's flush schedule on group 0's engine.  [sinks] (one per
     group) additionally trace updates, occurrences, and the transport's
-    send/deliver/drop records.  [checker] defaults to [Auto]. *)
+    send/deliver/drop records.  [checker] defaults to [Auto].  [arena]
+    reuses the O(n) construction arrays across repeated same-key builds
+    ({!Detector_arena}); construction is wrapped in a
+    [Profile.phase "detector.setup"] either way. *)
 
 val checker_kind : t -> checker
 (** The resolved backend: [Interp], [Compiled], or [Partitioned]

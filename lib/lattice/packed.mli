@@ -62,4 +62,16 @@ val frontier_probe : (int -> unit) option ref
     driver with that level's frontier width (number of packed cuts), e.g.
     to record the peak antichain width of an exploration.  One branch per
     level when unset.  Not domain-safe — install around sequential walks
-    only. *)
+    only.  {!Streaming} reports each committed frontier through the same
+    hook, so one probe observes both engines. *)
+
+(** Growable flat int buffer — the frontier representation, shared with
+    the streaming engine ({!Streaming}). *)
+module Ibuf : sig
+  type t = { mutable a : int array; mutable len : int }
+
+  val create : int -> t
+  val clear : t -> unit
+  val ensure : t -> int -> unit
+  (** [ensure t extra] guarantees room for [extra] more ints. *)
+end

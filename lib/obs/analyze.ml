@@ -200,6 +200,12 @@ type t = {
   mutable max_path : int;
   path_ring : path array;
   mutable path_n : int;
+  (* streaming-lattice slab occupancy (Lattice_commit records) *)
+  mutable lat_commits : int;
+  mutable lat_level : int;
+  mutable lat_committed : int;
+  mutable lat_live_last : int;
+  mutable lat_live_peak : int;
 }
 
 let create ?horizon_ns ?(checker_pid = 0) ?(keep_paths = 32) () =
@@ -264,6 +270,11 @@ let create ?horizon_ns ?(checker_pid = 0) ?(keep_paths = 32) () =
     max_path = 0;
     path_ring = Array.make keep_paths dummy_path;
     path_n = 0;
+    lat_commits = 0;
+    lat_level = 0;
+    lat_committed = 0;
+    lat_live_last = 0;
+    lat_live_peak = 0;
   }
 
 (* --- interning ---------------------------------------------------------- *)
@@ -581,6 +592,12 @@ let feed t (r : Trace.record) =
       | _ -> t.late <- t.late + 1 (* end without a matching begin *))
   | Trace.Detector_occurrence { verdict; window_ns } ->
       occurrence t r verdict window_ns
+  | Trace.Lattice_commit { level; live; committed } ->
+      t.lat_commits <- t.lat_commits + 1;
+      t.lat_level <- level;
+      t.lat_committed <- committed;
+      t.lat_live_last <- live;
+      if live > t.lat_live_peak then t.lat_live_peak <- live
   | Trace.Engine_schedule _ | Trace.Engine_fire | Trace.Engine_cancel
   | Trace.Clock_tick _ | Trace.Clock_receive _ | Trace.Clock_strobe _
   | Trace.Detector_update _ | Trace.Mark _ ->
@@ -616,6 +633,10 @@ let open_edges t = t.open_count
 let peak_open_edges t = t.peak_open
 let expired_edges t = t.expired
 let retired_edges t = t.matched
+let lattice_commits t = t.lat_commits
+let lattice_level t = t.lat_level
+let lattice_committed t = t.lat_committed
+let peak_live_cuts t = t.lat_live_peak
 
 (* --- reports ------------------------------------------------------------- *)
 
@@ -774,6 +795,14 @@ let render ?(top = 16) t =
       (Printf.sprintf "%.3f" (mean_critical_ns t /. 1e6))
       (ms t.max_path)
   end;
+  if t.lat_commits > 0 then begin
+    pf "\n-- streaming lattice --\n";
+    pf
+      "commits %d | committed level %d | committed cuts %d | live cuts %d \
+       (peak %d)\n"
+      t.lat_commits t.lat_level t.lat_committed t.lat_live_last
+      t.lat_live_peak
+  end;
   pf "\n-- analyzer --\n";
   pf "flow edges: %d retired by match, %d expired by horizon, %d open, %d late\n"
     t.matched t.expired t.open_count t.late;
@@ -795,7 +824,6 @@ let to_json ?(top = 16) t =
   in
   let links, _ = sorted_links t ~top in
   let doc =
-    Obj
       [
         ("schema", Str "psn-analyze/1");
         ( "horizon_ns",
@@ -886,8 +914,24 @@ let to_json ?(top = 16) t =
               ("peak_delivery_window", Int t.d_peak);
             ] );
       ]
+      (* The lattice section appears only when the run carried
+         [Lattice_commit] records, so analyses of pre-streaming traces
+         keep their historical bytes. *)
+      @ (if t.lat_commits = 0 then []
+         else
+           [
+             ( "lattice",
+               Obj
+                 [
+                   ("commits", Int t.lat_commits);
+                   ("committed_level", Int t.lat_level);
+                   ("committed_cuts", Int t.lat_committed);
+                   ("live_cuts", Int t.lat_live_last);
+                   ("peak_live_cuts", Int t.lat_live_peak);
+                 ] );
+           ])
   in
-  to_string doc
+  to_string (Obj doc)
 
 (* --- sharded-run analysis ---------------------------------------------- *)
 

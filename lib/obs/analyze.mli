@@ -89,6 +89,24 @@ val expired_edges : t -> int
 val retired_edges : t -> int
 (** Flow edges retired by seeing both endpoints (deliver or drop). *)
 
+(** {2 Streaming-lattice occupancy}
+
+    Aggregated from the [Lattice_commit] records an online detector
+    emits at each flush.  All zero when the run carried none. *)
+
+val lattice_commits : t -> int
+(** [Lattice_commit] records seen. *)
+
+val lattice_level : t -> int
+(** Highest finalized cut level reported. *)
+
+val lattice_committed : t -> int
+(** Committed consistent-cut count at the last commit record. *)
+
+val peak_live_cuts : t -> int
+(** Widest live slab any commit record reported — the bounded-memory
+    evidence, the streaming twin of {!peak_open_edges}. *)
+
 (** {2 Reports} *)
 
 val render : ?top:int -> t -> string

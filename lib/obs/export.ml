@@ -56,6 +56,12 @@ let args_of_event ev =
         ("verdict", Printf.sprintf "%S" verdict);
         ("window_ns", string_of_int window_ns);
       ]
+  | Lattice_commit { level; live; committed } ->
+      [
+        ("level", string_of_int level);
+        ("live", string_of_int live);
+        ("committed", string_of_int committed);
+      ]
   | Mark _ -> []
 
 (* The args above pre-render values; keys are plain identifiers, and the

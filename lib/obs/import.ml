@@ -68,6 +68,11 @@ let event_of obj ty : (Trace.event, string) result =
       let* verdict = str_field obj "verdict" in
       let* window_ns = int_field obj "window_ns" in
       Ok (Trace.Detector_occurrence { verdict; window_ns })
+  | "lattice.commit" ->
+      let* level = int_field obj "level" in
+      let* live = int_field obj "live" in
+      let* committed = int_field obj "committed" in
+      Ok (Trace.Lattice_commit { level; live; committed })
   | "mark" ->
       let* name = str_field obj "name" in
       Ok (Trace.Mark { name })

@@ -39,6 +39,7 @@ type event =
   | Clock_strobe of { clock : string }
   | Detector_update of { var : string; seq : int }
   | Detector_occurrence of { verdict : string; window_ns : int }
+  | Lattice_commit of { level : int; live : int; committed : int }
   | Mark of { name : string }
 
 type record = { seq : int; time : int; pid : int; event : event }
@@ -99,6 +100,7 @@ let event_name = function
   | Clock_strobe _ -> "clock.strobe"
   | Detector_update _ -> "detector.update"
   | Detector_occurrence _ -> "detector.occurrence"
+  | Lattice_commit _ -> "lattice.commit"
   | Mark { name } -> name
 
 (* Balanced span over [f], both endpoints at the caller-supplied times.

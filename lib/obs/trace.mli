@@ -39,6 +39,10 @@ type event =
       (** [window_ns]: sense-to-detect latency of the trigger, rendered by
           the Chrome exporter as a duration slice ending at the record's
           time *)
+  | Lattice_commit of { level : int; live : int; committed : int }
+      (** streaming-lattice progress at a detector flush: highest
+          finalized cut level, cuts in the live slab, total committed
+          cuts — the slab-occupancy evidence [Analyze] aggregates *)
   | Mark of { name : string }
       (** middleware milestones (causal delivery, snapshot markers, ...) *)
 

@@ -23,6 +23,7 @@ module Expr = Psn_predicates.Expr
 module Value = Psn_world.Value
 module D = Psn_detection
 module Sharded_detector = Psn_detection.Sharded_detector
+module Streaming_detector = Psn_detection.Streaming_detector
 module Shard_net = Psn_network.Shard_net
 
 type detect_cfg = {
@@ -348,6 +349,115 @@ let calm ?(cfg = calm_default) ?sinks exec =
       ()
   in
   report
+
+(* {2 Streamed modal detection}
+
+   The calm walk again, but scored through the streaming frontier
+   lattice instead of the hold-back consensus checker: every sample
+   strobes a vector stamp, the checker feeds the walk online, and the
+   run yields Possibly/Definitely verdicts with the slab-occupancy
+   evidence.  Kept to a handful of monitors — the cut lattice is
+   exponential in concurrency, and this workload exists to pin
+   bounded-slab behaviour and substrate invariance, not scale in n. *)
+
+type stream_cfg = {
+  s_monitors : int;
+  s_limit : int;
+  s_sample_period : float; (* mean seconds between samples *)
+  s_cap : int;             (* live-slab width bound *)
+  s_detect : detect_cfg;
+}
+
+let stream_default =
+  {
+    s_monitors = 3;
+    s_limit = 60;
+    s_sample_period = 5.0;
+    s_cap = 200_000;
+    s_detect =
+      { default_detect with groups = 2; horizon = Sim_time.of_sec 120 };
+  }
+
+let stream_predicate cfg =
+  let terms =
+    List.init cfg.s_monitors (fun i ->
+        Expr.(var ~name:"load" ~loc:i <=? int cfg.s_limit))
+  in
+  match terms with
+  | [] -> invalid_arg "Sharded.stream_predicate: monitors"
+  | first :: rest -> List.fold_left Expr.( &&& ) first rest
+
+type stream_result = {
+  sr_possibly : bool option;
+  sr_definitely : bool option;
+  sr_committed : Psn_lattice.Packed.verdict;
+  sr_observed : int;
+  sr_updates : int;
+  sr_edges : Streaming_detector.edge list;
+  sr_peak_live_cuts : int;
+  sr_peak_live_events : int;
+  sr_messages : int;
+  sr_dropped : int;
+}
+
+let stream ?(cfg = stream_default) ?sinks ?arena ?on_observe exec =
+  if cfg.s_monitors <= 0 then invalid_arg "Sharded.stream: monitors";
+  let dc = cfg.s_detect in
+  let group_of pid = pid * dc.groups / cfg.s_monitors in
+  let seed = Exec.seed exec in
+  let dcfg =
+    {
+      Streaming_detector.n = cfg.s_monitors;
+      groups = dc.groups;
+      group_of;
+      eps = dc.eps;
+      hold = dc.hold;
+      flush_period = dc.flush_period;
+      cap = cfg.s_cap;
+    }
+  in
+  let det =
+    Streaming_detector.create ~loss:dc.loss ?sinks ?arena ?on_observe exec
+      ~cfg:dcfg ~delay:dc.delay ~predicate:(stream_predicate cfg) ()
+  in
+  for m = 0 to cfg.s_monitors - 1 do
+    let rng = entity_rng seed m in
+    let engine = Exec.engine exec ~group:(group_of m) in
+    let load = ref 80 in
+    let rec samples t =
+      let gap = Rng.exponential rng ~mean:cfg.s_sample_period in
+      let at = Sim_time.add t (Sim_time.of_sec_float gap) in
+      if Sim_time.( < ) at dc.horizon then begin
+        Engine.schedule_at_unit engine at (fun () ->
+            let spiked = Rng.int rng 25 = 0 in
+            load :=
+              (if spiked then 70 + Rng.int rng 30
+               else
+                 let step = Rng.int rng 11 - 6 in
+                 Stdlib.max 0 (Stdlib.min 100 (!load + step)));
+            Streaming_detector.emit det ~src:m ~var:"load" ~value:!load);
+        samples at
+      end
+    in
+    samples Sim_time.zero
+  done;
+  Exec.run exec ~until:dc.horizon;
+  Streaming_detector.finish det;
+  let s = Streaming_detector.stream det in
+  let net = Streaming_detector.net det in
+  ( {
+      sr_possibly = Psn_lattice.Streaming.possibly s;
+      sr_definitely = Psn_lattice.Streaming.definitely s;
+      sr_committed = Psn_lattice.Streaming.committed_cuts s;
+      sr_observed = Psn_lattice.Streaming.events_observed s;
+      sr_updates = List.length (Streaming_detector.updates det);
+      sr_edges = Streaming_detector.edges det;
+      sr_peak_live_cuts = Psn_lattice.Streaming.peak_live_cuts s;
+      sr_peak_live_events = Psn_lattice.Streaming.peak_live_events s;
+      sr_messages = Shard_net.sent net;
+      sr_dropped = Shard_net.dropped net;
+    },
+    det )
 
 let hospital ?(cfg = hospital_default) ?sinks exec =
   if cfg.wards <= 0 then invalid_arg "Sharded.hospital: wards";

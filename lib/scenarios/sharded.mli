@@ -88,6 +88,49 @@ val calm :
   ?cfg:calm_cfg -> ?sinks:Psn_obs.Trace.sink array -> Psn_sim.Exec.t ->
   Psn.Report.t
 
+(** {2 Streamed modal detection} — the calm walk scored through the
+    streaming frontier lattice ({!Psn_detection.Streaming_detector})
+    instead of the hold-back consensus checker: online
+    Possibly/Definitely verdicts plus the slab-occupancy evidence.
+    Monitor counts stay small (the cut lattice is exponential in
+    concurrency); same-seed runs are substrate-invariant across
+    {!Psn_sim.Exec.single} and any shard count. *)
+
+type stream_cfg = {
+  s_monitors : int;
+  s_limit : int;
+  s_sample_period : float;
+  s_cap : int;  (** live-slab width bound handed to the walk *)
+  s_detect : detect_cfg;
+}
+
+val stream_default : stream_cfg
+val stream_predicate : stream_cfg -> Psn_predicates.Expr.t
+
+type stream_result = {
+  sr_possibly : bool option;
+  sr_definitely : bool option;
+  sr_committed : Psn_lattice.Packed.verdict;
+  sr_observed : int;
+  sr_updates : int;
+  sr_edges : Psn_detection.Streaming_detector.edge list;
+  sr_peak_live_cuts : int;
+  sr_peak_live_events : int;
+  sr_messages : int;
+  sr_dropped : int;
+}
+
+val stream :
+  ?cfg:stream_cfg ->
+  ?sinks:Psn_obs.Trace.sink array ->
+  ?arena:Psn_detection.Detector_arena.t ->
+  ?on_observe:(pid:int -> stamp:int array -> unit) ->
+  Psn_sim.Exec.t ->
+  stream_result * Psn_detection.Streaming_detector.t
+(** Runs to the horizon, finishes the walk, and returns the verdicts,
+    counts, edges, and occupancy evidence alongside the detector (for
+    the walk, transport, and merged-trace accessors). *)
+
 (** {2 Hospital} — ward monitors sampling a bounded vital-sign walk;
     alarm when the ward average is elevated. *)
 

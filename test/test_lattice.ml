@@ -497,6 +497,185 @@ let test_modal_cut_env () =
     (env { Expr.name = "b"; loc = 1 } = Some (Value.Bool false));
   Alcotest.(check bool) "unknown loc" true (env { Expr.name = "x"; loc = 9 } = None)
 
+(* --- streaming frontier lattice vs packed post-hoc --- *)
+
+module Streaming = Psn_lattice.Streaming
+
+(* Feed a finished execution into a streaming detector, round-robin
+   across processes (cross-process arrival order is arbitrary by
+   contract; only per-process order matters), then [finish]. *)
+let stream_of_stamps ?cap ?on_edge ~holds stamps =
+  let n = Array.length stamps in
+  let t = Streaming.create ~n ?cap ?on_edge ~holds () in
+  let k = Array.fold_left (fun m e -> max m (Array.length e)) 0 stamps in
+  for round = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      if round < Array.length stamps.(i) then
+        Streaming.observe t ~pid:i ~stamp:stamps.(i).(round)
+    done
+  done;
+  Streaming.finish t;
+  t
+
+(* A small family of cut predicates indexed by the qcheck seed: exact
+   cuts, thresholds, and parities — enough to hit φ(⊥), unreachable φ,
+   and mid-lattice φ shapes. *)
+let holds_family sel stamps =
+  let n = Array.length stamps in
+  let lens = Array.map Array.length stamps in
+  match sel mod 4 with
+  | 0 -> fun (c : int array) -> Array.for_all (fun x -> x = 0) c (* φ(⊥) *)
+  | 1 ->
+      (* the middle-ish diagonal cut *)
+      fun c ->
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if c.(i) <> (lens.(i) + 1) / 2 then ok := false
+        done;
+        !ok
+  | 2 -> fun c -> Array.fold_left ( + ) 0 c mod 3 = 1
+  | _ -> fun _ -> false (* unreachable φ *)
+
+(* Non-negotiable oracle: on any bounded prefix, streaming verdicts and
+   committed-cut counts equal [Packed] run post-hoc on that prefix. *)
+let streaming_matches_packed ?cap ~holds stamps =
+  let t = stream_of_stamps ?cap ~holds stamps in
+  let count = Lattice.count_consistent stamps in
+  let poss = Modal.possibly stamps ~holds in
+  let defi = Modal.definitely stamps ~holds in
+  (match (Streaming.committed_cuts t, count) with
+  | Lattice.Exact a, Lattice.Exact b -> a = b
+  | _ -> false)
+  && Streaming.possibly t = poss
+  && Streaming.definitely t = defi
+
+let test_streaming_vs_packed =
+  qtest ~count:80 "streaming = packed (random prefixes)"
+    QCheck.(quad int (int_bound 3) (int_bound 3) (int_bound 3))
+    (fun (seed, p0, p1, p2) ->
+      let stamps = random_stamps ~seed ~n:3 ~k:3 in
+      (* bounded prefix: truncate each process independently *)
+      let prefix = [| p0; p1; p2 |] in
+      let stamps =
+        Array.mapi (fun i evs -> Array.sub evs 0 prefix.(i)) stamps
+      in
+      List.for_all
+        (fun sel -> streaming_matches_packed ~holds:(holds_family sel stamps) stamps)
+        [ seed; seed + 1; seed + 2; seed + 3 ])
+
+let test_streaming_empty () =
+  let stamps = [| [||]; [||]; [||] |] in
+  let t = stream_of_stamps ~holds:(fun _ -> false) stamps in
+  (match Streaming.committed_cuts t with
+  | Lattice.Exact c -> Alcotest.(check int) "one cut" 1 c
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  Alcotest.(check bool) "possibly" true (Streaming.possibly t = Some false);
+  Alcotest.(check bool) "definitely" true (Streaming.definitely t = Some false);
+  let t = stream_of_stamps ~holds:(fun _ -> true) stamps in
+  Alcotest.(check bool) "possibly ⊥" true (Streaming.possibly t = Some true);
+  Alcotest.(check bool) "definitely ⊥" true (Streaming.definitely t = Some true)
+
+let test_streaming_cap () =
+  (* Independent stamps: the slab at mid level is the binomial bulge;
+     a small cap must freeze the walk, not crash it, and leave decided
+     answers decided. *)
+  let stamps = independent ~n:3 ~k:4 in
+  let t = stream_of_stamps ~cap:5 ~holds:(fun _ -> false) stamps in
+  Alcotest.(check bool) "capped" true (Streaming.capped t);
+  (match Streaming.committed_cuts t with
+  | Lattice.At_least c -> Alcotest.(check bool) "lower bound" true (c <= 125)
+  | Lattice.Exact _ -> Alcotest.fail "should have capped");
+  Alcotest.(check bool) "possibly undecided" true (Streaming.possibly t = None);
+  Alcotest.(check bool) "definitely undecided" true
+    (Streaming.definitely t = None)
+
+let test_streaming_overflow_fallback () =
+  (* 40 processes, round-robin arrival: the live window's radix product
+     overflows a tagged int mid-run, engaging the hashed-component
+     fallback — counts must still be exact on this (chain) lattice. *)
+  let n = 40 and k = 2 in
+  let stamps = chain_stamps ~n ~k in
+  let t = stream_of_stamps ~holds:(fun _ -> false) stamps in
+  Alcotest.(check bool) "overflow engaged" true (Streaming.overflowed t);
+  (match Streaming.committed_cuts t with
+  | Lattice.Exact c -> Alcotest.(check int) "chain count" ((n * k) + 1) c
+  | Lattice.At_least _ -> Alcotest.fail "capped");
+  Alcotest.(check bool) "definitely false" true
+    (Streaming.definitely t = Some false)
+
+let test_streaming_online_edges () =
+  (* On a chain, Definitely(φ at the midpoint) is decidable long before
+     the run ends: the edge must fire during [observe], not at
+     [finish]. *)
+  let n = 3 and k = 4 in
+  let stamps = chain_stamps ~n ~k in
+  let mid = [| 2; 0; 0 |] in
+  let holds c = Array.for_all2 ( = ) c mid in
+  let edges = ref [] in
+  let t =
+    Streaming.create ~n ~on_edge:(fun e -> edges := e :: !edges) ~holds ()
+  in
+  for i = 0 to n - 1 do
+    for r = 0 to k - 1 do
+      Streaming.observe t ~pid:i ~stamp:stamps.(i).(r)
+    done
+  done;
+  let fired_before_finish =
+    List.exists (function Streaming.Definitely_holds _ -> true | _ -> false)
+      !edges
+    && List.exists (function Streaming.Possibly_holds _ -> true | _ -> false)
+         !edges
+  in
+  Alcotest.(check bool) "edges before finish" true fired_before_finish;
+  Streaming.finish t;
+  Alcotest.(check bool) "definitely" true (Streaming.definitely t = Some true);
+  Alcotest.(check bool) "possibly" true (Streaming.possibly t = Some true)
+
+let test_streaming_observe_validation () =
+  let t = Streaming.create ~n:2 ~holds:(fun _ -> false) () in
+  Alcotest.(check bool) "own component" true
+    (try
+       Streaming.observe t ~pid:0 ~stamp:[| 2; 0 |];
+       false
+     with Invalid_argument _ -> true);
+  Streaming.observe t ~pid:0 ~stamp:[| 1; 0 |];
+  Alcotest.(check bool) "width" true
+    (try
+       Streaming.observe t ~pid:1 ~stamp:[| 1 |];
+       false
+     with Invalid_argument _ -> true);
+  Streaming.close_pid t ~pid:0;
+  Alcotest.(check bool) "closed pid rejects" true
+    (try
+       Streaming.observe t ~pid:0 ~stamp:[| 2; 0 |];
+       false
+     with Invalid_argument _ -> true)
+
+(* The bounded-memory claim, on the PR 6 horizon-test pattern: a 10x
+   longer strobe-like run must not widen the peak live slab (fixed
+   seeds, so the assertion is deterministic), while the committed total
+   keeps growing with run length. *)
+let test_streaming_bounded_memory () =
+  let run k =
+    let stamps = random_stamps ~seed:42 ~n:3 ~k in
+    let t = stream_of_stamps ~holds:(fun _ -> false) stamps in
+    ( Streaming.peak_live_cuts t,
+      Streaming.peak_live_events t,
+      Lattice.verdict_count (Streaming.committed_cuts t) )
+  in
+  let peak_10k, peak_ev_10k, cuts_10k = run 3_334 in
+  let peak_100k, peak_ev_100k, cuts_100k = run 33_334 in
+  Alcotest.(check bool) "cuts grow with run length" true
+    (cuts_100k > 5 * cuts_10k);
+  Alcotest.(check bool)
+    (Printf.sprintf "peak live cuts flat (%d vs %d)" peak_10k peak_100k)
+    true
+    (peak_100k <= (2 * peak_10k) + 16);
+  Alcotest.(check bool)
+    (Printf.sprintf "peak live events flat (%d vs %d)" peak_ev_10k peak_ev_100k)
+    true
+    (peak_ev_100k <= (2 * peak_ev_10k) + 16)
+
 let () =
   Alcotest.run "psn_lattice"
     [
@@ -552,5 +731,18 @@ let () =
           test_plane_vs_arrays;
           Alcotest.test_case "shapes" `Quick test_plane_shapes;
           Alcotest.test_case "validation" `Quick test_plane_validation;
+        ] );
+      ( "streaming",
+        [
+          test_streaming_vs_packed;
+          Alcotest.test_case "empty execution" `Quick test_streaming_empty;
+          Alcotest.test_case "cap freezes" `Quick test_streaming_cap;
+          Alcotest.test_case "overflow fallback" `Quick
+            test_streaming_overflow_fallback;
+          Alcotest.test_case "online edges" `Quick test_streaming_online_edges;
+          Alcotest.test_case "observe validation" `Quick
+            test_streaming_observe_validation;
+          Alcotest.test_case "bounded memory at 100k events" `Quick
+            test_streaming_bounded_memory;
         ] );
     ]

@@ -437,6 +437,155 @@ let test_merge_snapshots () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "kind mismatch must raise"
 
+(* {2 Streaming frontier detector}
+
+   The online Possibly/Definitely path: substrate invariance of the
+   whole observable result (verdicts, edges, occupancy evidence, merged
+   trace bytes), the streaming-vs-packed oracle on the exact stamps the
+   walk consumed, online-tap == post-hoc analysis bytes, and
+   construction-arena reuse. *)
+
+module Streaming_detector = Psn_detection.Streaming_detector
+module Detector_arena = Psn_detection.Detector_arena
+module Lattice = Psn_lattice.Lattice
+module Modal = Psn_lattice.Modal
+module Streaming = Psn_lattice.Streaming
+module Analyze = Psn_obs.Analyze
+
+let stream_cfg =
+  {
+    Sharded.stream_default with
+    s_detect = { Sharded.stream_default.s_detect with delay = delay_small };
+  }
+
+let stream_lookahead = Delay_model.min_delay delay_small
+
+let test_stream_differential =
+  qtest ~count:6 "stream: verdicts + edges + merged trace identical"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      substrate_invariant ~seed:(Int64.of_int seed) ~groups:2
+        ~lookahead:stream_lookahead (fun exec sinks ->
+          let r, _det = Sharded.stream ~cfg:stream_cfg ~sinks exec in
+          r))
+
+(* The non-negotiable oracle: replay the exact stamp prefix the walk
+   consumed (via the [on_observe] tap) through the packed post-hoc
+   engines and compare verdicts and committed-cut counts verbatim. *)
+let test_stream_matches_packed =
+  qtest ~count:6 "stream = packed post-hoc on the consumed prefix"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let n = stream_cfg.Sharded.s_monitors in
+      let captured = Array.make n [] in
+      let exec = Exec.single ~seed:(Int64.of_int seed) () in
+      let r, det =
+        Sharded.stream ~cfg:stream_cfg
+          ~on_observe:(fun ~pid ~stamp ->
+            captured.(pid) <- Array.copy stamp :: captured.(pid))
+          exec
+      in
+      let stamps =
+        Array.map (fun l -> Array.of_list (List.rev l)) captured
+      in
+      let writes =
+        Array.init n (fun i ->
+            Streaming_detector.updates det
+            |> List.filter (fun (u : Psn_detection.Observation.update) ->
+                   u.src = i)
+            |> List.sort (fun (a : Psn_detection.Observation.update) b ->
+                   Stdlib.compare a.seq b.seq)
+            |> List.map (fun (u : Psn_detection.Observation.update) ->
+                   (u.var, u.value))
+            |> Array.of_list)
+      in
+      (* Lossless run: everything emitted was fed. *)
+      Array.iteri
+        (fun i evs ->
+          if Array.length evs <> Array.length writes.(i) then
+            QCheck.Test.fail_reportf "pid %d fed %d of %d updates" i
+              (Array.length evs)
+              (Array.length writes.(i)))
+        stamps;
+      let holds =
+        Modal.holds_of_expr ~init:[] ~updates:writes
+          (Sharded.stream_predicate stream_cfg)
+      in
+      let count_ok =
+        match (r.Sharded.sr_committed, Lattice.count_consistent stamps) with
+        | Lattice.Exact a, Lattice.Exact b -> a = b
+        | _ -> false
+      in
+      let ok =
+        count_ok
+        && r.Sharded.sr_possibly = Modal.possibly stamps ~holds
+        && r.Sharded.sr_definitely = Modal.definitely stamps ~holds
+      in
+      if not ok then
+        QCheck.Test.fail_reportf
+          "streaming diverged from packed: committed %s, possibly %s/%s"
+          (if count_ok then "equal" else "DIFFERS")
+          (match r.Sharded.sr_possibly with
+          | Some true -> "T" | Some false -> "F" | None -> "?")
+          (match Modal.possibly stamps ~holds with
+          | Some true -> "T" | Some false -> "F" | None -> "?");
+      ok)
+
+(* Online analysis (sink tap) must be byte-identical to post-hoc
+   analysis of the retained trace — now including the streaming-lattice
+   occupancy section fed by [Lattice_commit] records. *)
+let test_stream_tap_equals_retained () =
+  let seed = 11L in
+  let cfg =
+    {
+      stream_cfg with
+      Sharded.s_detect = { stream_cfg.Sharded.s_detect with groups = 1 };
+    }
+  in
+  let posthoc =
+    let sinks = [| Trace.create () |] in
+    let exec = Exec.single ~seed () in
+    let _r = Sharded.stream ~cfg ~sinks exec in
+    let az = Analyze.create () in
+    Analyze.feed_sink az sinks.(0);
+    az
+  in
+  let online =
+    let sink = Trace.create ~retain:false () in
+    let az = Analyze.create () in
+    Trace.set_tap sink (Some (Analyze.feed az));
+    let exec = Exec.single ~seed () in
+    let _r = Sharded.stream ~cfg ~sinks:[| sink |] exec in
+    Alcotest.(check int) "online sink retained nothing" 0 (Trace.length sink);
+    az
+  in
+  Alcotest.(check bool) "lattice commits observed" true
+    (Analyze.lattice_commits posthoc > 0);
+  Alcotest.(check bool) "peak occupancy observed" true
+    (Analyze.peak_live_cuts posthoc > 0);
+  Alcotest.(check string) "render byte-identical" (Analyze.render posthoc)
+    (Analyze.render online);
+  Alcotest.(check string) "json byte-identical" (Analyze.to_json posthoc)
+    (Analyze.to_json online)
+
+(* Arena-backed construction must change nothing observable, and the
+   second same-key build must reuse the cached clock array. *)
+let test_stream_arena_reuse () =
+  let seed = 7L in
+  let run ?arena () =
+    let exec = Exec.single ~seed () in
+    let r, _det = Sharded.stream ~cfg:stream_cfg ?arena exec in
+    r
+  in
+  let fresh = run () in
+  let arena = Detector_arena.create () in
+  let first = run ~arena () in
+  let second = run ~arena () in
+  Alcotest.(check bool) "arena run = fresh run" true (compare fresh first = 0);
+  Alcotest.(check bool) "arena reuse run = fresh run" true
+    (compare fresh second = 0);
+  Alcotest.(check int) "clock array built once" 1 (Detector_arena.builds arena)
+
 let () =
   Alcotest.run "psn_sharded"
     [
@@ -470,4 +619,12 @@ let () =
         ] );
       ( "metrics",
         [ Alcotest.test_case "merge_snapshots" `Quick test_merge_snapshots ] );
+      ( "streaming detector",
+        [
+          test_stream_differential;
+          test_stream_matches_packed;
+          Alcotest.test_case "online tap == post-hoc bytes" `Quick
+            test_stream_tap_equals_retained;
+          Alcotest.test_case "arena reuse" `Quick test_stream_arena_reuse;
+        ] );
     ]
